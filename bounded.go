@@ -1,0 +1,164 @@
+package sdtw
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sdtw/internal/dtw"
+	"sdtw/internal/lower"
+)
+
+// BoundStats reports how much work a lower-bound cascade saved.
+type BoundStats struct {
+	// Candidates is the collection size examined.
+	Candidates int
+	// PrunedKim and PrunedKeogh count candidates discarded by each bound
+	// before any DTW grid work.
+	PrunedKim, PrunedKeogh int
+	// Evaluated counts candidates that required a DTW computation.
+	Evaluated int
+}
+
+// PruneRate is the fraction of candidates discarded without DTW work.
+func (s BoundStats) PruneRate() float64 {
+	if s.Candidates == 0 {
+		return 0
+	}
+	return float64(s.PrunedKim+s.PrunedKeogh) / float64(s.Candidates)
+}
+
+// BoundedIndex answers exact top-k DTW queries over an equal-length
+// collection using the classical lower-bound cascade (LB_Kim, then
+// LB_Keogh on precomputed envelopes) of Keogh's exact-indexing pipeline —
+// the paper's reference [7] and the natural companion to sDTW for
+// retrieval workloads. Results are exact with respect to the (optionally
+// Sakoe-Chiba-windowed) DTW distance.
+type BoundedIndex struct {
+	data      []Series
+	envelopes []lower.Envelope
+	radius    int
+	band      dtw.Band // empty when radius covers the full grid
+	length    int
+}
+
+// NewBoundedIndex builds the index. All series must share one length.
+// radius is the Sakoe-Chiba warping window in samples: both the DTW
+// computation and the envelopes use it, keeping the bound exact for the
+// windowed distance. radius < 0 (or >= length) selects unconstrained DTW
+// with full-width envelopes.
+func NewBoundedIndex(data []Series, radius int) (*BoundedIndex, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("sdtw: cannot index an empty collection")
+	}
+	length := data[0].Len()
+	if length == 0 {
+		return nil, fmt.Errorf("sdtw: series 0 is empty")
+	}
+	for i, s := range data {
+		if s.Len() != length {
+			return nil, fmt.Errorf("sdtw: series %d has length %d, want %d (bounded search needs equal lengths)", i, s.Len(), length)
+		}
+	}
+	if radius < 0 || radius >= length {
+		radius = length // unconstrained
+	}
+	ix := &BoundedIndex{data: data, radius: radius, length: length}
+	ix.envelopes = make([]lower.Envelope, len(data))
+	for i, s := range data {
+		ix.envelopes[i] = lower.NewEnvelope(s.Values, radius)
+	}
+	if radius < length {
+		ix.band = dtw.SakoeChiba(length, length, float64(2*radius+1)/float64(length))
+	}
+	return ix, nil
+}
+
+// Len returns the number of indexed series.
+func (ix *BoundedIndex) Len() int { return len(ix.data) }
+
+// Radius returns the effective warping window in samples.
+func (ix *BoundedIndex) Radius() int { return ix.radius }
+
+// distance computes the (windowed) DTW distance of the query to candidate i.
+func (ix *BoundedIndex) distance(q []float64, i int) (float64, error) {
+	if ix.radius >= ix.length {
+		return dtw.Distance(q, ix.data[i].Values, nil)
+	}
+	d, _, err := dtw.Banded(q, ix.data[i].Values, ix.band, nil)
+	return d, err
+}
+
+// TopK returns the k nearest indexed series to the query under the
+// (windowed) DTW distance, exactly, using the bound cascade to skip
+// candidates. Candidates sharing the query's non-empty ID are excluded,
+// so leave-one-out evaluation works naturally.
+func (ix *BoundedIndex) TopK(query Series, k int) ([]Neighbor, BoundStats, error) {
+	var stats BoundStats
+	if k <= 0 {
+		return nil, stats, fmt.Errorf("sdtw: TopK needs k >= 1, got %d", k)
+	}
+	if query.Len() != ix.length {
+		return nil, stats, fmt.Errorf("sdtw: query length %d != indexed length %d", query.Len(), ix.length)
+	}
+	// Candidate order: ascending LB_Keogh, so strong matches surface
+	// early and the pruning threshold tightens fast.
+	type cand struct {
+		pos   int
+		bound float64
+	}
+	cands := make([]cand, 0, len(ix.data))
+	for i, s := range ix.data {
+		if s.ID != "" && s.ID == query.ID {
+			continue
+		}
+		b, err := lower.Keogh(query.Values, ix.envelopes[i], nil)
+		if err != nil {
+			return nil, stats, err
+		}
+		cands = append(cands, cand{pos: i, bound: b})
+	}
+	stats.Candidates = len(cands)
+	sort.Slice(cands, func(a, b int) bool { return cands[a].bound < cands[b].bound })
+
+	best := make([]Neighbor, 0, k)
+	kth := math.Inf(1)
+	insert := func(nb Neighbor) {
+		best = append(best, nb)
+		sort.Slice(best, func(a, b int) bool {
+			if best[a].Distance != best[b].Distance {
+				return best[a].Distance < best[b].Distance
+			}
+			return best[a].Pos < best[b].Pos
+		})
+		if len(best) > k {
+			best = best[:k]
+		}
+		if len(best) == k {
+			kth = best[k-1].Distance
+		}
+	}
+	for _, c := range cands {
+		if c.bound > kth {
+			stats.PrunedKeogh++
+			continue
+		}
+		kim, err := lower.Kim(query.Values, ix.data[c.pos].Values, nil)
+		if err != nil {
+			return nil, stats, err
+		}
+		if kim > kth {
+			stats.PrunedKim++
+			continue
+		}
+		d, err := ix.distance(query.Values, c.pos)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Evaluated++
+		if d <= kth || len(best) < k {
+			insert(Neighbor{Pos: c.pos, Distance: d})
+		}
+	}
+	return best, stats, nil
+}

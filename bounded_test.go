@@ -1,0 +1,252 @@
+package sdtw
+
+import (
+	"math"
+	"testing"
+)
+
+func boundedWorkload(t *testing.T) *Dataset {
+	t.Helper()
+	return TraceDataset(DatasetConfig{Seed: 31, SeriesPerClass: 6})
+}
+
+func TestBoundedIndexExactAgainstBruteForce(t *testing.T) {
+	d := boundedWorkload(t)
+	ix, err := NewBoundedIndex(d.Series, -1) // unconstrained DTW
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 5
+	for _, q := range []int{0, 7, 13} {
+		got, stats, err := ix.TopK(d.Series[q], k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != k {
+			t.Fatalf("got %d neighbours", len(got))
+		}
+		// Brute force for comparison.
+		type nb struct {
+			pos int
+			d   float64
+		}
+		var all []nb
+		for i := range d.Series {
+			if i == q {
+				continue
+			}
+			dist, err := DTW(d.Series[q].Values, d.Series[i].Values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, nb{i, dist})
+		}
+		for rank := 0; rank < k; rank++ {
+			best := 0
+			for i := 1; i < len(all); i++ {
+				if all[i].d < all[best].d || (all[i].d == all[best].d && all[i].pos < all[best].pos) {
+					best = i
+				}
+			}
+			if math.Abs(all[best].d-got[rank].Distance) > 1e-9 {
+				t.Fatalf("query %d rank %d: bounded %v (pos %d) vs brute %v (pos %d)",
+					q, rank, got[rank].Distance, got[rank].Pos, all[best].d, all[best].pos)
+			}
+			all[best] = all[len(all)-1]
+			all = all[:len(all)-1]
+		}
+		if stats.Evaluated+stats.PrunedKim+stats.PrunedKeogh != stats.Candidates {
+			t.Fatalf("stats do not add up: %+v", stats)
+		}
+	}
+}
+
+func TestBoundedIndexWindowedExact(t *testing.T) {
+	d := boundedWorkload(t)
+	radius := 20
+	ix, err := NewBoundedIndex(d.Series, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Radius() != radius {
+		t.Fatalf("radius = %d", ix.Radius())
+	}
+	got, _, err := ix.TopK(d.Series[2], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windowed distances must match direct Sakoe-Chiba computations.
+	want, err := SakoeChibaDTW(d.Series[2].Values, d.Series[got[0].Pos].Values,
+		float64(2*radius+1)/float64(d.Length))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0].Distance-want) > 1e-9 {
+		t.Fatalf("windowed distance %v != direct %v", got[0].Distance, want)
+	}
+}
+
+func TestBoundedIndexPrunes(t *testing.T) {
+	// On a structured workload with tight warping windows, the cascade
+	// must discard a meaningful share of candidates without DTW work.
+	d := TraceDataset(DatasetConfig{Seed: 41, SeriesPerClass: 12})
+	ix, err := NewBoundedIndex(d.Series, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalPruned, totalCands := 0, 0
+	for q := 0; q < 8; q++ {
+		_, stats, err := ix.TopK(d.Series[q], 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalPruned += stats.PrunedKim + stats.PrunedKeogh
+		totalCands += stats.Candidates
+	}
+	rate := float64(totalPruned) / float64(totalCands)
+	if rate < 0.2 {
+		t.Fatalf("cascade pruned only %.2f of candidates", rate)
+	}
+}
+
+func TestBoundedIndexValidation(t *testing.T) {
+	if _, err := NewBoundedIndex(nil, 5); err == nil {
+		t.Fatal("empty collection accepted")
+	}
+	uneven := []Series{
+		NewSeries("a", 0, make([]float64, 10)),
+		NewSeries("b", 0, make([]float64, 12)),
+	}
+	if _, err := NewBoundedIndex(uneven, 5); err == nil {
+		t.Fatal("unequal lengths accepted")
+	}
+	d := boundedWorkload(t)
+	ix, err := NewBoundedIndex(d.Series, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.TopK(d.Series[0], 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := ix.TopK(NewSeries("q", 0, make([]float64, 7)), 3); err == nil {
+		t.Fatal("wrong-length query accepted")
+	}
+	if ix.Len() != d.Len() {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestBoundStatsPruneRate(t *testing.T) {
+	s := BoundStats{Candidates: 10, PrunedKim: 2, PrunedKeogh: 3, Evaluated: 5}
+	if got := s.PruneRate(); got != 0.5 {
+		t.Fatalf("prune rate = %v", got)
+	}
+	if (BoundStats{}).PruneRate() != 0 {
+		t.Fatal("empty stats prune rate not zero")
+	}
+}
+
+func TestFastDTWPublicAPI(t *testing.T) {
+	d := boundedWorkload(t)
+	x := d.Series[0].Values
+	y := d.Series[1].Values
+	exact, err := DTW(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FastDTW(x, y, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance < exact-1e-9 {
+		t.Fatalf("FastDTW underestimates: %v < %v", res.Distance, exact)
+	}
+	if err := res.Path.Validate(len(x), len(y)); err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells >= len(x)*len(y) {
+		t.Fatalf("FastDTW did not prune: %d cells", res.Cells)
+	}
+	if res.Levels < 2 {
+		t.Fatalf("FastDTW did not recurse: %d levels", res.Levels)
+	}
+	if _, err := FastDTW(nil, y, 1); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestCombinedDistancePublicAPI(t *testing.T) {
+	d := boundedWorkload(t)
+	x := d.Series[0].Values
+	y := d.Series[1].Values
+	exact, err := DTW(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CombinedDistance(x, y, 1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance < exact-1e-9 {
+		t.Fatalf("combined underestimates: %v < %v", res.Distance, exact)
+	}
+	// The combined band must not exceed the sDTW band alone.
+	eng := NewEngine(Options{Strategy: AdaptiveCoreAdaptiveWidth, KeepBand: true})
+	solo, err := eng.DistanceSeries(d.Series[0], d.Series[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BandCells > solo.Band.Cells() {
+		t.Fatalf("combined band %d cells > sDTW band %d", res.BandCells, solo.Band.Cells())
+	}
+	if _, err := CombinedDistance(nil, y, 1, DefaultOptions()); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestPAAPublicAPI(t *testing.T) {
+	v := []float64{1, 3, 5, 7}
+	r := PAA(v, 2)
+	if len(r) != 2 || r[0] != 2 || r[1] != 6 {
+		t.Fatalf("PAA = %v", r)
+	}
+}
+
+func TestClusterPublicAPI(t *testing.T) {
+	d := GunDataset(DatasetConfig{Seed: 51, SeriesPerClass: 8})
+	c, err := Cluster(d.Series, 2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Medoids) != 2 || len(c.Assign) != d.Len() {
+		t.Fatalf("clustering malformed: %+v", c)
+	}
+	purity, err := ClusterPurity(c, d.Series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if purity < 0.7 {
+		t.Fatalf("sDTW clustering purity = %v on a 2-class workload", purity)
+	}
+	if c.Silhouette <= 0 {
+		t.Fatalf("silhouette = %v", c.Silhouette)
+	}
+	// Exact-DTW clustering also works through the same entry point.
+	cExact, err := Cluster(d.Series, 2, Options{Strategy: FullGrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pExact, err := ClusterPurity(cExact, d.Series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pExact < 0.7 {
+		t.Fatalf("exact clustering purity = %v", pExact)
+	}
+	if _, err := Cluster(nil, 2, DefaultOptions()); err == nil {
+		t.Fatal("empty collection accepted")
+	}
+	if _, err := ClusterPurity(nil, d.Series); err == nil {
+		t.Fatal("nil clustering accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package sdtw
+
+import (
+	"fmt"
+
+	"sdtw/internal/cluster"
+	"sdtw/internal/core"
+	"sdtw/internal/eval"
+)
+
+// Clustering is the outcome of k-medoids over a collection of series.
+type Clustering struct {
+	// Medoids holds the collection index of each cluster centre.
+	Medoids []int
+	// Assign maps every series to its cluster.
+	Assign []int
+	// Cost is the total within-cluster distance.
+	Cost float64
+	// Silhouette is the mean silhouette coefficient of the clustering
+	// under the same distances.
+	Silhouette float64
+}
+
+// Cluster groups the series into k clusters by k-medoids over pairwise
+// distances computed with the given options (FullGrid for exact DTW, the
+// adaptive strategies for sDTW). Distances are computed in parallel;
+// clustering itself is deterministic for identical inputs.
+func Cluster(data []Series, k int, opts Options) (*Clustering, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("sdtw: cannot cluster an empty collection")
+	}
+	engine := core.NewEngine(opts.toCore())
+	if _, err := engine.Warm(data); err != nil {
+		return nil, err
+	}
+	var m *eval.Matrix
+	var err error
+	if opts.Strategy == FullGrid {
+		m, err = eval.FullDTWMatrix(data, opts.PointDistance)
+	} else {
+		m, err = eval.EngineMatrix(engine, data)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res, err := cluster.KMedoids(m.D, k, 0)
+	if err != nil {
+		return nil, err
+	}
+	sil, err := cluster.Silhouette(m.D, res.Assign, k)
+	if err != nil {
+		return nil, err
+	}
+	return &Clustering{
+		Medoids:    res.Medoids,
+		Assign:     res.Assign,
+		Cost:       res.Cost,
+		Silhouette: sil,
+	}, nil
+}
+
+// ClusterPurity measures the agreement of a clustering with the series'
+// class labels: the fraction of series carrying their cluster's majority
+// label.
+func ClusterPurity(c *Clustering, data []Series) (float64, error) {
+	if c == nil {
+		return 0, fmt.Errorf("sdtw: nil clustering")
+	}
+	labels := make([]int, len(data))
+	for i, s := range data {
+		labels[i] = s.Label
+	}
+	return cluster.Purity(c.Assign, labels, len(c.Medoids))
+}

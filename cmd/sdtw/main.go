@@ -1,0 +1,175 @@
+// Command sdtw computes DTW and sDTW distances between time series read
+// from UCR-format text files (label first, comma- or space-separated
+// values, one series per line).
+//
+// Usage:
+//
+//	sdtw -file data.txt -i 0 -j 1                 # exact DTW between rows 0 and 1
+//	sdtw -file data.txt -i 0 -j 1 -strategy ac,aw # sDTW with adaptive constraints
+//	sdtw -file data.txt -query 0 -k 5             # top-5 retrieval for row 0
+//	sdtw -file data.txt -features 0               # salient features of row 0
+//
+// Strategies: dtw (full grid), fc,fw; fc,aw; ac,fw; ac,aw; ac2,aw; itakura.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sdtw"
+)
+
+func main() {
+	var (
+		file      = flag.String("file", "", "UCR-format input file (required)")
+		i         = flag.Int("i", 0, "index of the first series")
+		j         = flag.Int("j", 1, "index of the second series")
+		strategy  = flag.String("strategy", "dtw", "constraint strategy: dtw, fc,fw, fc,aw, ac,fw, ac,aw, ac2,aw, itakura")
+		width     = flag.Float64("width", 0.10, "band width fraction for fixed-width strategies")
+		query     = flag.Int("query", -1, "run top-k retrieval for this series index instead of a pairwise distance")
+		k         = flag.Int("k", 5, "number of neighbours for -query")
+		features  = flag.Int("features", -1, "print the salient features of this series index and exit")
+		symmetric = flag.Bool("symmetric", false, "use the symmetric band union (order-independent distance)")
+	)
+	flag.Parse()
+
+	if *file == "" {
+		fatal(fmt.Errorf("-file is required"))
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	data, err := sdtw.ReadUCR(f, *file)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts, err := optionsFor(*strategy, *width, *symmetric)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *features >= 0:
+		if err := printFeatures(data, *features, opts); err != nil {
+			fatal(err)
+		}
+	case *query >= 0:
+		if err := runQuery(data, *query, *k, opts); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := runPair(data, *i, *j, opts); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func optionsFor(strategy string, width float64, symmetric bool) (sdtw.Options, error) {
+	opts := sdtw.Options{WidthFrac: width, Symmetric: symmetric}
+	switch strings.ToLower(strategy) {
+	case "dtw", "full":
+		opts.Strategy = sdtw.FullGrid
+	case "fc,fw", "sakoe", "sakoe-chiba":
+		opts.Strategy = sdtw.FixedCoreFixedWidth
+	case "fc,aw":
+		opts.Strategy = sdtw.FixedCoreAdaptiveWidth
+	case "ac,fw":
+		opts.Strategy = sdtw.AdaptiveCoreFixedWidth
+	case "ac,aw":
+		opts.Strategy = sdtw.AdaptiveCoreAdaptiveWidth
+	case "ac2,aw":
+		opts.Strategy = sdtw.AdaptiveCoreAdaptiveWidthAvg
+	case "itakura":
+		opts.Strategy = sdtw.ItakuraBand
+	default:
+		return opts, fmt.Errorf("unknown strategy %q", strategy)
+	}
+	return opts, nil
+}
+
+func checkIndex(data *sdtw.Dataset, idx int) error {
+	if idx < 0 || idx >= data.Len() {
+		return fmt.Errorf("series index %d outside [0,%d)", idx, data.Len())
+	}
+	return nil
+}
+
+func runPair(data *sdtw.Dataset, i, j int, opts sdtw.Options) error {
+	if err := checkIndex(data, i); err != nil {
+		return err
+	}
+	if err := checkIndex(data, j); err != nil {
+		return err
+	}
+	eng := sdtw.NewEngine(opts)
+	res, err := eng.DistanceSeries(data.Series[i], data.Series[j])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("distance(%s, %s) = %g\n", data.Series[i].ID, data.Series[j].ID, res.Distance)
+	fmt.Printf("strategy=%v cells=%d/%d (gain %.3f) pairs=%d\n",
+		opts.Strategy, res.CellsFilled, res.GridCells, res.CellsGain(), res.Pairs)
+	if opts.Strategy != sdtw.FullGrid {
+		exact, err := sdtw.DTW(data.Series[i].Values, data.Series[j].Values)
+		if err != nil {
+			return err
+		}
+		rel := 0.0
+		if exact > 0 {
+			rel = (res.Distance - exact) / exact
+		}
+		fmt.Printf("exact DTW = %g (over-estimation %.3f%%)\n", exact, 100*rel)
+	}
+	return nil
+}
+
+func runQuery(data *sdtw.Dataset, q, k int, opts sdtw.Options) error {
+	if err := checkIndex(data, q); err != nil {
+		return err
+	}
+	idx, err := sdtw.NewIndex(data.Series, opts)
+	if err != nil {
+		return err
+	}
+	nbrs, err := idx.TopK(data.Series[q], k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("top-%d neighbours of %s (label %d):\n", k, data.Series[q].ID, data.Series[q].Label)
+	for rank, nb := range nbrs {
+		s := data.Series[nb.Pos]
+		fmt.Printf("%3d. %-20s label=%-3d distance=%g\n", rank+1, s.ID, s.Label, nb.Distance)
+	}
+	labels, err := idx.Classify(data.Series[q], k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kNN label set: %v\n", labels)
+	return nil
+}
+
+func printFeatures(data *sdtw.Dataset, idx int, opts sdtw.Options) error {
+	if err := checkIndex(data, idx); err != nil {
+		return err
+	}
+	feats, err := sdtw.ExtractFeatures(data.Series[idx].Values, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d salient features on %s:\n", len(feats), data.Series[idx].ID)
+	fmt.Printf("%6s %8s %7s %8s %10s %10s\n", "pos", "sigma", "octave", "scope", "response", "amplitude")
+	for _, f := range feats {
+		fmt.Printf("%6d %8.2f %7d %8.1f %+10.4f %10.4f\n", f.X, f.Sigma, f.Octave, f.Scope, f.Response, f.Amplitude)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdtw:", err)
+	os.Exit(1)
+}

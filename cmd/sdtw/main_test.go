@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"sdtw"
+)
+
+func TestOptionsFor(t *testing.T) {
+	tests := []struct {
+		in   string
+		want sdtw.Strategy
+	}{
+		{"dtw", sdtw.FullGrid},
+		{"full", sdtw.FullGrid},
+		{"fc,fw", sdtw.FixedCoreFixedWidth},
+		{"sakoe", sdtw.FixedCoreFixedWidth},
+		{"FC,AW", sdtw.FixedCoreAdaptiveWidth},
+		{"ac,fw", sdtw.AdaptiveCoreFixedWidth},
+		{"ac,aw", sdtw.AdaptiveCoreAdaptiveWidth},
+		{"ac2,aw", sdtw.AdaptiveCoreAdaptiveWidthAvg},
+		{"itakura", sdtw.ItakuraBand},
+	}
+	for _, tc := range tests {
+		opts, err := optionsFor(tc.in, 0.1, false)
+		if err != nil {
+			t.Fatalf("optionsFor(%q): %v", tc.in, err)
+		}
+		if opts.Strategy != tc.want {
+			t.Fatalf("optionsFor(%q) = %v, want %v", tc.in, opts.Strategy, tc.want)
+		}
+	}
+	if _, err := optionsFor("nope", 0.1, false); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestCheckIndex(t *testing.T) {
+	d := sdtw.GunDataset(sdtw.DatasetConfig{Seed: 1, SeriesPerClass: 1})
+	if err := checkIndex(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkIndex(d, -1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := checkIndex(d, d.Len()); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestRunPairAndQueryEndToEnd(t *testing.T) {
+	d := sdtw.GunDataset(sdtw.DatasetConfig{Seed: 1, SeriesPerClass: 2})
+	opts, err := optionsFor("ac,aw", 0.1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runPair(d, 0, 1, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery(d, 0, 2, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := printFeatures(d, 0, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := runPair(d, 0, 99, opts); err == nil {
+		t.Fatal("bad index accepted")
+	}
+}
+
+func TestUCRRoundTripThroughCommandHelpers(t *testing.T) {
+	d := sdtw.GunDataset(sdtw.DatasetConfig{Seed: 2, SeriesPerClass: 1})
+	var buf bytes.Buffer
+	if err := sdtw.WriteUCR(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := sdtw.ReadUCR(&buf, "tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("round trip lost series")
+	}
+}

@@ -1,0 +1,222 @@
+// Command sdtwbench regenerates the tables and figures of the sDTW paper
+// (Candan et al., VLDB 2012) on the synthetic reproduction workloads.
+//
+// Usage:
+//
+//	sdtwbench -exp all                 # every table and figure, full scale
+//	sdtwbench -exp fig13 -scale small  # one experiment, reduced workload
+//	sdtwbench -exp fig18 -dataset Gun  # restrict figures to one data set
+//	sdtwbench -exp bands               # ASCII rendering of the band shapes
+//
+// Experiments: table1, table2, fig13, fig14, fig15, fig16, fig17, fig18,
+// bands, all. Scales: full (paper sizes), medium, small.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sdtw/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run: table1, table2, fig13, fig14, fig15, fig16, fig17, fig18, noise, invariance, baseline, extras, bands, all")
+		scale   = flag.String("scale", "full", "workload scale: full, medium, small")
+		dataset = flag.String("dataset", "", "restrict per-dataset figures to one data set (Gun, Trace, 50Words)")
+		seed    = flag.Int64("seed", 42, "workload generator seed")
+	)
+	flag.Parse()
+
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	names := []string{"Gun", "Trace", "50Words"}
+	if *dataset != "" {
+		names = []string{*dataset}
+	}
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("=== %s ===\n", name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(id string) bool { return *exp == "all" || *exp == id }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		run("Table 1: data set overview", func() error {
+			rows, err := experiments.Table1(sc, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderTable1(rows))
+			return nil
+		})
+	}
+	if want("table2") {
+		ran = true
+		run("Table 2: salient points per scale", func() error {
+			rows, err := experiments.Table2(sc, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderTable2(rows))
+			return nil
+		})
+	}
+	if want("fig13") || want("fig14") {
+		ran = true
+		for _, name := range names {
+			name := name
+			run("Fig 13/14: retrieval accuracy & distance error on "+name, func() error {
+				results, err := experiments.Fig13(name, sc, *seed)
+				if err != nil {
+					return err
+				}
+				fmt.Print(experiments.RenderFig13(results))
+				fmt.Println()
+				fmt.Print(experiments.RenderFig14(results))
+				return nil
+			})
+		}
+	}
+	if want("fig15") {
+		ran = true
+		run("Fig 15: intra-class distance errors (Trace)", func() error {
+			results, err := experiments.Fig15(sc, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderFig15(results))
+			return nil
+		})
+	}
+	if want("fig16") {
+		ran = true
+		run("Fig 16: classification accuracy (50Words)", func() error {
+			results, err := experiments.Fig16(sc, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderFig16(results))
+			return nil
+		})
+	}
+	if want("fig17") {
+		ran = true
+		for _, name := range names {
+			name := name
+			run("Fig 17: matching vs DP time breakdown on "+name, func() error {
+				results, err := experiments.Fig17(name, sc, *seed)
+				if err != nil {
+					return err
+				}
+				fmt.Print(experiments.RenderFig17(results))
+				return nil
+			})
+		}
+	}
+	if want("fig18") {
+		ran = true
+		for _, name := range names {
+			name := name
+			run("Fig 18: descriptor length sweep on "+name, func() error {
+				points, err := experiments.Fig18(name, sc, *seed, nil)
+				if err != nil {
+					return err
+				}
+				fmt.Print(experiments.RenderFig18(points))
+				return nil
+			})
+		}
+	}
+	if want("baseline") {
+		ran = true
+		run("Learned (R-K) vs structural constraints (§1)", func() error {
+			rows, err := experiments.LearnedBaseline(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderBaseline(rows))
+			return nil
+		})
+	}
+	if want("noise") {
+		ran = true
+		run("Noise robustness of salient features (§3.1.2)", func() error {
+			rows, err := experiments.NoiseRobustness(*seed, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderNoise(rows))
+			return nil
+		})
+	}
+	if want("invariance") {
+		ran = true
+		run("Amplitude-invariance ablation (§3.1.2)", func() error {
+			rows, err := experiments.Invariance(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderInvariance(rows))
+			return nil
+		})
+	}
+	if want("extras") {
+		ran = true
+		for _, name := range names {
+			name := name
+			run("Extras: Itakura, symmetric, FastDTW, combination on "+name, func() error {
+				rows, err := experiments.Extras(name, sc, *seed)
+				if err != nil {
+					return err
+				}
+				fmt.Print(experiments.RenderExtras(name, rows))
+				return nil
+			})
+		}
+	}
+	if want("bands") {
+		ran = true
+		run("Band shapes (Fig 2/10)", func() error {
+			out, err := experiments.RenderBandShapes(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+			return nil
+		})
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func parseScale(s string) (experiments.Scale, error) {
+	switch strings.ToLower(s) {
+	case "full":
+		return experiments.Full, nil
+	case "medium":
+		return experiments.Medium, nil
+	case "small":
+		return experiments.Small, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want full, medium or small)", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdtwbench:", err)
+	os.Exit(1)
+}

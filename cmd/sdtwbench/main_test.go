@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"sdtw/internal/experiments"
+)
+
+func TestParseScale(t *testing.T) {
+	tests := []struct {
+		in   string
+		want experiments.Scale
+	}{
+		{"full", experiments.Full},
+		{"FULL", experiments.Full},
+		{"medium", experiments.Medium},
+		{"small", experiments.Small},
+	}
+	for _, tc := range tests {
+		got, err := parseScale(tc.in)
+		if err != nil {
+			t.Fatalf("parseScale(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("parseScale(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if _, err := parseScale("tiny"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}

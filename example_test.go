@@ -1,0 +1,68 @@
+package sdtw_test
+
+import (
+	"fmt"
+
+	"sdtw"
+)
+
+// The one-shot helpers compare a short series against a stretched copy:
+// DTW absorbs the temporal deformation the pointwise distance cannot.
+func ExampleDTW() {
+	x := []float64{0, 1, 2, 1, 0}
+	y := []float64{0, 0, 1, 1, 2, 2, 1, 1, 0, 0} // x at half speed
+	d, err := sdtw.DTW(x, y)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.1f\n", d)
+	// Output: 0.0
+}
+
+// DTWPath also recovers the optimal warp path, the alignment itself.
+func ExampleDTWPath() {
+	x := []float64{0, 1, 0}
+	y := []float64{0, 0, 1, 0}
+	d, path, err := sdtw.DTWPath(x, y)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("distance %.1f, path length %d, starts %v, ends %v\n",
+		d, len(path), path[0], path[len(path)-1])
+	// Output: distance 0.0, path length 4, starts {0 0}, ends {2 3}
+}
+
+// An Engine applies sDTW's locally relevant constraints and reports how
+// much of the DTW grid the salient-feature alignment pruned away.
+func ExampleEngine() {
+	data := sdtw.GunDataset(sdtw.DatasetConfig{Seed: 1, SeriesPerClass: 2})
+	eng := sdtw.NewEngine(sdtw.DefaultOptions())
+	// Series[0] and Series[1] are two gun-class recordings: structurally
+	// alike, temporally deformed.
+	res, err := eng.DistanceSeries(data.Series[0], data.Series[1])
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("pruned part of the grid: %v\n", res.CellsGain() > 0.3)
+	// Output: pruned part of the grid: true
+}
+
+// Subsequence search finds where a short pattern best matches inside a
+// longer stream.
+func ExampleSubsequence() {
+	pattern := []float64{0, 2, 0}
+	stream := []float64{5, 5, 5, 0, 2, 0, 5, 5}
+	m, err := sdtw.Subsequence(pattern, stream)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("match [%d,%d] distance %.1f\n", m.Start, m.End, m.Distance)
+	// Output: match [3,5] distance 0.0
+}
+
+// PAA reduces a series by window averaging, the coarsening step of the
+// multi-resolution DTW family.
+func ExamplePAA() {
+	fmt.Println(sdtw.PAA([]float64{1, 3, 5, 7, 9, 11}, 3))
+	// Output: [3 9]
+}

@@ -1,0 +1,64 @@
+// Clustering: group the Trace workload by k-medoids over pairwise DTW
+// distances — once with exact DTW and once with sDTW constraints — and
+// compare cluster quality (purity against ground-truth classes,
+// silhouette) and the grid work each needed.
+//
+// Run with:
+//
+//	go run ./examples/clustering
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdtw"
+)
+
+func main() {
+	data := sdtw.TraceDataset(sdtw.DatasetConfig{Seed: 13, SeriesPerClass: 8})
+	fmt.Printf("workload: %s — %d series, length %d, %d true classes\n\n",
+		data.Name, data.Len(), data.Length, data.NumClasses)
+
+	configs := []struct {
+		name string
+		opts sdtw.Options
+	}{
+		{"exact DTW", sdtw.Options{Strategy: sdtw.FullGrid}},
+		{"sDTW (ac,aw)", sdtw.DefaultOptions()},
+		{"sDTW (ac2,aw)", sdtw.Options{Strategy: sdtw.AdaptiveCoreAdaptiveWidthAvg}},
+		{"Sakoe 10%", sdtw.Options{Strategy: sdtw.FixedCoreFixedWidth, WidthFrac: 0.10}},
+	}
+
+	k := data.NumClasses
+	fmt.Printf("%-14s %8s %12s %10s\n", "distances", "purity", "silhouette", "cost")
+	for _, cfg := range configs {
+		c, err := sdtw.Cluster(data.Series, k, cfg.opts)
+		if err != nil {
+			log.Fatalf("%s: %v", cfg.name, err)
+		}
+		purity, err := sdtw.ClusterPurity(c, data.Series)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %8.3f %12.3f %10.4f\n", cfg.name, purity, c.Silhouette, c.Cost)
+	}
+
+	// Show the medoids one clustering picked: each should be a
+	// representative of one true class.
+	c, err := sdtw.Cluster(data.Series, k, sdtw.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsDTW medoids (cluster centres):")
+	for ci, m := range c.Medoids {
+		sizes := 0
+		for _, a := range c.Assign {
+			if a == ci {
+				sizes++
+			}
+		}
+		fmt.Printf("  cluster %d: %s (true class %d), %d members\n",
+			ci, data.Series[m].ID, data.Series[m].Label, sizes)
+	}
+}

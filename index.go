@@ -1,0 +1,120 @@
+package sdtw
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sdtw/internal/eval"
+)
+
+// Index supports retrieval and k-nearest-neighbour classification over a
+// collection of series using a shared sDTW engine. Salient features of the
+// indexed series are extracted once at construction (the paper's §3.4
+// one-time cost) and reused by every query.
+type Index struct {
+	engine *Engine
+	data   []Series
+}
+
+// NewIndex builds an index over data using opts. Every series must be
+// non-empty; series IDs must be unique when non-empty (they key the
+// feature cache).
+func NewIndex(data []Series, opts Options) (*Index, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("sdtw: cannot index an empty collection")
+	}
+	seen := make(map[string]bool, len(data))
+	for i, s := range data {
+		if len(s.Values) == 0 {
+			return nil, fmt.Errorf("sdtw: series %d (%q) is empty", i, s.ID)
+		}
+		if s.ID != "" {
+			if seen[s.ID] {
+				return nil, fmt.Errorf("sdtw: duplicate series ID %q", s.ID)
+			}
+			seen[s.ID] = true
+		}
+	}
+	idx := &Index{engine: NewEngine(opts), data: data}
+	if err := idx.engine.Warm(data); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// Len returns the number of indexed series.
+func (ix *Index) Len() int { return len(ix.data) }
+
+// Series returns the indexed series at position i.
+func (ix *Index) Series(i int) Series { return ix.data[i] }
+
+// Engine exposes the index's engine for direct distance computations.
+func (ix *Index) Engine() *Engine { return ix.engine }
+
+// Neighbor is one retrieval result.
+type Neighbor struct {
+	// Pos is the position of the neighbour in the indexed collection.
+	Pos int
+	// Distance is the (constrained) DTW distance to the query.
+	Distance float64
+}
+
+// TopK returns the k indexed series nearest to the query under the
+// engine's constrained distance, ascending. k larger than the collection
+// is truncated.
+func (ix *Index) TopK(query Series, k int) ([]Neighbor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("sdtw: TopK needs k >= 1, got %d", k)
+	}
+	dists := make([]float64, len(ix.data))
+	for i, s := range ix.data {
+		// Skip self-matches when the query is an indexed series.
+		if s.ID != "" && s.ID == query.ID {
+			dists[i] = math.NaN()
+			continue
+		}
+		res, err := ix.engine.DistanceSeries(query, s)
+		if err != nil {
+			return nil, fmt.Errorf("sdtw: distance to %q: %w", s.ID, err)
+		}
+		dists[i] = res.Distance
+	}
+	ranked := eval.Ranking(dists)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]Neighbor, k)
+	for i := 0; i < k; i++ {
+		out[i] = Neighbor{Pos: ranked[i], Distance: dists[ranked[i]]}
+	}
+	return out, nil
+}
+
+// Classify attaches class labels to the query by k-nearest-neighbour
+// majority vote. Every label achieving the maximum count among the k
+// nearest is returned (ties can attach multiple labels, §4.2), sorted
+// ascending.
+func (ix *Index) Classify(query Series, k int) ([]int, error) {
+	nbrs, err := ix.TopK(query, k)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[int]int)
+	maxCount := 0
+	for _, nb := range nbrs {
+		l := ix.data[nb.Pos].Label
+		counts[l]++
+		if counts[l] > maxCount {
+			maxCount = counts[l]
+		}
+	}
+	var labels []int
+	for l, c := range counts {
+		if c == maxCount {
+			labels = append(labels, l)
+		}
+	}
+	sort.Ints(labels)
+	return labels, nil
+}

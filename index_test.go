@@ -1,0 +1,155 @@
+package sdtw
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildIndex(t *testing.T) (*Index, *Dataset) {
+	t.Helper()
+	d := TraceDataset(DatasetConfig{Seed: 5, SeriesPerClass: 5})
+	idx, err := NewIndex(d.Series, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, d
+}
+
+func TestIndexConstruction(t *testing.T) {
+	idx, d := buildIndex(t)
+	if idx.Len() != d.Len() {
+		t.Fatalf("index size %d, want %d", idx.Len(), d.Len())
+	}
+	if idx.Series(0).ID != d.Series[0].ID {
+		t.Fatal("Series accessor wrong")
+	}
+	if idx.Engine() == nil {
+		t.Fatal("Engine accessor nil")
+	}
+}
+
+func TestIndexRejectsBadInput(t *testing.T) {
+	if _, err := NewIndex(nil, DefaultOptions()); err == nil {
+		t.Fatal("empty collection accepted")
+	}
+	bad := []Series{NewSeries("a", 0, []float64{1, 2}), NewSeries("a", 0, []float64{3, 4})}
+	if _, err := NewIndex(bad, DefaultOptions()); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+	empty := []Series{NewSeries("a", 0, nil)}
+	if _, err := NewIndex(empty, DefaultOptions()); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestIndexTopKExcludesSelf(t *testing.T) {
+	idx, d := buildIndex(t)
+	q := d.Series[0]
+	nbrs, err := idx.TopK(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 5 {
+		t.Fatalf("got %d neighbours", len(nbrs))
+	}
+	for _, nb := range nbrs {
+		if d.Series[nb.Pos].ID == q.ID {
+			t.Fatal("query returned as its own neighbour")
+		}
+	}
+	// Ascending distances.
+	for i := 1; i < len(nbrs); i++ {
+		if nbrs[i].Distance < nbrs[i-1].Distance {
+			t.Fatal("neighbours not sorted")
+		}
+	}
+}
+
+func TestIndexTopKExternalQuery(t *testing.T) {
+	idx, _ := buildIndex(t)
+	ext := TraceDataset(DatasetConfig{Seed: 99, SeriesPerClass: 1})
+	q := ext.Series[0]
+	q.ID = "external-query"
+	nbrs, err := idx.TopK(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 3 {
+		t.Fatalf("got %d neighbours", len(nbrs))
+	}
+}
+
+func TestIndexTopKValidation(t *testing.T) {
+	idx, d := buildIndex(t)
+	if _, err := idx.TopK(d.Series[0], 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	// k larger than collection truncates instead of failing.
+	nbrs, err := idx.TopK(d.Series[0], 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != idx.Len()-1 {
+		t.Fatalf("oversized k returned %d, want %d", len(nbrs), idx.Len()-1)
+	}
+}
+
+func TestIndexClassify(t *testing.T) {
+	idx, d := buildIndex(t)
+	// Nearest neighbours of a series are dominated by its own class in
+	// this structured workload, so classification should recover the
+	// true label for most queries.
+	correct := 0
+	for i := 0; i < d.Len(); i++ {
+		labels, err := idx.Classify(d.Series[i], 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(labels) == 0 {
+			t.Fatal("no labels attached")
+		}
+		for _, l := range labels {
+			if l == d.Series[i].Label {
+				correct++
+				break
+			}
+		}
+	}
+	if frac := float64(correct) / float64(d.Len()); frac < 0.8 {
+		t.Fatalf("classification recovered only %.2f of labels", frac)
+	}
+}
+
+func TestUCRRoundTripThroughPublicAPI(t *testing.T) {
+	d := GunDataset(DatasetConfig{Seed: 8, SeriesPerClass: 2})
+	var buf bytes.Buffer
+	if err := WriteUCR(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ",") {
+		t.Fatal("UCR output not comma separated")
+	}
+	back, err := ReadUCR(&buf, "Gun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("round trip lost series: %d vs %d", back.Len(), d.Len())
+	}
+}
+
+func TestDatasetByNamePublic(t *testing.T) {
+	for _, name := range []string{"Gun", "Trace", "50Words"} {
+		d, err := DatasetByName(name, DatasetConfig{Seed: 1, SeriesPerClass: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Name != name {
+			t.Fatalf("DatasetByName(%q).Name = %q", name, d.Name)
+		}
+	}
+	if _, err := DatasetByName("bogus", DatasetConfig{}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

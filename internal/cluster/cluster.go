@@ -1,0 +1,274 @@
+// Package cluster implements distance-matrix based clustering of time
+// series — k-medoids (PAM-style) with deterministic seeding and the
+// silhouette quality measure. Clustering of sequences is one of the core
+// operations the paper's introduction motivates; the algorithms here
+// consume the pairwise DTW/sDTW matrices produced by package eval, so any
+// constraint strategy can drive them.
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Result describes a clustering of n objects into k clusters.
+type Result struct {
+	// Medoids holds the object index serving as each cluster's centre.
+	Medoids []int
+	// Assign maps every object to its cluster (index into Medoids).
+	Assign []int
+	// Cost is the sum of distances from every object to its medoid.
+	Cost float64
+	// Iterations is the number of improvement sweeps performed.
+	Iterations int
+}
+
+// Sizes returns the number of objects per cluster.
+func (r *Result) Sizes() []int {
+	sizes := make([]int, len(r.Medoids))
+	for _, c := range r.Assign {
+		sizes[c]++
+	}
+	return sizes
+}
+
+// KMedoids clusters the n objects behind the n×n distance matrix d into k
+// clusters. The matrix may carry NaN on its diagonal (treated as zero).
+// Seeding is deterministic: the first medoid minimises the total distance
+// to all objects and each further medoid maximises its distance to the
+// chosen set (maxmin/k-centre seeding), so identical inputs always
+// cluster identically. maxIter bounds the improvement sweeps (<= 0 means
+// 50).
+func KMedoids(d [][]float64, k, maxIter int) (*Result, error) {
+	n := len(d)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: empty distance matrix")
+	}
+	for i, row := range d {
+		if len(row) != n {
+			return nil, fmt.Errorf("cluster: row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("cluster: k=%d outside [1,%d]", k, n)
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	at := func(i, j int) float64 {
+		if i == j {
+			return 0
+		}
+		v := d[i][j]
+		if math.IsNaN(v) {
+			return 0
+		}
+		return v
+	}
+
+	medoids := seed(at, n, k)
+	assign := make([]int, n)
+	res := &Result{Medoids: medoids, Assign: assign}
+	res.Cost = assignAll(at, medoids, assign)
+
+	for iter := 0; iter < maxIter; iter++ {
+		improved := false
+		// PAM-style sweep: try swapping each medoid with each non-medoid
+		// and keep the best improving swap per medoid.
+		for mi := range medoids {
+			bestCost := res.Cost
+			bestObj := -1
+			for obj := 0; obj < n; obj++ {
+				if isMedoid(medoids, obj) {
+					continue
+				}
+				trial := make([]int, len(medoids))
+				copy(trial, medoids)
+				trial[mi] = obj
+				cost := assignCost(at, trial, n)
+				if cost < bestCost-1e-12 {
+					bestCost, bestObj = cost, obj
+				}
+			}
+			if bestObj >= 0 {
+				medoids[mi] = bestObj
+				res.Cost = bestCost
+				improved = true
+			}
+		}
+		res.Iterations = iter + 1
+		if !improved {
+			break
+		}
+	}
+	res.Cost = assignAll(at, medoids, assign)
+	return res, nil
+}
+
+// seed picks k deterministic initial medoids: the 1-medoid optimum first,
+// then maxmin.
+func seed(at func(int, int) float64, n, k int) []int {
+	best, bestSum := 0, math.Inf(1)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			sum += at(i, j)
+		}
+		if sum < bestSum {
+			best, bestSum = i, sum
+		}
+	}
+	medoids := []int{best}
+	for len(medoids) < k {
+		next, nextDist := -1, -1.0
+		for i := 0; i < n; i++ {
+			if isMedoid(medoids, i) {
+				continue
+			}
+			dmin := math.Inf(1)
+			for _, m := range medoids {
+				if v := at(i, m); v < dmin {
+					dmin = v
+				}
+			}
+			if dmin > nextDist {
+				next, nextDist = i, dmin
+			}
+		}
+		medoids = append(medoids, next)
+	}
+	return medoids
+}
+
+func isMedoid(medoids []int, obj int) bool {
+	for _, m := range medoids {
+		if m == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// assignAll assigns every object to its nearest medoid and returns the
+// total cost.
+func assignAll(at func(int, int) float64, medoids []int, assign []int) float64 {
+	total := 0.0
+	for i := range assign {
+		bestC, bestD := 0, math.Inf(1)
+		for c, m := range medoids {
+			if v := at(i, m); v < bestD {
+				bestC, bestD = c, v
+			}
+		}
+		assign[i] = bestC
+		total += bestD
+	}
+	return total
+}
+
+// assignCost is assignAll without materialising assignments.
+func assignCost(at func(int, int) float64, medoids []int, n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		best := math.Inf(1)
+		for _, m := range medoids {
+			if v := at(i, m); v < best {
+				best = v
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering over
+// the distance matrix: for each object, (b−a)/max(a,b) where a is its
+// mean distance within its own cluster and b the smallest mean distance
+// to another cluster. Values near 1 indicate tight, well-separated
+// clusters; singletons score 0 by convention.
+func Silhouette(d [][]float64, assign []int, k int) (float64, error) {
+	n := len(d)
+	if n == 0 || len(assign) != n {
+		return 0, fmt.Errorf("cluster: assignment length %d does not match matrix size %d", len(assign), n)
+	}
+	at := func(i, j int) float64 {
+		if i == j {
+			return 0
+		}
+		v := d[i][j]
+		if math.IsNaN(v) {
+			return 0
+		}
+		return v
+	}
+	sizes := make([]int, k)
+	for _, c := range assign {
+		if c < 0 || c >= k {
+			return 0, fmt.Errorf("cluster: assignment %d outside [0,%d)", c, k)
+		}
+		sizes[c]++
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		sums := make([]float64, k)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sums[assign[j]] += at(i, j)
+		}
+		own := assign[i]
+		if sizes[own] <= 1 {
+			continue // singleton: contributes 0
+		}
+		a := sums[own] / float64(sizes[own]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || sizes[c] == 0 {
+				continue
+			}
+			if v := sums[c] / float64(sizes[c]); v < b {
+				b = v
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue // single non-empty cluster
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(n), nil
+}
+
+// Purity measures agreement between a clustering and ground-truth labels:
+// the fraction of objects belonging to their cluster's majority label.
+func Purity(assign, labels []int, k int) (float64, error) {
+	if len(assign) != len(labels) {
+		return 0, fmt.Errorf("cluster: %d assignments vs %d labels", len(assign), len(labels))
+	}
+	if len(assign) == 0 {
+		return 0, fmt.Errorf("cluster: empty clustering")
+	}
+	counts := make([]map[int]int, k)
+	for i := range counts {
+		counts[i] = make(map[int]int)
+	}
+	for i, c := range assign {
+		if c < 0 || c >= k {
+			return 0, fmt.Errorf("cluster: assignment %d outside [0,%d)", c, k)
+		}
+		counts[c][labels[i]]++
+	}
+	agree := 0
+	for _, m := range counts {
+		best := 0
+		for _, c := range m {
+			if c > best {
+				best = c
+			}
+		}
+		agree += best
+	}
+	return float64(agree) / float64(len(assign)), nil
+}

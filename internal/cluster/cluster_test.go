@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sdtw/internal/datasets"
+	"sdtw/internal/eval"
+)
+
+// blockMatrix builds a distance matrix with two well-separated groups:
+// objects [0,split) and [split,n) are near their own group and far from
+// the other.
+func blockMatrix(n, split int) [][]float64 {
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			switch {
+			case i == j:
+				d[i][j] = math.NaN() // eval matrices carry NaN diagonals
+			case (i < split) == (j < split):
+				d[i][j] = 1
+			default:
+				d[i][j] = 10
+			}
+		}
+	}
+	return d
+}
+
+func TestKMedoidsRecoverBlocks(t *testing.T) {
+	d := blockMatrix(12, 5)
+	res, err := KMedoids(d, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Medoids) != 2 {
+		t.Fatalf("got %d medoids", len(res.Medoids))
+	}
+	// All of the first group share a cluster, all of the second the other.
+	first := res.Assign[0]
+	for i := 1; i < 5; i++ {
+		if res.Assign[i] != first {
+			t.Fatalf("first block split: %v", res.Assign)
+		}
+	}
+	second := res.Assign[5]
+	if second == first {
+		t.Fatalf("blocks merged: %v", res.Assign)
+	}
+	for i := 6; i < 12; i++ {
+		if res.Assign[i] != second {
+			t.Fatalf("second block split: %v", res.Assign)
+		}
+	}
+	sizes := res.Sizes()
+	if sizes[first] != 5 || sizes[second] != 7 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestKMedoidsValidation(t *testing.T) {
+	if _, err := KMedoids(nil, 1, 0); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, err := KMedoids([][]float64{{0, 1}}, 1, 0); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	d := blockMatrix(4, 2)
+	if _, err := KMedoids(d, 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KMedoids(d, 5, 0); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+func TestKMedoidsSingleCluster(t *testing.T) {
+	d := blockMatrix(6, 3)
+	res, err := KMedoids(d, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Assign {
+		if c != 0 {
+			t.Fatalf("single-cluster assignment = %v", res.Assign)
+		}
+	}
+}
+
+func TestKMedoidsKEqualsN(t *testing.T) {
+	d := blockMatrix(5, 2)
+	res, err := KMedoids(d, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 {
+		t.Fatalf("k=n cost = %v, want 0", res.Cost)
+	}
+}
+
+func TestKMedoidsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 20
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := rng.Float64() * 10
+			d[i][j], d[j][i] = v, v
+		}
+	}
+	a, err := KMedoids(d, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMedoids(d, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("clustering not deterministic")
+		}
+	}
+}
+
+func TestKMedoidsCostNeverIncreases(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(15)
+		d := make([][]float64, n)
+		for i := range d {
+			d[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := rng.Float64()
+				d[i][j], d[j][i] = v, v
+			}
+		}
+		k := 1 + rng.Intn(n)
+		one, err := KMedoids(d, k, 1)
+		if err != nil {
+			return false
+		}
+		many, err := KMedoids(d, k, 25)
+		if err != nil {
+			return false
+		}
+		return many.Cost <= one.Cost+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSilhouetteSeparatedBlocks(t *testing.T) {
+	d := blockMatrix(10, 5)
+	res, err := KMedoids(d, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Silhouette(d, res.Assign, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.8 {
+		t.Fatalf("well-separated blocks silhouette = %v", s)
+	}
+	// A deliberately bad clustering scores lower.
+	bad := make([]int, 10)
+	for i := range bad {
+		bad[i] = i % 2
+	}
+	sBad, err := Silhouette(d, bad, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sBad >= s {
+		t.Fatalf("bad clustering silhouette %v >= good %v", sBad, s)
+	}
+}
+
+func TestSilhouetteValidation(t *testing.T) {
+	if _, err := Silhouette(nil, nil, 2); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	d := blockMatrix(4, 2)
+	if _, err := Silhouette(d, []int{0, 0, 9, 0}, 2); err == nil {
+		t.Fatal("out-of-range assignment accepted")
+	}
+}
+
+func TestPurity(t *testing.T) {
+	assign := []int{0, 0, 0, 1, 1, 1}
+	labels := []int{5, 5, 7, 9, 9, 9}
+	p, err := Purity(assign, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-5.0/6) > 1e-12 {
+		t.Fatalf("purity = %v, want 5/6", p)
+	}
+	if _, err := Purity([]int{0}, []int{0, 1}, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Purity(nil, nil, 1); err == nil {
+		t.Fatal("empty clustering accepted")
+	}
+}
+
+func TestClusteringRealWorkload(t *testing.T) {
+	// End-to-end: cluster the Gun workload by full DTW distances and
+	// check the two classes mostly separate.
+	d := datasets.Gun(datasets.Config{Seed: 23, SeriesPerClass: 8})
+	m, err := eval.FullDTWMatrix(d.Series, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := KMedoids(m.D, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Purity(res.Assign, d.Labels(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.8 {
+		t.Fatalf("DTW clustering purity = %v on a 2-class workload", p)
+	}
+}

@@ -1,0 +1,306 @@
+// Package core orchestrates the full sDTW pipeline of the paper: salient
+// feature extraction (package sift), feature matching with inconsistency
+// pruning (package match), locally relevant constraint construction
+// (package band), and band-constrained dynamic programming (package dtw).
+//
+// The Engine memoises per-series feature extraction — the paper's §3.4
+// observes extraction is a one-time, indexable cost — and reports per-stage
+// timings and grid-cell counts so the evaluation harness can reproduce the
+// paper's time-gain and cost-breakdown figures.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sdtw/internal/band"
+	"sdtw/internal/dtw"
+	"sdtw/internal/match"
+	"sdtw/internal/series"
+	"sdtw/internal/sift"
+)
+
+// Options configures an Engine. The zero value selects the paper's
+// defaults: (ac,aw) constraints, 64-bin descriptors, ε = 0.0096,
+// squared point distance.
+type Options struct {
+	// Band selects and parameterises the constraint strategy.
+	Band band.Config
+	// Features configures salient feature detection and description.
+	Features sift.Config
+	// Matcher configures dominant-pair selection and pruning.
+	Matcher match.Config
+	// MinPairs is the minimum number of consistent salient pairs required
+	// before adaptive constraints trust the alignment; below it the band
+	// falls back to the conservative default (diagonal core, full-width
+	// adaptive intervals). A single surviving pair is too easily a
+	// spurious match and would anchor the whole core. Zero means 2;
+	// negative disables the floor.
+	MinPairs int
+	// PointDistance is the element cost; nil means squared distance.
+	PointDistance series.PointDistance
+	// ComputePath, when true, makes Distance also recover the warp path
+	// (costs O(band cells) extra memory).
+	ComputePath bool
+	// KeepBand, when true, copies the constraint band into Result.Band.
+	// Off by default: the band is scratch storage reused across calls,
+	// and retaining it would force an allocation per comparison.
+	KeepBand bool
+	// CacheFeatures enables the per-series feature cache. Series are
+	// keyed by Series.ID; unkeyed ([]float64) inputs are never cached.
+	CacheFeatures bool
+}
+
+// DefaultOptions returns the configuration used by the paper's headline
+// algorithm, adaptive core & adaptive width.
+func DefaultOptions() Options {
+	return Options{
+		Band:          band.Config{Strategy: band.AdaptiveCoreAdaptiveWidth},
+		Features:      sift.DefaultConfig(),
+		Matcher:       match.DefaultConfig(),
+		CacheFeatures: true,
+	}
+}
+
+// Result carries the outcome of one constrained distance computation along
+// with the accounting the experiments need.
+type Result struct {
+	// Distance is the (estimated) DTW distance under the constraints.
+	Distance float64
+	// Path is the optimal in-band warp path; nil unless ComputePath.
+	Path dtw.Path
+	// Band is the constraint actually used; zero unless Options.KeepBand.
+	Band dtw.Band
+	// CellsFilled is the number of DTW grid cells evaluated.
+	CellsFilled int
+	// GridCells is N·M, for computing pruning gains.
+	GridCells int
+	// Pairs is the number of consistent salient pairs that informed the
+	// band (0 for fixed-core/fixed-width strategies).
+	Pairs int
+	// MatchTime is the time spent matching features and pruning
+	// inconsistencies (paper task b); zero for non-adaptive strategies.
+	MatchTime time.Duration
+	// DPTime is the time spent filling the constrained grid and, when
+	// requested, recovering the path (paper task c).
+	DPTime time.Duration
+	// ExtractTime is time spent extracting features *during this call*;
+	// zero on cache hits or for non-adaptive strategies. The paper
+	// excludes this one-time cost from per-pair comparisons.
+	ExtractTime time.Duration
+}
+
+// CellsGain returns the fraction of the full grid pruned away,
+// 1 − CellsFilled/GridCells — the machine-independent time-gain proxy.
+func (r Result) CellsGain() float64 {
+	if r.GridCells == 0 {
+		return 0
+	}
+	return 1 - float64(r.CellsFilled)/float64(r.GridCells)
+}
+
+// Engine computes sDTW distances. It is safe for concurrent use.
+type Engine struct {
+	opts Options
+
+	mu    sync.RWMutex
+	cache map[string][]sift.Feature
+
+	// scratch pools per-goroutine workspaces (band builder buffers and DP
+	// row buffers) so concurrent distance computations allocate nothing
+	// in steady state.
+	scratch sync.Pool
+}
+
+// workspace bundles the reusable per-computation buffers.
+type workspace struct {
+	builder band.Builder
+	dp      dtw.Workspace
+}
+
+// NewEngine returns an engine with the given options.
+func NewEngine(opts Options) *Engine {
+	e := &Engine{opts: opts, cache: make(map[string][]sift.Feature)}
+	e.scratch.New = func() any { return new(workspace) }
+	return e
+}
+
+// Options returns a copy of the engine's options.
+func (e *Engine) Options() Options { return e.opts }
+
+// Features extracts (or recalls) the salient features of s.
+func (e *Engine) Features(s series.Series) ([]sift.Feature, error) {
+	if e.opts.CacheFeatures && s.ID != "" {
+		e.mu.RLock()
+		f, ok := e.cache[s.ID]
+		e.mu.RUnlock()
+		if ok {
+			return f, nil
+		}
+	}
+	f, err := sift.Extract(s.Values, e.opts.Features)
+	if err != nil {
+		return nil, err
+	}
+	if e.opts.CacheFeatures && s.ID != "" {
+		e.mu.Lock()
+		e.cache[s.ID] = f
+		e.mu.Unlock()
+	}
+	return f, nil
+}
+
+// Warm pre-extracts and caches the features of every series, the paper's
+// offline indexing step. It returns the total extraction time.
+func (e *Engine) Warm(data []series.Series) (time.Duration, error) {
+	start := time.Now()
+	for _, s := range data {
+		if _, err := e.Features(s); err != nil {
+			return time.Since(start), fmt.Errorf("core: warming %q: %w", s.ID, err)
+		}
+	}
+	return time.Since(start), nil
+}
+
+// CacheSize reports the number of cached feature sets.
+func (e *Engine) CacheSize() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.cache)
+}
+
+// ClearCache drops all cached features.
+func (e *Engine) ClearCache() {
+	e.mu.Lock()
+	e.cache = make(map[string][]sift.Feature)
+	e.mu.Unlock()
+}
+
+// Distance computes the constrained DTW distance between x and y.
+//
+// When the band is Symmetric (§3.3.3), the inputs are first put into a
+// canonical orientation so that Distance(x, y) and Distance(y, x) run the
+// identical computation: feature matching is X-driven and therefore
+// direction-dependent, and the canonicalisation is what turns the
+// symmetric band union into an exactly symmetric distance.
+func (e *Engine) Distance(x, y series.Series) (Result, error) {
+	if e.opts.Band.Symmetric && canonicalLess(y, x) {
+		res, err := e.distance(y, x)
+		if err != nil {
+			return res, err
+		}
+		for k := range res.Path {
+			res.Path[k].I, res.Path[k].J = res.Path[k].J, res.Path[k].I
+		}
+		if e.opts.KeepBand && res.Band.N() > 0 {
+			res.Band = res.Band.Transpose().Normalize()
+		}
+		return res, nil
+	}
+	return e.distance(x, y)
+}
+
+// canonicalLess is a deterministic total preorder on series used to pick
+// the orientation of symmetric computations: shorter first, then by ID,
+// then by values.
+func canonicalLess(a, b series.Series) bool {
+	if a.Len() != b.Len() {
+		return a.Len() < b.Len()
+	}
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			return a.Values[i] < b.Values[i]
+		}
+	}
+	return false
+}
+
+func (e *Engine) distance(x, y series.Series) (Result, error) {
+	nx, ny := x.Len(), y.Len()
+	if nx == 0 || ny == 0 {
+		return Result{}, fmt.Errorf("core: empty series (len(x)=%d len(y)=%d)", nx, ny)
+	}
+	res := Result{GridCells: nx * ny}
+	needsAlignment := e.opts.Band.Strategy.AdaptiveCore() || e.opts.Band.Strategy.AdaptiveWidth()
+
+	var al *match.Alignment
+	if needsAlignment {
+		extractStart := time.Now()
+		fx, err := e.Features(x)
+		if err != nil {
+			return res, fmt.Errorf("core: extracting features of x: %w", err)
+		}
+		fy, err := e.Features(y)
+		if err != nil {
+			return res, fmt.Errorf("core: extracting features of y: %w", err)
+		}
+		res.ExtractTime = time.Since(extractStart)
+
+		matchStart := time.Now()
+		al, err = match.Match(fx, fy, nx, ny, e.opts.Matcher)
+		if err != nil {
+			return res, fmt.Errorf("core: matching: %w", err)
+		}
+		res.MatchTime = time.Since(matchStart)
+		res.Pairs = len(al.Pairs)
+		minPairs := e.opts.MinPairs
+		if minPairs == 0 {
+			minPairs = 2
+		}
+		if minPairs > 0 && len(al.Pairs) < minPairs {
+			// Too little evidence to trust the alignment: fall back to an
+			// unpartitioned alignment (diagonal core; adaptive widths
+			// degrade to the full interval, i.e. a conservative band).
+			al = &match.Alignment{NX: nx, NY: ny}
+			res.Pairs = 0
+		}
+	} else {
+		al = &match.Alignment{NX: nx, NY: ny}
+	}
+
+	ws := e.scratch.Get().(*workspace)
+	defer e.scratch.Put(ws)
+	b, err := ws.builder.Build(al, e.opts.Band)
+	if err != nil {
+		return res, fmt.Errorf("core: building band: %w", err)
+	}
+	if e.opts.KeepBand {
+		res.Band = b.Clone()
+	}
+
+	dpStart := time.Now()
+	if e.opts.ComputePath {
+		pr, err := dtw.BandedWithPath(x.Values, y.Values, b, e.opts.PointDistance)
+		if err != nil {
+			return res, fmt.Errorf("core: constrained DTW: %w", err)
+		}
+		res.Distance, res.Path, res.CellsFilled = pr.Distance, pr.Path, pr.Cells
+	} else {
+		d, cells, err := dtw.BandedWS(x.Values, y.Values, b, e.opts.PointDistance, &ws.dp)
+		if err != nil {
+			return res, fmt.Errorf("core: constrained DTW: %w", err)
+		}
+		res.Distance, res.CellsFilled = d, cells
+	}
+	res.DPTime = time.Since(dpStart)
+	return res, nil
+}
+
+// Align exposes the feature alignment between x and y (the matched pairs
+// and interval partition) without running the dynamic program, for
+// visualisation and diagnostics.
+func (e *Engine) Align(x, y series.Series) (*match.Alignment, error) {
+	fx, err := e.Features(x)
+	if err != nil {
+		return nil, err
+	}
+	fy, err := e.Features(y)
+	if err != nil {
+		return nil, err
+	}
+	return match.Match(fx, fy, x.Len(), y.Len(), e.opts.Matcher)
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"sdtw/internal/sift"
+)
+
+// cacheSnapshot is the on-wire form of the feature cache.
+type cacheSnapshot struct {
+	// Version guards against decoding snapshots written by incompatible
+	// layouts of sift.Feature.
+	Version  int
+	Features map[string][]sift.Feature
+}
+
+const cacheVersion = 1
+
+// SaveFeatures serialises the engine's feature cache. The paper's §3.4
+// observes that salient features are a one-time cost that "can be stored
+// and indexed along with the time series and re-used repeatedly"; this is
+// that storage path. The snapshot is only meaningful for engines sharing
+// the same feature configuration.
+func (e *Engine) SaveFeatures(w io.Writer) error {
+	e.mu.RLock()
+	snap := cacheSnapshot{Version: cacheVersion, Features: make(map[string][]sift.Feature, len(e.cache))}
+	for id, feats := range e.cache {
+		snap.Features[id] = feats
+	}
+	e.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("core: encoding feature cache: %w", err)
+	}
+	return nil
+}
+
+// LoadFeatures restores a feature cache written by SaveFeatures, merging
+// it into the current cache (existing entries are overwritten).
+func (e *Engine) LoadFeatures(r io.Reader) error {
+	var snap cacheSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("core: decoding feature cache: %w", err)
+	}
+	if snap.Version != cacheVersion {
+		return fmt.Errorf("core: feature cache version %d, want %d", snap.Version, cacheVersion)
+	}
+	e.mu.Lock()
+	for id, feats := range snap.Features {
+		e.cache[id] = feats
+	}
+	e.mu.Unlock()
+	return nil
+}

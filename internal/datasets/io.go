@@ -1,0 +1,136 @@
+package datasets
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sdtw/internal/series"
+)
+
+// WriteUCR writes the data set in the UCR text format: one series per
+// line, the integer class label first, then the values, all
+// comma-separated.
+func WriteUCR(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range d.Series {
+		if _, err := fmt.Fprintf(bw, "%d", s.Label); err != nil {
+			return fmt.Errorf("datasets: writing %s: %w", d.Name, err)
+		}
+		for _, v := range s.Values {
+			if _, err := fmt.Fprintf(bw, ",%g", v); err != nil {
+				return fmt.Errorf("datasets: writing %s: %w", d.Name, err)
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("datasets: writing %s: %w", d.Name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadUCR parses a data set in the UCR text format (comma- or
+// whitespace-separated; label first). Labels are remapped onto a dense
+// [0, NumClasses) range preserving their sorted order. All series must
+// share one length.
+func ReadUCR(r io.Reader, name string) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var rawLabels []int
+	var rows [][]float64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := splitUCRFields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("datasets: %s line %d: need a label and at least one value", name, lineNo)
+		}
+		labelF, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("datasets: %s line %d: bad label %q: %w", name, lineNo, fields[0], err)
+		}
+		vals := make([]float64, len(fields)-1)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("datasets: %s line %d field %d: %w", name, lineNo, i+2, err)
+			}
+			vals[i] = v
+		}
+		rawLabels = append(rawLabels, int(labelF))
+		rows = append(rows, vals)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("datasets: reading %s: %w", name, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("datasets: %s: no series", name)
+	}
+	length := len(rows[0])
+	for i, row := range rows {
+		if len(row) != length {
+			return nil, fmt.Errorf("datasets: %s series %d has length %d, want %d", name, i, len(row), length)
+		}
+	}
+	dense := denseLabels(rawLabels)
+	numClasses := 0
+	for _, l := range dense {
+		if l+1 > numClasses {
+			numClasses = l + 1
+		}
+	}
+	d := &Dataset{Name: name, NumClasses: numClasses, Length: length}
+	for i, row := range rows {
+		id := fmt.Sprintf("%s-%04d", strings.ToLower(name), i)
+		d.Series = append(d.Series, series.New(id, dense[i], row))
+	}
+	return d, nil
+}
+
+func splitUCRFields(line string) []string {
+	if strings.ContainsRune(line, ',') {
+		parts := strings.Split(line, ",")
+		out := parts[:0]
+		for _, p := range parts {
+			if p = strings.TrimSpace(p); p != "" {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	return strings.Fields(line)
+}
+
+// denseLabels maps arbitrary integer labels onto [0, k) preserving sorted
+// label order.
+func denseLabels(raw []int) []int {
+	seen := make(map[int]bool, len(raw))
+	var uniq []int
+	for _, l := range raw {
+		if !seen[l] {
+			seen[l] = true
+			uniq = append(uniq, l)
+		}
+	}
+	// Insertion sort: label sets are tiny.
+	for i := 1; i < len(uniq); i++ {
+		for j := i; j > 0 && uniq[j] < uniq[j-1]; j-- {
+			uniq[j], uniq[j-1] = uniq[j-1], uniq[j]
+		}
+	}
+	remap := make(map[int]int, len(uniq))
+	for i, l := range uniq {
+		remap[l] = i
+	}
+	out := make([]int, len(raw))
+	for i, l := range raw {
+		out[i] = remap[l]
+	}
+	return out
+}

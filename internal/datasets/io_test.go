@@ -1,0 +1,106 @@
+package datasets
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := Gun(Config{Seed: 1, SeriesPerClass: 3})
+	var buf bytes.Buffer
+	if err := WriteUCR(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadUCR(&buf, "Gun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() || back.Length != d.Length || back.NumClasses != d.NumClasses {
+		t.Fatalf("round trip shape (%d,%d,%d), want (%d,%d,%d)",
+			back.Len(), back.Length, back.NumClasses, d.Len(), d.Length, d.NumClasses)
+	}
+	for i := range d.Series {
+		if back.Series[i].Label != d.Series[i].Label {
+			t.Fatalf("series %d label %d, want %d", i, back.Series[i].Label, d.Series[i].Label)
+		}
+		for j := range d.Series[i].Values {
+			if diff := back.Series[i].Values[j] - d.Series[i].Values[j]; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("series %d sample %d: %v vs %v", i, j, back.Series[i].Values[j], d.Series[i].Values[j])
+			}
+		}
+	}
+}
+
+func TestReadUCRWhitespaceSeparated(t *testing.T) {
+	in := "1 0.5 0.6 0.7\n2 1.5 1.6 1.7\n"
+	d, err := ReadUCR(strings.NewReader(in), "ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Length != 3 || d.NumClasses != 2 {
+		t.Fatalf("shape (%d,%d,%d)", d.Len(), d.Length, d.NumClasses)
+	}
+}
+
+func TestReadUCRLabelRemapping(t *testing.T) {
+	// UCR labels are arbitrary integers (often 1-based or negative);
+	// they must densify to [0,k) preserving sorted order.
+	in := "5,1,2\n-1,3,4\n5,5,6\n10,7,8\n"
+	d, err := ReadUCR(strings.NewReader(in), "remap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 0, 1, 2} // -1 -> 0, 5 -> 1, 10 -> 2
+	for i, s := range d.Series {
+		if s.Label != want[i] {
+			t.Fatalf("labels = %v, want %v", d.Labels(), want)
+		}
+	}
+	if d.NumClasses != 3 {
+		t.Fatalf("NumClasses = %d, want 3", d.NumClasses)
+	}
+}
+
+func TestReadUCRSkipsBlankLines(t *testing.T) {
+	in := "\n1,1,2\n\n2,3,4\n\n"
+	d, err := ReadUCR(strings.NewReader(in), "blank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("read %d series, want 2", d.Len())
+	}
+}
+
+func TestReadUCRErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"label only", "1\n"},
+		{"bad label", "x,1,2\n"},
+		{"bad value", "1,1,zzz\n"},
+		{"ragged", "1,1,2\n2,1,2,3\n"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadUCR(strings.NewReader(tc.in), tc.name); err == nil {
+				t.Fatalf("input %q accepted", tc.in)
+			}
+		})
+	}
+}
+
+func TestReadUCRFloatLabels(t *testing.T) {
+	// Some UCR files carry float-formatted labels ("1.0000000e+00").
+	in := "1.0,1,2\n2.0,3,4\n"
+	d, err := ReadUCR(strings.NewReader(in), "float-labels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumClasses != 2 {
+		t.Fatalf("NumClasses = %d, want 2", d.NumClasses)
+	}
+}

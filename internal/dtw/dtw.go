@@ -1,0 +1,298 @@
+package dtw
+
+import (
+	"fmt"
+	"math"
+
+	"sdtw/internal/series"
+)
+
+// Step is one move of a warp path on the DTW grid, expressed as the
+// coordinates (I, J) of the visited cell (0-based: cell (i,j) aligns x[i]
+// with y[j]).
+type Step struct {
+	I, J int
+}
+
+// Path is a warp path: a sequence of grid cells from (0,0) to (N-1,M-1)
+// advancing by (1,0), (0,1) or (1,1) at each step.
+type Path []Step
+
+// Validate reports an error if the path violates the warp-path definition
+// of §2.1.1 for an n-by-m grid: boundary conditions, monotonicity, and
+// unit-step continuity.
+func (p Path) Validate(n, m int) error {
+	if len(p) == 0 {
+		return fmt.Errorf("dtw: empty path")
+	}
+	if p[0].I != 0 || p[0].J != 0 {
+		return fmt.Errorf("dtw: path starts at (%d,%d), want (0,0)", p[0].I, p[0].J)
+	}
+	last := p[len(p)-1]
+	if last.I != n-1 || last.J != m-1 {
+		return fmt.Errorf("dtw: path ends at (%d,%d), want (%d,%d)", last.I, last.J, n-1, m-1)
+	}
+	if len(p) < max(n, m) || len(p) > n+m {
+		return fmt.Errorf("dtw: path length %d outside [max(N,M)=%d, N+M=%d]", len(p), max(n, m), n+m)
+	}
+	for k := 1; k < len(p); k++ {
+		di := p[k].I - p[k-1].I
+		dj := p[k].J - p[k-1].J
+		if di < 0 || dj < 0 || di > 1 || dj > 1 || (di == 0 && dj == 0) {
+			return fmt.Errorf("dtw: illegal step (%d,%d)->(%d,%d) at position %d",
+				p[k-1].I, p[k-1].J, p[k].I, p[k].J, k)
+		}
+	}
+	return nil
+}
+
+// Cost accumulates the path's total alignment cost over x and y using dist.
+func (p Path) Cost(x, y []float64, dist series.PointDistance) float64 {
+	if dist == nil {
+		dist = series.SquaredDistance
+	}
+	total := 0.0
+	for _, s := range p {
+		total += dist(x[s.I], y[s.J])
+	}
+	return total
+}
+
+// Distance computes the exact DTW distance between x and y with the full
+// O(NM) grid using two rolling rows (O(M) memory). dist nil defaults to
+// squared point distance.
+func Distance(x, y []float64, dist series.PointDistance) (float64, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return 0, fmt.Errorf("dtw: empty input (len(x)=%d len(y)=%d)", len(x), len(y))
+	}
+	if dist == nil {
+		dist = series.SquaredDistance
+	}
+	m := len(y)
+	prev := make([]float64, m+1)
+	curr := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = math.Inf(1)
+	}
+	for i := 1; i <= len(x); i++ {
+		curr[0] = math.Inf(1)
+		xi := x[i-1]
+		for j := 1; j <= m; j++ {
+			best := prev[j-1] // diagonal
+			if prev[j] < best {
+				best = prev[j] // vertical (advance x only)
+			}
+			if curr[j-1] < best {
+				best = curr[j-1] // horizontal (advance y only)
+			}
+			curr[j] = best + dist(xi, y[j-1])
+		}
+		prev, curr = curr, prev
+	}
+	return prev[m], nil
+}
+
+// PathResult bundles a DTW distance with the optimal warp path that
+// realises it and the number of grid cells evaluated.
+type PathResult struct {
+	Distance float64
+	Path     Path
+	Cells    int
+}
+
+// DistanceWithPath computes the exact DTW distance and recovers the optimal
+// warp path by backtracking over the full grid (O(NM) memory).
+func DistanceWithPath(x, y []float64, dist series.PointDistance) (PathResult, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return PathResult{}, fmt.Errorf("dtw: empty input (len(x)=%d len(y)=%d)", len(x), len(y))
+	}
+	return BandedWithPath(x, y, FullBand(len(x), len(y)), dist)
+}
+
+// Workspace holds reusable row buffers for repeated banded computations,
+// letting hot loops avoid per-call allocation. The zero value is ready to
+// use; a Workspace must not be shared between concurrent computations.
+type Workspace struct {
+	prev, curr []float64
+}
+
+func (w *Workspace) rows(width int) (prev, curr []float64) {
+	if cap(w.prev) < width {
+		w.prev = make([]float64, width)
+		w.curr = make([]float64, width)
+	}
+	return w.prev[:width], w.curr[:width]
+}
+
+// Banded computes the DTW distance constrained to band using rolling rows.
+// Cells outside the band are treated as +Inf. The band must be normalized
+// (or otherwise known to contain a monotone path); Banded returns an error
+// if the constrained grid admits no path, which cannot happen for
+// normalized bands.
+func Banded(x, y []float64, b Band, dist series.PointDistance) (float64, int, error) {
+	return BandedWS(x, y, b, dist, nil)
+}
+
+// BandedWS is Banded with an optional caller-provided workspace for
+// allocation-free repeated computation.
+func BandedWS(x, y []float64, b Band, dist series.PointDistance, ws *Workspace) (float64, int, error) {
+	if err := checkInputs(x, y, b); err != nil {
+		return 0, 0, err
+	}
+	if dist == nil {
+		dist = series.SquaredDistance
+	}
+	n, m := len(x), len(y)
+	inf := math.Inf(1)
+	// Band-compact rolling rows: row buffers hold only the band interval,
+	// so the DP costs O(band cells), not O(NM). Reads into the previous
+	// row are bounds-checked against its interval instead of padding the
+	// arrays with infinities.
+	maxWidth := 0
+	for i := 0; i < n; i++ {
+		if w := b.Hi[i] - b.Lo[i] + 1; w > maxWidth {
+			maxWidth = w
+		}
+	}
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	prev, curr := ws.rows(maxWidth)
+	prevLo, prevHi := 0, -1 // previous row's interval; empty before row 0
+	cells := 0
+	for i := 0; i < n; i++ {
+		lo, hi := b.Lo[i], b.Hi[i]
+		xi := x[i]
+		for j := lo; j <= hi; j++ {
+			var best float64
+			if i == 0 && j == 0 {
+				best = 0
+			} else {
+				best = inf
+				if j-1 >= prevLo && j-1 <= prevHi { // diagonal (i-1, j-1)
+					best = prev[j-1-prevLo]
+				}
+				if j >= prevLo && j <= prevHi { // vertical (i-1, j)
+					if v := prev[j-prevLo]; v < best {
+						best = v
+					}
+				}
+				if j-1 >= lo { // horizontal (i, j-1)
+					if v := curr[j-1-lo]; v < best {
+						best = v
+					}
+				}
+			}
+			curr[j-lo] = best + dist(xi, y[j])
+			cells++
+		}
+		prev, curr = curr, prev
+		prevLo, prevHi = lo, hi
+	}
+	if m-1 < prevLo || m-1 > prevHi {
+		return 0, cells, fmt.Errorf("dtw: band admits no warp path (band not normalized?)")
+	}
+	d := prev[m-1-prevLo]
+	if math.IsInf(d, 1) {
+		return 0, cells, fmt.Errorf("dtw: band admits no warp path (band not normalized?)")
+	}
+	return d, cells, nil
+}
+
+// BandedWithPath computes the band-constrained DTW distance and recovers
+// the optimal warp path within the band. Memory is proportional to the
+// band's cell count, not N*M.
+func BandedWithPath(x, y []float64, b Band, dist series.PointDistance) (PathResult, error) {
+	if err := checkInputs(x, y, b); err != nil {
+		return PathResult{}, err
+	}
+	if dist == nil {
+		dist = series.SquaredDistance
+	}
+	n, m := len(x), len(y)
+	inf := math.Inf(1)
+	// Band-compact storage: row i stores cells Lo[i]..Hi[i].
+	rows := make([][]float64, n)
+	cells := 0
+	at := func(i, j int) float64 {
+		if i < 0 || j < 0 || i >= n {
+			if i == -1 && j == -1 {
+				return 0 // virtual origin D(0,0) of the padded matrix
+			}
+			return inf
+		}
+		if j < b.Lo[i] || j > b.Hi[i] {
+			return inf
+		}
+		return rows[i][j-b.Lo[i]]
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := b.Lo[i], b.Hi[i]
+		rows[i] = make([]float64, hi-lo+1)
+		xi := x[i]
+		for j := lo; j <= hi; j++ {
+			var best float64
+			if i == 0 && j == 0 {
+				best = 0
+			} else {
+				best = at(i-1, j-1)
+				if v := at(i-1, j); v < best {
+					best = v
+				}
+				if v := at(i, j-1); v < best {
+					best = v
+				}
+			}
+			rows[i][j-lo] = best + dist(xi, y[j])
+			cells++
+		}
+	}
+	d := at(n-1, m-1)
+	if math.IsInf(d, 1) {
+		return PathResult{Cells: cells}, fmt.Errorf("dtw: band admits no warp path (band not normalized?)")
+	}
+	// Backtrack: at each cell pick the predecessor with the minimal
+	// accumulated cost, preferring the diagonal on ties (shortest path).
+	path := make(Path, 0, n+m)
+	i, j := n-1, m-1
+	for {
+		path = append(path, Step{i, j})
+		if i == 0 && j == 0 {
+			break
+		}
+		diag, vert, horz := at(i-1, j-1), at(i-1, j), at(i, j-1)
+		switch {
+		case diag <= vert && diag <= horz:
+			i, j = i-1, j-1
+		case vert <= horz:
+			i--
+		default:
+			j--
+		}
+	}
+	// Reverse in place.
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	return PathResult{Distance: d, Path: path, Cells: cells}, nil
+}
+
+func checkInputs(x, y []float64, b Band) error {
+	if len(x) == 0 || len(y) == 0 {
+		return fmt.Errorf("dtw: empty input (len(x)=%d len(y)=%d)", len(x), len(y))
+	}
+	if len(b.Lo) != len(x) {
+		return fmt.Errorf("dtw: band has %d rows, series has %d points", len(b.Lo), len(x))
+	}
+	if b.M != len(y) {
+		return fmt.Errorf("dtw: band constrains %d columns, series has %d points", b.M, len(y))
+	}
+	return b.Validate()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,370 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sdtw/internal/series"
+)
+
+func randomSeries(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestDistanceKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		x, y []float64
+		want float64
+	}{
+		{"identical", []float64{1, 2, 3}, []float64{1, 2, 3}, 0},
+		{"single points", []float64{2}, []float64{5}, 9},
+		{"shifted step", []float64{0, 0, 1, 1}, []float64{0, 1, 1, 1}, 0},
+		{"constant offset", []float64{0, 0, 0}, []float64{1, 1, 1}, 3},
+		{"stretch absorbed", []float64{0, 1, 2}, []float64{0, 0, 1, 1, 2, 2}, 0},
+		{"reversal costs", []float64{0, 1}, []float64{1, 0}, 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Distance(tc.x, tc.y, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("Distance = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDistanceAbsCost(t *testing.T) {
+	got, err := Distance([]float64{0, 0}, []float64{3, 3}, series.AbsDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Fatalf("L1 DTW = %v, want 6", got)
+	}
+}
+
+func TestDistanceEmptyInput(t *testing.T) {
+	if _, err := Distance(nil, []float64{1}, nil); err == nil {
+		t.Fatal("empty x not rejected")
+	}
+	if _, err := Distance([]float64{1}, nil, nil); err == nil {
+		t.Fatal("empty y not rejected")
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		x := randomSeries(rng, 5+rng.Intn(40))
+		y := randomSeries(rng, 5+rng.Intn(40))
+		dxy, err := Distance(x, y, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dyx, err := Distance(y, x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(dxy-dyx) > 1e-9 {
+			t.Fatalf("DTW not symmetric: %v vs %v", dxy, dyx)
+		}
+	}
+}
+
+func TestDistanceSelfIsZero(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			v[i] = math.Mod(x, 1e3)
+		}
+		d, err := Distance(v, v, nil)
+		return err == nil && d == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceBoundedByDiagonalAlignment(t *testing.T) {
+	// The diagonal is a valid warp path, so DTW <= pointwise cost.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(60)
+		x := randomSeries(rng, n)
+		y := randomSeries(rng, n)
+		d, err := Distance(x, y, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diag, err := series.EuclideanAligned(x, y, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > diag+1e-9 {
+			t.Fatalf("DTW %v exceeds diagonal alignment cost %v", d, diag)
+		}
+	}
+}
+
+func TestDistanceWithPathMatchesDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		x := randomSeries(rng, 2+rng.Intn(50))
+		y := randomSeries(rng, 2+rng.Intn(50))
+		d, err := Distance(x, y, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := DistanceWithPath(x, y, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d-pr.Distance) > 1e-9 {
+			t.Fatalf("path distance %v != rolling distance %v", pr.Distance, d)
+		}
+		if err := pr.Path.Validate(len(x), len(y)); err != nil {
+			t.Fatalf("invalid path: %v", err)
+		}
+		if c := pr.Path.Cost(x, y, nil); math.Abs(c-d) > 1e-9 {
+			t.Fatalf("path cost %v != distance %v", c, d)
+		}
+	}
+}
+
+func TestPathValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		path    Path
+		n, m    int
+		wantErr bool
+	}{
+		{"ok diagonal", Path{{0, 0}, {1, 1}}, 2, 2, false},
+		{"ok mixed", Path{{0, 0}, {1, 0}, {1, 1}, {2, 2}}, 3, 3, false},
+		{"empty", nil, 2, 2, true},
+		{"bad start", Path{{1, 0}, {1, 1}}, 2, 2, true},
+		{"bad end", Path{{0, 0}, {1, 0}}, 2, 2, true},
+		{"backward step", Path{{0, 0}, {1, 1}, {0, 1}, {1, 1}}, 2, 2, true},
+		{"jump", Path{{0, 0}, {2, 2}}, 3, 3, true},
+		{"stall", Path{{0, 0}, {0, 0}, {1, 1}}, 2, 2, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.path.Validate(tc.n, tc.m)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() error = %v, wantErr = %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestBandedFullBandEqualsFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		x := randomSeries(rng, 2+rng.Intn(40))
+		y := randomSeries(rng, 2+rng.Intn(40))
+		full, err := Distance(x, y, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		banded, cells, err := Banded(x, y, FullBand(len(x), len(y)), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(full-banded) > 1e-9 {
+			t.Fatalf("full-band banded %v != full %v", banded, full)
+		}
+		if cells != len(x)*len(y) {
+			t.Fatalf("full band filled %d cells, want %d", cells, len(x)*len(y))
+		}
+	}
+}
+
+func TestBandedNeverUnderestimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		n, m := 2+rng.Intn(30), 2+rng.Intn(30)
+		x := randomSeries(rng, n)
+		y := randomSeries(rng, m)
+		b := randomBand(rng, n, m).Normalize()
+		full, err := Distance(x, y, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		banded, _, err := Banded(x, y, b, nil)
+		if err != nil {
+			t.Fatalf("normalized band failed: %v", err)
+		}
+		if banded < full-1e-9 {
+			t.Fatalf("banded %v under full %v", banded, full)
+		}
+	}
+}
+
+func randomBand(rng *rand.Rand, n, m int) Band {
+	b := Band{Lo: make([]int, n), Hi: make([]int, n), M: m}
+	for i := 0; i < n; i++ {
+		a := rng.Intn(m)
+		c := rng.Intn(m)
+		if a > c {
+			a, c = c, a
+		}
+		b.Lo[i], b.Hi[i] = a, c
+	}
+	return b
+}
+
+func TestBandedWithPathStaysInBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 40; trial++ {
+		n, m := 2+rng.Intn(25), 2+rng.Intn(25)
+		x := randomSeries(rng, n)
+		y := randomSeries(rng, m)
+		b := randomBand(rng, n, m).Normalize()
+		pr, err := BandedWithPath(x, y, b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pr.Path.Validate(n, m); err != nil {
+			t.Fatalf("invalid banded path: %v", err)
+		}
+		for _, s := range pr.Path {
+			if !b.Contains(s.I, s.J) {
+				t.Fatalf("path leaves band at (%d,%d)", s.I, s.J)
+			}
+		}
+		if c := pr.Path.Cost(x, y, nil); math.Abs(c-pr.Distance) > 1e-9 {
+			t.Fatalf("banded path cost %v != distance %v", c, pr.Distance)
+		}
+	}
+}
+
+func TestBandedAgreesWithBandedWithPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n, m := 2+rng.Intn(30), 2+rng.Intn(30)
+		x := randomSeries(rng, n)
+		y := randomSeries(rng, m)
+		b := randomBand(rng, n, m).Normalize()
+		d1, cells1, err := Banded(x, y, b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := BandedWithPath(x, y, b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d1-pr.Distance) > 1e-9 {
+			t.Fatalf("Banded %v != BandedWithPath %v", d1, pr.Distance)
+		}
+		if cells1 != pr.Cells {
+			t.Fatalf("cell counts differ: %d vs %d", cells1, pr.Cells)
+		}
+	}
+}
+
+func TestBandedRejectsDisconnectedBand(t *testing.T) {
+	// A band with an unbridged gap admits no path; Banded must report it
+	// rather than return a bogus distance.
+	x := []float64{1, 2, 3, 4}
+	y := []float64{1, 2, 3, 4}
+	b := Band{Lo: []int{0, 0, 3, 3}, Hi: []int{0, 0, 3, 3}, M: 4}
+	if _, _, err := Banded(x, y, b, nil); err == nil {
+		t.Fatal("disconnected band not rejected")
+	}
+}
+
+func TestBandedInputValidation(t *testing.T) {
+	x := []float64{1, 2}
+	y := []float64{1, 2, 3}
+	good := FullBand(2, 3)
+	if _, _, err := Banded(nil, y, good, nil); err == nil {
+		t.Error("empty x accepted")
+	}
+	if _, _, err := Banded(x, y, FullBand(3, 3), nil); err == nil {
+		t.Error("row-count mismatch accepted")
+	}
+	if _, _, err := Banded(x, y, FullBand(2, 2), nil); err == nil {
+		t.Error("column-count mismatch accepted")
+	}
+	bad := Band{Lo: []int{0, 5}, Hi: []int{0, 6}, M: 3}
+	if _, _, err := Banded(x, y, bad, nil); err == nil {
+		t.Error("out-of-range band accepted")
+	}
+}
+
+func TestBandedWorkspaceReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var ws Workspace
+	for trial := 0; trial < 20; trial++ {
+		n, m := 2+rng.Intn(30), 2+rng.Intn(30)
+		x := randomSeries(rng, n)
+		y := randomSeries(rng, m)
+		b := randomBand(rng, n, m).Normalize()
+		want, _, err := Banded(x, y, b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := BandedWS(x, y, b, nil, &ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(want-got) > 1e-12 {
+			t.Fatalf("workspace reuse changed result: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestBandedPropertyDominatesFull(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 2+rng.Intn(20), 2+rng.Intn(20)
+		x := randomSeries(rng, n)
+		y := randomSeries(rng, m)
+		b := randomBand(rng, n, m).Normalize()
+		full, err1 := Distance(x, y, nil)
+		banded, _, err2 := Banded(x, y, b, nil)
+		return err1 == nil && err2 == nil && banded >= full-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWiderBandNeverWorse(t *testing.T) {
+	// Monotonicity: adding cells to a band can only improve the estimate.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		n, m := 3+rng.Intn(25), 3+rng.Intn(25)
+		x := randomSeries(rng, n)
+		y := randomSeries(rng, m)
+		narrow := SakoeChiba(n, m, 0.1)
+		wide := SakoeChiba(n, m, 0.4)
+		dn, _, err := Banded(x, y, narrow, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dw, _, err := Banded(x, y, wide, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dw > dn+1e-9 {
+			t.Fatalf("wider band worse: %v > %v", dw, dn)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package dtw
+
+import (
+	"fmt"
+	"math"
+
+	"sdtw/internal/series"
+)
+
+// SubsequenceMatch locates the best-matching contiguous region of a long
+// series for a query under DTW.
+type SubsequenceMatch struct {
+	// Start and End delimit the matched region of the long series,
+	// inclusive.
+	Start, End int
+	// Distance is the DTW distance between the query and the region.
+	Distance float64
+}
+
+// Subsequence finds the subsequence of s whose DTW distance to the query
+// q is minimal (open-begin, open-end alignment): the warp path must
+// consume all of q but may start and end anywhere on s. This is the
+// classical subsequence DTW used for query-by-content over long streams —
+// the retrieval setting the paper's introduction motivates.
+//
+// The dynamic program runs in O(|q|·|s|) time and O(|s|) space, tracking
+// for every cell the position on s where its path entered row 0 so the
+// match's start point is recovered without storing the full grid.
+func Subsequence(q, s []float64, dist series.PointDistance) (SubsequenceMatch, error) {
+	if len(q) == 0 || len(s) == 0 {
+		return SubsequenceMatch{}, fmt.Errorf("dtw: empty input (len(q)=%d len(s)=%d)", len(q), len(s))
+	}
+	if dist == nil {
+		dist = series.SquaredDistance
+	}
+	n, m := len(q), len(s)
+	inf := math.Inf(1)
+	prev := make([]float64, m)
+	curr := make([]float64, m)
+	prevStart := make([]int, m)
+	currStart := make([]int, m)
+
+	// Row 0: the path may begin at any column of s for free.
+	for j := 0; j < m; j++ {
+		prev[j] = dist(q[0], s[j])
+		prevStart[j] = j
+	}
+	for i := 1; i < n; i++ {
+		qi := q[i]
+		for j := 0; j < m; j++ {
+			best := prev[j] // vertical: advance q only
+			from := prevStart[j]
+			if j > 0 {
+				if prev[j-1] < best { // diagonal
+					best = prev[j-1]
+					from = prevStart[j-1]
+				}
+				if curr[j-1] < best { // horizontal: advance s only
+					best = curr[j-1]
+					from = currStart[j-1]
+				}
+			}
+			if math.IsInf(best, 1) {
+				curr[j] = inf
+				currStart[j] = j
+				continue
+			}
+			curr[j] = best + dist(qi, s[j])
+			currStart[j] = from
+		}
+		prev, curr = curr, prev
+		prevStart, currStart = currStart, prevStart
+	}
+	bestJ := 0
+	for j := 1; j < m; j++ {
+		if prev[j] < prev[bestJ] {
+			bestJ = j
+		}
+	}
+	return SubsequenceMatch{Start: prevStart[bestJ], End: bestJ, Distance: prev[bestJ]}, nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sdtw/internal/band"
+	"sdtw/internal/core"
+	"sdtw/internal/datasets"
+	"sdtw/internal/dtw"
+)
+
+// RenderBandShapes draws ASCII pictures of the five constraint bands on a
+// real pair of warped series (the qualitative content of paper Figures 2
+// and 10). Rows are X positions (downsampled), columns are Y positions;
+// '#' marks cells inside the band and '*' the optimal full-grid warp path.
+func RenderBandShapes(seed int64) (string, error) {
+	d := datasets.Gun(datasets.Config{Seed: seed, SeriesPerClass: 2})
+	x, y := d.Series[0], d.Series[1]
+
+	pr, err := dtw.DistanceWithPath(x.Values, y.Values, nil)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pair: %s vs %s (N=%d, M=%d); '*' = optimal warp path, '#' = band\n\n",
+		x.ID, y.ID, x.Len(), y.Len())
+	strategies := []band.Strategy{
+		band.FixedCoreFixedWidth,
+		band.FixedCoreAdaptiveWidth,
+		band.AdaptiveCoreFixedWidth,
+		band.AdaptiveCoreAdaptiveWidth,
+		band.AdaptiveCoreAdaptiveWidthAvg,
+		band.ItakuraBand,
+	}
+	for _, s := range strategies {
+		opts := core.DefaultOptions()
+		opts.Band.Strategy = s
+		opts.Band.WidthFrac = 0.10
+		opts.KeepBand = true
+		engine := core.NewEngine(opts)
+		res, err := engine.Distance(x, y)
+		if err != nil {
+			return "", fmt.Errorf("rendering %v: %w", s, err)
+		}
+		fmt.Fprintf(&b, "--- %v (cells gain %.2f, distance %.4f vs optimal %.4f) ---\n",
+			s, res.CellsGain(), res.Distance, pr.Distance)
+		b.WriteString(renderBand(res.Band, pr.Path, 36, 72))
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// renderBand rasterises a band and a path onto a rows-by-cols character
+// grid. The DTW convention draws row 0 at the bottom.
+func renderBand(bd dtw.Band, path dtw.Path, rows, cols int) string {
+	n, m := bd.N(), bd.M
+	if n == 0 || m == 0 {
+		return "(empty band)\n"
+	}
+	if rows > n {
+		rows = n
+	}
+	if cols > m {
+		cols = m
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	toRow := func(i int) int { return i * rows / n }
+	toCol := func(j int) int { return j * cols / m }
+	for i := 0; i < n; i++ {
+		r := toRow(i)
+		for j := bd.Lo[i]; j <= bd.Hi[i]; j++ {
+			grid[r][toCol(j)] = '#'
+		}
+	}
+	for _, s := range path {
+		grid[toRow(s.I)][toCol(s.J)] = '*'
+	}
+	var b strings.Builder
+	for r := rows - 1; r >= 0; r-- {
+		b.WriteString("  |")
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", cols) + "\n")
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBandShapes(t *testing.T) {
+	out, err := RenderBandShapes(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fc,fw", "fc,aw", "ac,fw", "ac,aw", "ac2,aw", "itakura", "optimal warp path"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q", want)
+		}
+	}
+	// Every panel contains band and path glyphs.
+	if strings.Count(out, "#") < 100 {
+		t.Fatal("band glyphs missing")
+	}
+	if strings.Count(out, "*") < 50 {
+		t.Fatal("path glyphs missing")
+	}
+}
+
+func TestExtrasSmall(t *testing.T) {
+	rows, err := Extras("Gun", Small, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	byName := map[string]ExtraRow{}
+	for _, r := range rows {
+		byName[r.Method] = r
+		if r.DistErr < 0 {
+			t.Fatalf("%s negative distance error %v", r.Method, r.DistErr)
+		}
+		if r.CellsGain <= 0 || r.CellsGain >= 1 {
+			t.Fatalf("%s cells gain %v out of (0,1)", r.Method, r.CellsGain)
+		}
+	}
+	// The symmetric band is a superset, so it cannot be less accurate
+	// than the asymmetric (ac,aw) band.
+	if byName["ac,aw sym"].DistErr > byName["ac,aw"].DistErr+1e-9 {
+		t.Fatalf("symmetric band less accurate: %v vs %v",
+			byName["ac,aw sym"].DistErr, byName["ac,aw"].DistErr)
+	}
+	// The combination prunes at least as much as sDTW alone.
+	if byName["fast∩sdtw"].CellsGain < byName["ac,aw"].CellsGain-1e-9 {
+		t.Fatalf("combination prunes less than sDTW alone: %v vs %v",
+			byName["fast∩sdtw"].CellsGain, byName["ac,aw"].CellsGain)
+	}
+	out := RenderExtras("Gun", rows)
+	if !strings.Contains(out, "fastdtw") {
+		t.Fatalf("rendered extras malformed:\n%s", out)
+	}
+}

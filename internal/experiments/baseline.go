@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sdtw/internal/core"
+	"sdtw/internal/datasets"
+	"sdtw/internal/learned"
+	"sdtw/internal/series"
+)
+
+// BaselineRow compares one constraint approach on a train/holdout split.
+type BaselineRow struct {
+	Method string
+	// HoldoutAccuracy is 1NN classification accuracy on unseen series.
+	HoldoutAccuracy float64
+	// NeedsTraining records whether the method consumed the training
+	// labels (the §1 distinction).
+	NeedsTraining bool
+}
+
+// LearnedBaseline contrasts the Ratanamahatana–Keogh style learned band
+// with sDTW's training-free structural constraints (and the plain fixed
+// band) on a train/holdout split of the Gun workload: the comparison the
+// paper's introduction frames — sDTW extracts its constraints from the
+// two series themselves, the learned band from labeled samples.
+func LearnedBaseline(seed int64) ([]BaselineRow, error) {
+	d := datasets.Gun(datasets.Config{Seed: seed, SeriesPerClass: 10})
+	// Split: interleave to keep both classes in both halves.
+	var train, holdout []series.Series
+	for i, s := range d.Series {
+		if i%2 == 0 {
+			train = append(train, s)
+		} else {
+			holdout = append(holdout, s)
+		}
+	}
+
+	lb, err := learned.Learn(train, learned.Config{Segments: 8, MaxIters: 6})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: learning band: %w", err)
+	}
+	learnedAcc := 0
+	for _, q := range holdout {
+		label, err := learned.Classify1NN(lb, train, q, nil)
+		if err != nil {
+			return nil, err
+		}
+		if label == q.Label {
+			learnedAcc++
+		}
+	}
+
+	classify := func(opts core.Options) (int, error) {
+		engine := core.NewEngine(opts)
+		if _, err := engine.Warm(train); err != nil {
+			return 0, err
+		}
+		correct := 0
+		for _, q := range holdout {
+			bestD := -1.0
+			bestLabel := -1
+			for _, c := range train {
+				res, err := engine.Distance(q, c)
+				if err != nil {
+					return 0, err
+				}
+				if bestLabel < 0 || res.Distance < bestD {
+					bestD, bestLabel = res.Distance, c.Label
+				}
+			}
+			if bestLabel == q.Label {
+				correct++
+			}
+		}
+		return correct, nil
+	}
+
+	sdtwOpts := core.DefaultOptions()
+	sdtwAcc, err := classify(sdtwOpts)
+	if err != nil {
+		return nil, err
+	}
+	fixedOpts := core.DefaultOptions()
+	fixedOpts.Band.Strategy = 1 // FixedCoreFixedWidth
+	fixedOpts.Band.WidthFrac = 0.10
+	fixedAcc, err := classify(fixedOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	n := float64(len(holdout))
+	return []BaselineRow{
+		{Method: "learned band (R-K)", HoldoutAccuracy: float64(learnedAcc) / n, NeedsTraining: true},
+		{Method: "sDTW (ac,aw)", HoldoutAccuracy: float64(sdtwAcc) / n, NeedsTraining: false},
+		{Method: "fixed band 10%", HoldoutAccuracy: float64(fixedAcc) / n, NeedsTraining: false},
+	}, nil
+}
+
+// RenderBaseline formats the learned-vs-structural comparison.
+func RenderBaseline(rows []BaselineRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Learned constraints vs structural constraints (Gun, train/holdout split)\n")
+	fmt.Fprintf(&b, "%-20s %10s %15s\n", "method", "holdout", "needs-training")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %10.3f %15v\n", r.Method, r.HoldoutAccuracy, r.NeedsTraining)
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sdtw/internal/band"
+	"sdtw/internal/core"
+	"sdtw/internal/eval"
+	"sdtw/internal/match"
+	"sdtw/internal/reduced"
+	"sdtw/internal/sift"
+)
+
+// ExtraRow is one line of the extensions comparison: techniques beyond
+// the paper's evaluated grid (Itakura, symmetric sDTW, FastDTW, and the
+// multi-resolution ∩ sDTW combination) measured with the same protocol.
+type ExtraRow struct {
+	Method    string
+	DistErr   float64
+	CellsGain float64
+}
+
+// Extras evaluates the extension techniques on one data set against the
+// full-DTW reference, reporting mean distance error and mean cells gain
+// over all pairs.
+func Extras(name string, scale Scale, seed int64) ([]ExtraRow, error) {
+	w, err := NewWorkload(name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	data := w.Data.Series
+	n := len(data)
+
+	type method struct {
+		name string
+		run  func(i, j int) (dist float64, cells int, err error)
+	}
+	matcherCfg := match.DefaultConfig()
+	featCfg := sift.DefaultConfig()
+
+	// Shared engines so feature extraction is cached across pairs.
+	mkEngine := func(cfg band.Config) *core.Engine {
+		return core.NewEngine(core.Options{
+			Band: cfg, Features: featCfg, Matcher: matcherCfg, CacheFeatures: true,
+		})
+	}
+	acaw := mkEngine(band.Config{Strategy: band.AdaptiveCoreAdaptiveWidth})
+	sym := mkEngine(band.Config{Strategy: band.AdaptiveCoreAdaptiveWidth, Symmetric: true})
+	ita := mkEngine(band.Config{Strategy: band.ItakuraBand})
+	for _, e := range []*core.Engine{acaw, sym} {
+		if _, err := e.Warm(data); err != nil {
+			return nil, err
+		}
+	}
+
+	engineMethod := func(e *core.Engine) func(i, j int) (float64, int, error) {
+		return func(i, j int) (float64, int, error) {
+			res, err := e.Distance(data[i], data[j])
+			return res.Distance, res.CellsFilled, err
+		}
+	}
+	methods := []method{
+		{"itakura", engineMethod(ita)},
+		{"ac,aw", engineMethod(acaw)},
+		{"ac,aw sym", engineMethod(sym)},
+		{"fastdtw r=1", func(i, j int) (float64, int, error) {
+			res, err := reduced.FastDTW(data[i].Values, data[j].Values, 1, nil)
+			return res.Distance, res.Cells, err
+		}},
+		{"fast∩sdtw", func(i, j int) (float64, int, error) {
+			fx, err := acaw.Features(data[i])
+			if err != nil {
+				return 0, 0, err
+			}
+			fy, err := acaw.Features(data[j])
+			if err != nil {
+				return 0, 0, err
+			}
+			al, err := match.Match(fx, fy, data[i].Len(), data[j].Len(), matcherCfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			sdtwBand, err := band.Build(al, band.Config{Strategy: band.AdaptiveCoreAdaptiveWidth})
+			if err != nil {
+				return 0, 0, err
+			}
+			res, err := reduced.Combined(data[i].Values, data[j].Values, 1, sdtwBand, nil)
+			return res.Distance, res.Cells, err
+		}},
+	}
+
+	var rows []ExtraRow
+	for _, m := range methods {
+		var errs []float64
+		cells, grid := 0, 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d, c, err := m.run(i, j)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: extras %s on (%d,%d): %w", m.name, i, j, err)
+				}
+				errs = append(errs, eval.DistanceError(w.Ref.D[i][j], d))
+				cells += c
+				grid += data[i].Len() * data[j].Len()
+			}
+		}
+		rows = append(rows, ExtraRow{
+			Method:    m.name,
+			DistErr:   eval.Mean(errs),
+			CellsGain: 1 - float64(cells)/float64(grid),
+		})
+	}
+	return rows, nil
+}
+
+// RenderExtras formats the extensions comparison.
+func RenderExtras(name string, rows []ExtraRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Data set: %s (extensions beyond the paper's grid)\n", name)
+	fmt.Fprintf(&b, "%-12s %10s %9s\n", "Method", "disterr", "cellgain")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %10.4f %9.3f\n", r.Method, r.DistErr, r.CellsGain)
+	}
+	return b.String()
+}

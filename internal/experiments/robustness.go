@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sdtw/internal/core"
+	"sdtw/internal/datasets"
+	"sdtw/internal/dtw"
+	"sdtw/internal/match"
+	"sdtw/internal/series"
+	"sdtw/internal/sift"
+)
+
+// NoiseRow reports feature and alignment stability at one noise level.
+type NoiseRow struct {
+	// Sigma is the observation noise level.
+	Sigma float64
+	// FeatureDrift is the mean |Δposition| (in samples) of the strongest
+	// features between the clean and noisy versions of a series.
+	FeatureDrift float64
+	// PairSurvival is the mean fraction of consistent pairs (clean vs
+	// clean baseline) still found between clean and noisy versions.
+	PairSurvival float64
+	// DistErr is the mean sDTW (ac,aw) distance error against full DTW
+	// across noisy same-class pairs.
+	DistErr float64
+}
+
+// NoiseRobustness quantifies §3.1.2's claim that the detected salient
+// features are robust against noise: it re-generates the Gun workload at
+// increasing observation-noise levels and measures how far the strongest
+// features drift, how many consistent pairs survive, and how the (ac,aw)
+// distance error responds.
+func NoiseRobustness(seed int64, sigmas []float64) ([]NoiseRow, error) {
+	if len(sigmas) == 0 {
+		sigmas = []float64{0.005, 0.01, 0.02, 0.05}
+	}
+	const perClass = 4
+	clean := datasets.Gun(datasets.Config{Seed: seed, SeriesPerClass: perClass, NoiseSigma: 0.001})
+	cfg := sift.DefaultConfig()
+	cleanFeats := make([][]sift.Feature, clean.Len())
+	for i, s := range clean.Series {
+		f, err := sift.Extract(s.Values, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: noise baseline %s: %w", s.ID, err)
+		}
+		cleanFeats[i] = f
+	}
+	basePairs := make([]int, 0, clean.Len())
+	for i := 0; i+1 < clean.Len(); i += 2 {
+		al, err := match.Match(cleanFeats[i], cleanFeats[i+1], clean.Length, clean.Length, match.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		basePairs = append(basePairs, len(al.Pairs))
+	}
+
+	var rows []NoiseRow
+	for _, sigma := range sigmas {
+		rng := rand.New(rand.NewSource(seed * 7))
+		row := NoiseRow{Sigma: sigma}
+		drift, driftN := 0.0, 0
+		surv, survN := 0.0, 0
+		engine := core.NewEngine(core.DefaultOptions())
+		errSum, errN := 0.0, 0
+		for i, s := range clean.Series {
+			noisy := series.New(fmt.Sprintf("%s-n%g", s.ID, sigma), s.Label,
+				series.AddNoise(rng, s.Values, sigma))
+			nf, err := sift.Extract(noisy.Values, cfg)
+			if err != nil {
+				return nil, err
+			}
+			drift += meanStrongestDrift(cleanFeats[i], nf, 3)
+			driftN++
+			if i%2 == 0 && i+1 < clean.Len() {
+				al, err := match.Match(cleanFeats[i], nf, clean.Length, clean.Length, match.DefaultConfig())
+				if err != nil {
+					return nil, err
+				}
+				base := basePairs[i/2]
+				if base > 0 {
+					frac := float64(len(al.Pairs)) / float64(base)
+					if frac > 1 {
+						frac = 1
+					}
+					surv += frac
+					survN++
+				}
+				// Distance error on the noisy pair.
+				other := series.New(fmt.Sprintf("%s-o%g", clean.Series[i+1].ID, sigma), 0,
+					series.AddNoise(rng, clean.Series[i+1].Values, sigma))
+				res, err := engine.Distance(noisy, other)
+				if err != nil {
+					return nil, err
+				}
+				full, err := fullDTW(noisy.Values, other.Values)
+				if err != nil {
+					return nil, err
+				}
+				if full > 0 {
+					errSum += (res.Distance - full) / full
+					errN++
+				}
+			}
+		}
+		if driftN > 0 {
+			row.FeatureDrift = drift / float64(driftN)
+		}
+		if survN > 0 {
+			row.PairSurvival = surv / float64(survN)
+		}
+		if errN > 0 {
+			row.DistErr = errSum / float64(errN)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// meanStrongestDrift matches the k strongest clean features to the
+// nearest detected feature in the noisy set and averages the positional
+// drift.
+func meanStrongestDrift(clean, noisy []sift.Feature, k int) float64 {
+	if len(clean) == 0 || len(noisy) == 0 {
+		return 0
+	}
+	strongest := append([]sift.Feature(nil), clean...)
+	for i := 0; i < len(strongest) && i < k; i++ {
+		for j := i + 1; j < len(strongest); j++ {
+			if abs(strongest[j].Response) > abs(strongest[i].Response) {
+				strongest[i], strongest[j] = strongest[j], strongest[i]
+			}
+		}
+	}
+	if k > len(strongest) {
+		k = len(strongest)
+	}
+	total := 0.0
+	for _, f := range strongest[:k] {
+		best := 1 << 30
+		for _, g := range noisy {
+			if d := f.X - g.X; d*d < best*best || best == 1<<30 {
+				if d < 0 {
+					d = -d
+				}
+				if d < best {
+					best = d
+				}
+			}
+		}
+		total += float64(best)
+	}
+	return total / float64(k)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func fullDTW(x, y []float64) (float64, error) {
+	return dtw.Distance(x, y, nil)
+}
+
+// RenderNoise formats the noise-robustness rows.
+func RenderNoise(rows []NoiseRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Noise robustness (Gun, §3.1.2 claim)\n")
+	fmt.Fprintf(&b, "%-8s %12s %13s %10s\n", "sigma", "featdrift", "pairsurvival", "disterr")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8g %12.2f %13.3f %10.4f\n", r.Sigma, r.FeatureDrift, r.PairSurvival, r.DistErr)
+	}
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sdtw/internal/datasets"
+	"sdtw/internal/sift"
+)
+
+// Table1Row is one line of the paper's Table 1 (data set overview).
+type Table1Row struct {
+	Dataset    string
+	Length     int
+	NumSeries  int
+	NumClasses int
+}
+
+// Table1 generates the three data sets and reports their shapes.
+func Table1(scale Scale, seed int64) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, name := range []string{"Gun", "Trace", "50Words"} {
+		d, err := LoadDataset(name, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Dataset:    d.Name,
+			Length:     d.Length,
+			NumSeries:  d.Len(),
+			NumClasses: d.NumClasses,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable1 formats Table 1 in the paper's layout.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %10s %10s\n", "Data Set", "Length", "# Series", "# Classes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8d %10d %10d\n", r.Dataset, r.Length, r.NumSeries, r.NumClasses)
+	}
+	return b.String()
+}
+
+// Table2Row is one line of the paper's Table 2 (average salient point
+// counts per scale class), plus the per-series extraction time the paper
+// reports in §4.2 (~0.7–3 ms per series in Matlab).
+type Table2Row struct {
+	Dataset             string
+	Fine, Medium, Rough float64
+	Total               float64
+	ExtractPerSeries    time.Duration
+}
+
+// Table2 extracts salient features over every series of each data set
+// with the paper's default configuration and averages the per-scale
+// counts.
+func Table2(scale Scale, seed int64) ([]Table2Row, error) {
+	cfg := sift.DefaultConfig()
+	var rows []Table2Row
+	for _, name := range []string{"Gun", "Trace", "50Words"} {
+		d, err := LoadDataset(name, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		row, err := table2Row(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func table2Row(d *datasets.Dataset, cfg sift.Config) (Table2Row, error) {
+	row := Table2Row{Dataset: d.Name}
+	start := time.Now()
+	var fine, medium, rough int
+	for _, s := range d.Series {
+		feats, err := sift.Extract(s.Values, cfg)
+		if err != nil {
+			return row, fmt.Errorf("experiments: table 2 on %s/%s: %w", d.Name, s.ID, err)
+		}
+		counts := sift.CountByClass(feats)
+		fine += counts[sift.Fine]
+		medium += counts[sift.Medium]
+		rough += counts[sift.Rough]
+	}
+	elapsed := time.Since(start)
+	n := float64(d.Len())
+	row.Fine = float64(fine) / n
+	row.Medium = float64(medium) / n
+	row.Rough = float64(rough) / n
+	row.Total = row.Fine + row.Medium + row.Rough
+	row.ExtractPerSeries = elapsed / time.Duration(d.Len())
+	return row, nil
+}
+
+// RenderTable2 formats Table 2 in the paper's layout.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s %8s %12s\n", "Data Set", "Fine", "Medium", "Rough", "Total", "Extract/ser")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8.1f %8.1f %8.1f %8.1f %12s\n",
+			r.Dataset, r.Fine, r.Medium, r.Rough, r.Total, r.ExtractPerSeries.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package learned
+
+import (
+	"testing"
+
+	"sdtw/internal/datasets"
+	"sdtw/internal/dtw"
+)
+
+func TestLearnOnGun(t *testing.T) {
+	d := datasets.Gun(datasets.Config{Seed: 71, SeriesPerClass: 6})
+	b, err := Learn(d.Series, Config{Segments: 6, MaxIters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.HalfWidths) != 6 {
+		t.Fatalf("got %d segments", len(b.HalfWidths))
+	}
+	if b.TrainAccuracy < 0.7 {
+		t.Fatalf("training accuracy %v too low on a 2-class workload", b.TrainAccuracy)
+	}
+	if b.Iterations < 1 {
+		t.Fatal("no hill-climbing iterations recorded")
+	}
+	for seg, hw := range b.HalfWidths {
+		if hw < 1 || hw > d.Length {
+			t.Fatalf("segment %d half-width %d out of range", seg, hw)
+		}
+	}
+}
+
+func TestMaterializeValidBand(t *testing.T) {
+	b := &Band{HalfWidths: []int{3, 8, 3}, Length: 60}
+	band := b.Materialize(60, 60)
+	if err := band.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-series rows (segment 1) must be wider than early rows
+	// (segment 0), up to boundary clamping.
+	wMid := band.Hi[30] - band.Lo[30] + 1
+	wEarly := band.Hi[10] - band.Lo[10] + 1
+	if wMid <= wEarly {
+		t.Fatalf("segment widths not materialised: mid %d vs early %d", wMid, wEarly)
+	}
+	// Rectangular target grids rescale widths.
+	rect := b.Materialize(60, 120)
+	if err := rect.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 60)
+	y := make([]float64, 120)
+	if _, _, err := dtw.Banded(x, y, rect, nil); err != nil {
+		t.Fatalf("rectangular learned band unusable: %v", err)
+	}
+}
+
+func TestLearnValidation(t *testing.T) {
+	if _, err := Learn(nil, Config{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	d := datasets.Gun(datasets.Config{Seed: 1, SeriesPerClass: 1})
+	short := d.Series
+	short[1].Values = short[1].Values[:50]
+	if _, err := Learn(short, Config{}); err == nil {
+		t.Fatal("unequal lengths accepted")
+	}
+}
+
+func TestClassify1NN(t *testing.T) {
+	d := datasets.Gun(datasets.Config{Seed: 73, SeriesPerClass: 6})
+	train := d.Series[:10]
+	b, err := Learn(train, Config{Segments: 4, MaxIters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	holdout := d.Series[10:]
+	for _, q := range holdout {
+		label, err := Classify1NN(b, train, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label == q.Label {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(len(holdout)); frac < 0.6 {
+		t.Fatalf("holdout accuracy %v too low", frac)
+	}
+	if _, err := Classify1NN(b, nil, d.Series[0], nil); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}
+
+// TestLearnedNeedsTraining contrasts the two constraint philosophies: the
+// learned band's accuracy depends on the training sample, while sDTW's
+// structural constraints need none — the positioning argument of the
+// paper's §1.
+func TestLearnedNeedsTraining(t *testing.T) {
+	d := datasets.Gun(datasets.Config{Seed: 79, SeriesPerClass: 8})
+	tiny := d.Series[:2] // degenerate training set: one series per class at best
+	b, err := Learn(tiny, Config{Segments: 4, MaxIters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With two training series, leave-one-out 1NN accuracy is forced: the
+	// only candidate neighbour has the other label when classes differ.
+	if tiny[0].Label != tiny[1].Label && b.TrainAccuracy != 0 {
+		t.Fatalf("degenerate training accuracy = %v, want 0", b.TrainAccuracy)
+	}
+}

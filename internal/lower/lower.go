@@ -1,0 +1,162 @@
+// Package lower implements lower bounds on the DTW distance — LB_Kim and
+// the LB_Keogh envelope bound of "Exact indexing of dynamic time warping"
+// (Keogh, VLDB 2002), the paper's reference [7]. Lower bounds let a
+// retrieval engine discard most candidates without touching the DTW grid:
+// if the bound already exceeds the best distance found so far, the
+// candidate cannot enter the result set.
+//
+// The bounds here are valid for band-constrained DTW as well: every band
+// in this repository contains the Sakoe-Chiba corridor its envelope
+// assumes or is itself an over-estimate of full DTW, and constrained DTW
+// never underestimates the unconstrained distance, so
+// LB(x,y) <= DTW(x,y) <= sDTW(x,y) holds throughout.
+package lower
+
+import (
+	"fmt"
+	"math"
+
+	"sdtw/internal/series"
+)
+
+// Kim returns the LB_Kim lower bound (the simplified 4-point variant in
+// common use): the sum of the point costs of the first and last
+// elements, which every warp path must align. It is the cheapest bound
+// in the cascade.
+func Kim(x, y []float64, dist series.PointDistance) (float64, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return 0, fmt.Errorf("lower: empty input (len(x)=%d len(y)=%d)", len(x), len(y))
+	}
+	if dist == nil {
+		dist = series.SquaredDistance
+	}
+	return dist(x[0], y[0]) + dist(x[len(x)-1], y[len(y)-1]), nil
+}
+
+// Envelope is the precomputable upper/lower envelope of a series under a
+// warping window of the given radius: Upper[i] = max(v[i-r..i+r]),
+// Lower[i] = min(v[i-r..i+r]). Envelopes are computed once per indexed
+// series and reused for every query (the same one-time trade the paper
+// makes for salient features, §3.4).
+type Envelope struct {
+	Upper, Lower []float64
+	Radius       int
+}
+
+// NewEnvelope computes the envelope of v for a warping radius r (>= 0)
+// using Lemire's streaming min/max (two monotonic deques, O(n)).
+func NewEnvelope(v []float64, r int) Envelope {
+	n := len(v)
+	if r < 0 {
+		r = 0
+	}
+	env := Envelope{Upper: make([]float64, n), Lower: make([]float64, n), Radius: r}
+	if n == 0 {
+		return env
+	}
+	// Window for position i is [i-r, i+r]. Maintain index deques whose
+	// front always holds the max (resp. min) of the current window.
+	maxDq := make([]int, 0, 2*r+2)
+	minDq := make([]int, 0, 2*r+2)
+	push := func(j int) {
+		for len(maxDq) > 0 && v[maxDq[len(maxDq)-1]] <= v[j] {
+			maxDq = maxDq[:len(maxDq)-1]
+		}
+		maxDq = append(maxDq, j)
+		for len(minDq) > 0 && v[minDq[len(minDq)-1]] >= v[j] {
+			minDq = minDq[:len(minDq)-1]
+		}
+		minDq = append(minDq, j)
+	}
+	// Prime the first window [0, r].
+	for j := 0; j <= r && j < n; j++ {
+		push(j)
+	}
+	for i := 0; i < n; i++ {
+		if i+r < n && i > 0 {
+			push(i + r)
+		}
+		lo := i - r
+		for len(maxDq) > 0 && maxDq[0] < lo {
+			maxDq = maxDq[1:]
+		}
+		for len(minDq) > 0 && minDq[0] < lo {
+			minDq = minDq[1:]
+		}
+		env.Upper[i] = v[maxDq[0]]
+		env.Lower[i] = v[minDq[0]]
+	}
+	return env
+}
+
+// Keogh returns the LB_Keogh lower bound of the DTW distance between the
+// query q and the series whose envelope is env. Both must have the same
+// length (resample first for unequal lengths; the bound then holds for
+// the resampled problem). With squared point costs the bound is
+// Σ (q_i − U_i)² for q_i above the upper envelope plus (q_i − L_i)² below
+// the lower envelope.
+func Keogh(q []float64, env Envelope, dist series.PointDistance) (float64, error) {
+	if len(q) != len(env.Upper) {
+		return 0, fmt.Errorf("lower: query length %d != envelope length %d", len(q), len(env.Upper))
+	}
+	if dist == nil {
+		dist = series.SquaredDistance
+	}
+	sum := 0.0
+	for i, v := range q {
+		switch {
+		case v > env.Upper[i]:
+			sum += dist(v, env.Upper[i])
+		case v < env.Lower[i]:
+			sum += dist(v, env.Lower[i])
+		}
+	}
+	return sum, nil
+}
+
+// KeoghPair computes LB_Keogh directly from two equal-length series and a
+// warping radius, building the envelope on the fly. Convenience for
+// one-shot checks; indexes should precompute envelopes.
+func KeoghPair(q, c []float64, r int, dist series.PointDistance) (float64, error) {
+	if len(q) != len(c) {
+		return 0, fmt.Errorf("lower: LB_Keogh needs equal lengths, got %d and %d", len(q), len(c))
+	}
+	return Keogh(q, NewEnvelope(c, r), dist)
+}
+
+// Cascade evaluates the bound cascade (Kim, then Keogh) against a pruning
+// threshold and reports whether the candidate can be skipped. A negative
+// threshold disables pruning (Skip always false). The returned bound is
+// the tightest one computed.
+func Cascade(q []float64, c []float64, env Envelope, threshold float64, dist series.PointDistance) (bound float64, skip bool, err error) {
+	kim, err := Kim(q, c, dist)
+	if err != nil {
+		return 0, false, err
+	}
+	if threshold >= 0 && kim > threshold {
+		return kim, true, nil
+	}
+	if len(q) == len(env.Upper) {
+		keogh, err := Keogh(q, env, dist)
+		if err != nil {
+			return kim, false, err
+		}
+		if keogh > kim {
+			kim = keogh
+		}
+		if threshold >= 0 && kim > threshold {
+			return kim, true, nil
+		}
+	}
+	return kim, false, nil
+}
+
+// ValidateBound is a test helper contract: a lower bound must never
+// exceed the exact DTW distance. It returns an error describing the
+// violation, or nil.
+func ValidateBound(bound, exact float64) error {
+	if bound > exact+1e-9*(1+math.Abs(exact)) {
+		return fmt.Errorf("lower: bound %v exceeds exact DTW %v", bound, exact)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package reduced
+
+import (
+	"fmt"
+
+	"sdtw/internal/series"
+
+	"sdtw/internal/dtw"
+)
+
+// FastDTWResult carries the approximate distance, the warp path found at
+// full resolution, and the total grid cells evaluated across all
+// resolution levels.
+type FastDTWResult struct {
+	Distance float64
+	Path     dtw.Path
+	Cells    int
+	// Levels is the number of resolution levels visited.
+	Levels int
+}
+
+// minFastDTWSize is the grid side below which FastDTW solves exactly: the
+// recursion bottoms out on a full dynamic program.
+const minFastDTWSize = 16
+
+// FastDTW computes an approximate DTW distance in linear time and space
+// by recursively solving the problem at half resolution, projecting the
+// coarse warp path onto the finer grid, widening it by radius cells, and
+// refining within that band (Salvador & Chan 2007). radius < 0 selects
+// the customary default of 1.
+func FastDTW(x, y []float64, radius int, dist series.PointDistance) (FastDTWResult, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return FastDTWResult{}, fmt.Errorf("reduced: empty input (len(x)=%d len(y)=%d)", len(x), len(y))
+	}
+	if radius < 0 {
+		radius = 1
+	}
+	return fastDTW(x, y, radius, dist)
+}
+
+func fastDTW(x, y []float64, radius int, dist series.PointDistance) (FastDTWResult, error) {
+	n, m := len(x), len(y)
+	if n <= minFastDTWSize || m <= minFastDTWSize || n <= radius+2 || m <= radius+2 {
+		pr, err := dtw.DistanceWithPath(x, y, dist)
+		if err != nil {
+			return FastDTWResult{}, err
+		}
+		return FastDTWResult{Distance: pr.Distance, Path: pr.Path, Cells: pr.Cells, Levels: 1}, nil
+	}
+	coarse, err := fastDTW(Halve(x), Halve(y), radius, dist)
+	if err != nil {
+		return FastDTWResult{}, err
+	}
+	band := ProjectPath(coarse.Path, n, m, radius)
+	pr, err := dtw.BandedWithPath(x, y, band, dist)
+	if err != nil {
+		return FastDTWResult{}, fmt.Errorf("reduced: refining level %dx%d: %w", n, m, err)
+	}
+	return FastDTWResult{
+		Distance: pr.Distance,
+		Path:     pr.Path,
+		Cells:    coarse.Cells + pr.Cells,
+		Levels:   coarse.Levels + 1,
+	}, nil
+}
+
+// CombinedResult reports the outcome of running the multi-resolution
+// projection intersected with an sDTW band.
+type CombinedResult struct {
+	Distance float64
+	// Cells counts full-resolution cells filled plus all coarse-level
+	// work.
+	Cells int
+	// BandCells is the final intersected band's size, for comparing
+	// against either technique alone.
+	BandCells int
+}
+
+// Combined refines the FastDTW projected band *intersected* with a
+// salient-feature band (the sDTW constraints), realising the combination
+// the paper sketches in §1.1/§2: multi-resolution search confined to the
+// locally relevant region. The sdtwBand must constrain the full
+// len(x)×len(y) grid.
+func Combined(x, y []float64, radius int, sdtwBand dtw.Band, dist series.PointDistance) (CombinedResult, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return CombinedResult{}, fmt.Errorf("reduced: empty input (len(x)=%d len(y)=%d)", len(x), len(y))
+	}
+	if radius < 0 {
+		radius = 1
+	}
+	n, m := len(x), len(y)
+	if n <= minFastDTWSize || m <= minFastDTWSize {
+		d, cells, err := dtw.Banded(x, y, sdtwBand, dist)
+		if err != nil {
+			return CombinedResult{}, err
+		}
+		return CombinedResult{Distance: d, Cells: cells, BandCells: sdtwBand.Cells()}, nil
+	}
+	coarse, err := fastDTW(Halve(x), Halve(y), radius, dist)
+	if err != nil {
+		return CombinedResult{}, err
+	}
+	projected := ProjectPath(coarse.Path, n, m, radius)
+	combined, err := Intersect(projected, sdtwBand)
+	if err != nil {
+		return CombinedResult{}, err
+	}
+	d, cells, err := dtw.Banded(x, y, combined, dist)
+	if err != nil {
+		return CombinedResult{}, fmt.Errorf("reduced: combined refinement: %w", err)
+	}
+	return CombinedResult{
+		Distance:  d,
+		Cells:     coarse.Cells + cells,
+		BandCells: combined.Cells(),
+	}, nil
+}

@@ -1,0 +1,157 @@
+// Package reduced implements reduced-representation DTW: piecewise
+// aggregate approximation (PAA), coarse-to-fine band projection, and the
+// FastDTW algorithm of Salvador & Chan ("Toward accurate dynamic time
+// warping in linear time and space", IDA 11(5), 2007) — the orthogonal
+// speed-up family the paper discusses in §2.1.4 and explicitly notes sDTW
+// "can naturally be implemented along with" (§1.1, §2). The Combined
+// function realises that combination: the multi-resolution projected band
+// intersected with the salient-feature band.
+package reduced
+
+import (
+	"fmt"
+
+	"sdtw/internal/dtw"
+)
+
+// PAA reduces v to ceil(len(v)/factor) samples by averaging consecutive
+// windows of the given factor (piecewise aggregate approximation). A
+// factor <= 1 returns a copy.
+func PAA(v []float64, factor int) []float64 {
+	if factor <= 1 {
+		out := make([]float64, len(v))
+		copy(out, v)
+		return out
+	}
+	n := (len(v) + factor - 1) / factor
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * factor
+		hi := lo + factor
+		if hi > len(v) {
+			hi = len(v)
+		}
+		sum := 0.0
+		for j := lo; j < hi; j++ {
+			sum += v[j]
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// Halve is the resolution step FastDTW uses: PAA with factor 2.
+func Halve(v []float64) []float64 { return PAA(v, 2) }
+
+// ProjectPath expands a warp path found on a half-resolution grid onto
+// the (n, m) full-resolution grid and widens it by radius cells in every
+// direction, producing the search band for the next refinement level.
+// Each coarse cell (i,j) covers fine cells (2i..2i+1, 2j..2j+1). The
+// result is normalized.
+func ProjectPath(path dtw.Path, n, m, radius int) dtw.Band {
+	if radius < 0 {
+		radius = 0
+	}
+	b := dtw.NewBand(n, m)
+	// Sentinels: rows untouched by the projection stay empty until the
+	// radius expansion below.
+	for i := range b.Lo {
+		b.Lo[i] = m // empty sentinel
+		b.Hi[i] = -1
+	}
+	mark := func(i, j int) {
+		if i < 0 || i >= n {
+			return
+		}
+		if j < 0 {
+			j = 0
+		}
+		if j >= m {
+			j = m - 1
+		}
+		if j < b.Lo[i] {
+			b.Lo[i] = j
+		}
+		if j > b.Hi[i] {
+			b.Hi[i] = j
+		}
+	}
+	for _, s := range path {
+		for di := 0; di < 2; di++ {
+			for dj := 0; dj < 2; dj++ {
+				mark(2*s.I+di, 2*s.J+dj)
+			}
+		}
+	}
+	// Repair rows the projection missed (odd lengths can leave the last
+	// row untouched): inherit the nearest populated neighbour.
+	lastLo, lastHi := 0, 0
+	for i := 0; i < n; i++ {
+		if b.Hi[i] < b.Lo[i] {
+			b.Lo[i], b.Hi[i] = lastLo, lastHi
+		}
+		lastLo, lastHi = b.Lo[i], b.Hi[i]
+	}
+	if radius > 0 {
+		expandBand(&b, radius)
+	}
+	return b.Normalize()
+}
+
+// expandBand widens every row interval by radius columns and lets each
+// row inherit its vertical neighbours' intervals within radius rows,
+// FastDTW's square-radius expansion.
+func expandBand(b *dtw.Band, radius int) {
+	n := len(b.Lo)
+	lo := make([]int, n)
+	hi := make([]int, n)
+	for i := 0; i < n; i++ {
+		l, h := b.Lo[i], b.Hi[i]
+		for d := -radius; d <= radius; d++ {
+			if i+d < 0 || i+d >= n {
+				continue
+			}
+			if b.Lo[i+d] < l {
+				l = b.Lo[i+d]
+			}
+			if b.Hi[i+d] > h {
+				h = b.Hi[i+d]
+			}
+		}
+		lo[i] = l - radius
+		hi[i] = h + radius
+	}
+	copy(b.Lo, lo)
+	copy(b.Hi, hi)
+}
+
+// Intersect returns the row-wise intersection of two bands over the same
+// grid, normalized so the result always admits a warp path (rows whose
+// intervals are disjoint collapse to the nearest feasible cells and are
+// re-bridged). Used to combine a multi-resolution projected band with
+// sDTW's locally relevant constraints.
+func Intersect(a, b dtw.Band) (dtw.Band, error) {
+	if len(a.Lo) != len(b.Lo) || a.M != b.M {
+		return dtw.Band{}, fmt.Errorf("reduced: intersecting incompatible bands (%dx%d vs %dx%d)",
+			len(a.Lo), a.M, len(b.Lo), b.M)
+	}
+	out := dtw.NewBand(len(a.Lo), a.M)
+	for i := range a.Lo {
+		lo := a.Lo[i]
+		if b.Lo[i] > lo {
+			lo = b.Lo[i]
+		}
+		hi := a.Hi[i]
+		if b.Hi[i] < hi {
+			hi = b.Hi[i]
+		}
+		if hi < lo {
+			// Disjoint row: keep the midpoint between the two intervals
+			// so Normalize can re-bridge a thin corridor.
+			mid := (a.Lo[i] + a.Hi[i] + b.Lo[i] + b.Hi[i]) / 4
+			lo, hi = mid, mid
+		}
+		out.Lo[i], out.Hi[i] = lo, hi
+	}
+	return out.Normalize(), nil
+}

@@ -1,0 +1,318 @@
+package reduced
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sdtw/internal/band"
+	"sdtw/internal/dtw"
+	"sdtw/internal/match"
+	"sdtw/internal/series"
+	"sdtw/internal/sift"
+)
+
+func TestPAABasics(t *testing.T) {
+	v := []float64{1, 3, 5, 7, 9, 11}
+	got := PAA(v, 2)
+	want := []float64{2, 6, 10}
+	if len(got) != len(want) {
+		t.Fatalf("PAA = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PAA = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPAAUnevenTail(t *testing.T) {
+	v := []float64{2, 4, 6, 8, 10}
+	got := PAA(v, 2)
+	want := []float64{3, 7, 10} // last window has a single sample
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PAA = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPAAFactorOneCopies(t *testing.T) {
+	v := []float64{1, 2, 3}
+	got := PAA(v, 1)
+	got[0] = 99
+	if v[0] == 99 {
+		t.Fatal("PAA(1) aliases input")
+	}
+}
+
+func TestPAAPreservesMean(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(100)
+		v := make([]float64, n)
+		sum := 0.0
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			sum += v[i]
+		}
+		// With factor dividing n exactly, the PAA total mean equals the
+		// original mean.
+		factor := 2
+		for n%factor != 0 {
+			n--
+			v = v[:n]
+		}
+		sum = 0
+		for _, x := range v {
+			sum += x
+		}
+		r := PAA(v, factor)
+		rsum := 0.0
+		for _, x := range r {
+			rsum += x
+		}
+		return math.Abs(sum/float64(len(v))-rsum/float64(len(r))) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHalveLength(t *testing.T) {
+	if got := len(Halve(make([]float64, 11))); got != 6 {
+		t.Fatalf("Halve(11) length = %d, want 6", got)
+	}
+}
+
+func TestProjectPathCoversScaledPath(t *testing.T) {
+	// A coarse diagonal path must project onto a band containing the
+	// fine diagonal.
+	coarse := dtw.Path{}
+	for k := 0; k < 10; k++ {
+		coarse = append(coarse, dtw.Step{I: k, J: k})
+	}
+	b := ProjectPath(coarse, 20, 20, 0)
+	for i := 0; i < 20; i++ {
+		if !b.Contains(i, i) {
+			t.Fatalf("projected band misses diagonal at %d: [%d,%d]", i, b.Lo[i], b.Hi[i])
+		}
+	}
+}
+
+func TestProjectPathRadiusWidens(t *testing.T) {
+	coarse := dtw.Path{}
+	for k := 0; k < 10; k++ {
+		coarse = append(coarse, dtw.Step{I: k, J: k})
+	}
+	tight := ProjectPath(coarse, 20, 20, 0)
+	wide := ProjectPath(coarse, 20, 20, 2)
+	if wide.Cells() <= tight.Cells() {
+		t.Fatalf("radius did not widen band: %d vs %d", wide.Cells(), tight.Cells())
+	}
+	for i := range tight.Lo {
+		if wide.Lo[i] > tight.Lo[i] || wide.Hi[i] < tight.Hi[i] {
+			t.Fatal("radius-widened band does not contain the tight band")
+		}
+	}
+}
+
+func TestProjectPathOddLengths(t *testing.T) {
+	// Fine grids with odd sizes leave a final row/column the coarse path
+	// cannot reach by doubling; projection must still produce a valid,
+	// connected band.
+	coarse := dtw.Path{}
+	for k := 0; k < 8; k++ {
+		coarse = append(coarse, dtw.Step{I: k, J: k})
+	}
+	b := ProjectPath(coarse, 17, 19, 1)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 17)
+	y := make([]float64, 19)
+	if _, _, err := dtw.Banded(x, y, b, nil); err != nil {
+		t.Fatalf("projected band not usable: %v", err)
+	}
+}
+
+func TestIntersectBasics(t *testing.T) {
+	a := dtw.SakoeChiba(30, 30, 0.4)
+	b := dtw.SakoeChiba(30, 30, 0.2)
+	got, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intersection with a superset band is (up to normalization repairs)
+	// the smaller band.
+	if got.Cells() > b.Cells() {
+		t.Fatalf("intersection larger than the narrower band: %d vs %d", got.Cells(), b.Cells())
+	}
+	if _, err := Intersect(a, dtw.SakoeChiba(20, 30, 0.2)); err == nil {
+		t.Fatal("incompatible intersection accepted")
+	}
+}
+
+func TestIntersectDisjointRowsRepaired(t *testing.T) {
+	a := dtw.Band{Lo: []int{0, 0, 0, 0}, Hi: []int{1, 1, 1, 3}, M: 4}
+	b := dtw.Band{Lo: []int{0, 3, 3, 3}, Hi: []int{3, 3, 3, 3}, M: 4}
+	got, err := Intersect(a.Normalize(), b.Normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 4)
+	y := make([]float64, 4)
+	if _, _, err := dtw.Banded(x, y, got, nil); err != nil {
+		t.Fatalf("repaired intersection unusable: %v", err)
+	}
+}
+
+func warpedPair(seed int64, n int) ([]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	base := make([]float64, n)
+	for i := range base {
+		x := float64(i)
+		base[i] = series.GaussianBump(x, float64(n)*0.3, float64(n)*0.05, 1) -
+			series.GaussianBump(x, float64(n)*0.7, float64(n)*0.06, 0.8)
+	}
+	w := series.ApplyWarp(base, series.RandomWarp(rng, 4, 0.4), n)
+	return base, series.AddNoise(rng, w, 0.01)
+}
+
+func TestFastDTWSmallIsExact(t *testing.T) {
+	x, y := warpedPair(1, 12) // below minFastDTWSize: exact
+	res, err := FastDTW(x, y, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := dtw.Distance(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Distance-exact) > 1e-12 {
+		t.Fatalf("small FastDTW %v != exact %v", res.Distance, exact)
+	}
+	if res.Levels != 1 {
+		t.Fatalf("small input recursed: %d levels", res.Levels)
+	}
+}
+
+func TestFastDTWApproximatesExact(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		x, y := warpedPair(seed, 300)
+		exact, err := dtw.Distance(x, y, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := FastDTW(x, y, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Distance < exact-1e-9 {
+			t.Fatalf("FastDTW underestimates: %v < %v", res.Distance, exact)
+		}
+		if exact > 0 && (res.Distance-exact)/exact > 1.0 {
+			t.Fatalf("seed %d: FastDTW error too large: %v vs %v", seed, res.Distance, exact)
+		}
+		if err := res.Path.Validate(len(x), len(y)); err != nil {
+			t.Fatalf("FastDTW path invalid: %v", err)
+		}
+		if res.Levels < 2 {
+			t.Fatalf("no recursion on length-300 input")
+		}
+	}
+}
+
+func TestFastDTWPrunesWork(t *testing.T) {
+	x, y := warpedPair(3, 600)
+	res, err := FastDTW(x, y, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := len(x) * len(y)
+	if res.Cells >= full/2 {
+		t.Fatalf("FastDTW filled %d of %d cells", res.Cells, full)
+	}
+}
+
+func TestFastDTWLargerRadiusMoreAccurate(t *testing.T) {
+	sumNarrow, sumWide := 0.0, 0.0
+	for seed := int64(0); seed < 8; seed++ {
+		x, y := warpedPair(seed+50, 400)
+		rNarrow, err := FastDTW(x, y, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rWide, err := FastDTW(x, y, 6, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumNarrow += rNarrow.Distance
+		sumWide += rWide.Distance
+	}
+	if sumWide > sumNarrow+1e-9 {
+		t.Fatalf("wider radius less accurate in aggregate: %v vs %v", sumWide, sumNarrow)
+	}
+}
+
+func TestFastDTWEmptyInput(t *testing.T) {
+	if _, err := FastDTW(nil, []float64{1}, 1, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestCombinedRespectsBothConstraints(t *testing.T) {
+	x, y := warpedPair(9, 300)
+	// Build the sDTW band from real features.
+	fx, err := sift.Extract(x, sift.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fy, err := sift.Extract(y, sift.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := match.Match(fx, fy, len(x), len(y), match.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdtwBand, err := band.Build(al, band.Config{Strategy: band.AdaptiveCoreAdaptiveWidth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Combined(x, y, 1, sdtwBand, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := dtw.Distance(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance < exact-1e-9 {
+		t.Fatalf("combined underestimates: %v < %v", res.Distance, exact)
+	}
+	// The combined band is no larger than the sDTW band alone.
+	if res.BandCells > sdtwBand.Cells() {
+		t.Fatalf("combined band (%d cells) exceeds sDTW band (%d)", res.BandCells, sdtwBand.Cells())
+	}
+}
+
+func TestCombinedSmallInputFallsBack(t *testing.T) {
+	x := make([]float64, 10)
+	y := make([]float64, 10)
+	b := dtw.FullBand(10, 10)
+	res, err := Combined(x, y, 1, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance != 0 {
+		t.Fatalf("zero series distance = %v", res.Distance)
+	}
+}
+
+func TestCombinedEmptyInput(t *testing.T) {
+	if _, err := Combined(nil, []float64{1}, 1, dtw.FullBand(1, 1), nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

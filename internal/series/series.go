@@ -1,0 +1,201 @@
+// Package series provides the time-series substrate used throughout the
+// sDTW library: the Series value type, element-level distance functions,
+// normalisation, resampling, and synthetic time-warping utilities.
+//
+// All algorithms in this repository operate on plain []float64 values; the
+// Series type adds the identity and label metadata needed by the retrieval
+// and classification harnesses.
+package series
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Series is a univariate time series with optional identity metadata.
+// The zero value is an empty, unlabeled series.
+type Series struct {
+	// ID identifies the series within a data set. It is used as a cache
+	// key by the sDTW engine when non-empty.
+	ID string
+	// Label is the class label used by classification experiments.
+	// Negative means unlabeled.
+	Label int
+	// Values holds the observations in temporal order.
+	Values []float64
+}
+
+// New returns a labeled series wrapping values. The slice is not copied.
+func New(id string, label int, values []float64) Series {
+	return Series{ID: id, Label: label, Values: values}
+}
+
+// Len returns the number of observations.
+func (s Series) Len() int { return len(s.Values) }
+
+// Clone returns a deep copy of the series.
+func (s Series) Clone() Series {
+	v := make([]float64, len(s.Values))
+	copy(v, s.Values)
+	return Series{ID: s.ID, Label: s.Label, Values: v}
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (s Series) String() string {
+	return fmt.Sprintf("Series(id=%q label=%d len=%d)", s.ID, s.Label, len(s.Values))
+}
+
+// Validate reports an error if the series contains NaN or Inf values or is
+// empty. DTW over non-finite values produces meaningless distances, so
+// ingestion points should validate first.
+func (s Series) Validate() error {
+	if len(s.Values) == 0 {
+		return errors.New("series: empty series")
+	}
+	for i, v := range s.Values {
+		if math.IsNaN(v) {
+			return fmt.Errorf("series: NaN at index %d", i)
+		}
+		if math.IsInf(v, 0) {
+			return fmt.Errorf("series: Inf at index %d", i)
+		}
+	}
+	return nil
+}
+
+// PointDistance measures the cost of aligning two scalar observations.
+// DTW accumulates these costs along the warp path.
+type PointDistance func(a, b float64) float64
+
+// SquaredDistance is the conventional UCR point cost (a-b)^2.
+func SquaredDistance(a, b float64) float64 { d := a - b; return d * d }
+
+// AbsDistance is the L1 point cost |a-b|.
+func AbsDistance(a, b float64) float64 { return math.Abs(a - b) }
+
+// Mean returns the arithmetic mean of v. It returns 0 for empty input.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
+}
+
+// Std returns the population standard deviation of v.
+func Std(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := Mean(v)
+	ss := 0.0
+	for _, x := range v {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(v)))
+}
+
+// MinMax returns the minimum and maximum of v. It returns (0,0) for empty
+// input.
+func MinMax(v []float64) (lo, hi float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	lo, hi = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// ZNormalize returns a copy of v shifted to zero mean and scaled to unit
+// standard deviation. Constant series are returned as all zeros.
+func ZNormalize(v []float64) []float64 {
+	out := make([]float64, len(v))
+	m, s := Mean(v), Std(v)
+	if s == 0 {
+		return out
+	}
+	for i, x := range v {
+		out[i] = (x - m) / s
+	}
+	return out
+}
+
+// Normalize01 returns a copy of v linearly rescaled into [0,1]. Constant
+// series map to all zeros.
+func Normalize01(v []float64) []float64 {
+	out := make([]float64, len(v))
+	lo, hi := MinMax(v)
+	if hi == lo {
+		return out
+	}
+	for i, x := range v {
+		out[i] = (x - lo) / (hi - lo)
+	}
+	return out
+}
+
+// Resample linearly interpolates v to exactly n samples. It panics if n < 1
+// or v is empty, as both indicate programmer error.
+func Resample(v []float64, n int) []float64 {
+	if n < 1 {
+		panic("series: Resample target length < 1")
+	}
+	if len(v) == 0 {
+		panic("series: Resample of empty series")
+	}
+	if n == len(v) {
+		out := make([]float64, n)
+		copy(out, v)
+		return out
+	}
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = v[0]
+		return out
+	}
+	scale := float64(len(v)-1) / float64(n-1)
+	for i := range out {
+		pos := float64(i) * scale
+		j := int(pos)
+		if j >= len(v)-1 {
+			out[i] = v[len(v)-1]
+			continue
+		}
+		frac := pos - float64(j)
+		out[i] = v[j]*(1-frac) + v[j+1]*frac
+	}
+	// Guarantee exact endpoint preservation despite floating-point
+	// rounding in the position arithmetic.
+	out[n-1] = v[len(v)-1]
+	return out
+}
+
+// EuclideanAligned returns the pointwise accumulated cost of the diagonal
+// alignment of two equal-length series. DTW distance is bounded above by
+// this value (the diagonal is itself a warp path), which several tests and
+// the evaluation harness exploit.
+func EuclideanAligned(a, b []float64, dist PointDistance) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("series: aligned distance needs equal lengths, got %d and %d", len(a), len(b))
+	}
+	if dist == nil {
+		dist = SquaredDistance
+	}
+	sum := 0.0
+	for i := range a {
+		sum += dist(a[i], b[i])
+	}
+	return sum, nil
+}

@@ -1,0 +1,504 @@
+// Package sift detects salient features on 1-D time series and extracts
+// their descriptors, implementing the SIFT adaptation of paper §3.1.2.
+//
+// Detection searches the difference-of-Gaussians scale space (package
+// scalespace) for points that are — up to the paper's (1−ε) relaxation —
+// extrema with respect to their two temporal neighbours at the same scale
+// and their three neighbours in the scales directly above and below.
+// Each surviving keypoint carries its temporal position, its scale σ, a
+// scope of radius 3σ, and a gradient-histogram descriptor of configurable
+// length (2·cells bins: positive and negative gradient energy per cell,
+// paper Fig 5b).
+package sift
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sdtw/internal/scalespace"
+)
+
+// ScaleClass buckets features by temporal scale for reporting (paper
+// Table 2 reports per-data-set counts at fine/medium/rough scales).
+type ScaleClass int
+
+const (
+	// Fine features live in the first octave (original resolution).
+	Fine ScaleClass = iota
+	// Medium features live in the second octave.
+	Medium
+	// Rough features live in the third and coarser octaves.
+	Rough
+)
+
+// String implements fmt.Stringer.
+func (c ScaleClass) String() string {
+	switch c {
+	case Fine:
+		return "fine"
+	case Medium:
+		return "medium"
+	case Rough:
+		return "rough"
+	default:
+		return fmt.Sprintf("ScaleClass(%d)", int(c))
+	}
+}
+
+// Feature is one salient point detected on a series.
+type Feature struct {
+	// X is the temporal position in original-series samples.
+	X int
+	// Sigma is the detection scale in original-series samples.
+	Sigma float64
+	// Octave and Level locate the feature in the pyramid (DoG level).
+	Octave, Level int
+	// Response is the DoG value at the feature; its sign distinguishes
+	// peak-like (positive) from dip-like (negative) features.
+	Response float64
+	// Scope is the temporal radius 3σ covered by the feature (§3.1.2).
+	Scope float64
+	// Amplitude is the mean series value within the feature's scope, used
+	// by the matcher's τa threshold and ∆amp similarity term (§3.2).
+	Amplitude float64
+	// Descriptor is the normalised gradient histogram (len = 2·cells).
+	Descriptor []float64
+}
+
+// Start returns the first sample covered by the feature's scope, clamped
+// to the series.
+func (f Feature) Start(n int) int {
+	s := f.X - int(math.Round(f.Scope))
+	if s < 0 {
+		s = 0
+	}
+	if s >= n {
+		s = n - 1
+	}
+	return s
+}
+
+// End returns the last sample covered by the feature's scope, clamped to
+// the series.
+func (f Feature) End(n int) int {
+	e := f.X + int(math.Round(f.Scope))
+	if e >= n {
+		e = n - 1
+	}
+	if e < 0 {
+		e = 0
+	}
+	return e
+}
+
+// Class returns the scale bucket of the feature.
+func (f Feature) Class() ScaleClass {
+	switch {
+	case f.Octave == 0:
+		return Fine
+	case f.Octave == 1:
+		return Medium
+	default:
+		return Rough
+	}
+}
+
+// Config controls detection and description. The zero value selects the
+// paper's defaults.
+type Config struct {
+	// Scale space construction; see scalespace.Config.
+	ScaleSpace scalespace.Config
+	// Epsilon is the relaxation of the extremum test: a point survives if
+	// it is at least (1−ε)× every neighbour (§3.1.2). Zero means 0.10;
+	// negative disables relaxation (strict extrema).
+	//
+	// Calibration note: the paper reports ε as "0.96%". Read literally
+	// (0.0096) the relaxed test is nearly strict and detects an order of
+	// magnitude fewer features than the paper's Table 2; read as 0.96 it
+	// accepts nearly every grid position, reproducing Table 2's absolute
+	// counts but making matching quadratically expensive, contradicting
+	// §3.4's |S_X| ≪ N assumption. The default 0.10 lands feature
+	// populations in the tens per series, preserving both Table 2's
+	// fine/medium/rough profile and the complexity argument. Both paper
+	// readings remain available through this field.
+	Epsilon float64
+	// ContrastThreshold discards keypoints whose |DoG| response is below
+	// this fraction of the largest response in the series, mirroring
+	// SIFT's low-contrast filtering (§3.1.1 step 2). Zero means 0.01.
+	// Negative disables the filter.
+	ContrastThreshold float64
+	// DescriptorBins is the descriptor length (2·cells). The paper sweeps
+	// 4..128 and defaults to 64. Zero means 64. Must be even and >= 2.
+	DescriptorBins int
+	// CellWidth is the number of octave-resolution samples per descriptor
+	// cell (SIFT uses 4 pixels per cell). Zero means 4.
+	CellWidth int
+	// AmplitudeInvariant, when true (the default via DefaultConfig),
+	// normalises descriptors to unit length so that uniform amplitude
+	// scaling of the series leaves descriptors unchanged. §3.1.2 notes
+	// each invariance can be toggled independently.
+	AmplitudeInvariant bool
+	// MaxFeatures caps the number of features kept per series. When the
+	// detector finds more, the strongest by |DoG response| survive, with
+	// each octave retaining a proportional share so coarse evidence is
+	// never starved by fine-scale noise. Keeping |S_X| ≪ N preserves the
+	// paper's §3.4 complexity argument (matching far cheaper than the
+	// grid fill). Zero means 48; negative disables the cap.
+	MaxFeatures int
+}
+
+// DefaultConfig returns the repository's default configuration: auto
+// octave count, s=2 levels, ε=0.10 (see the Epsilon calibration note),
+// 64-bin descriptors as in the paper's experiments.
+func DefaultConfig() Config {
+	return Config{
+		Epsilon:            0.10,
+		ContrastThreshold:  0.01,
+		DescriptorBins:     64,
+		CellWidth:          4,
+		AmplitudeInvariant: true,
+	}
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.10
+	}
+	if c.Epsilon < 0 {
+		c.Epsilon = 0
+	}
+	if c.ContrastThreshold == 0 {
+		c.ContrastThreshold = 0.01
+	}
+	if c.DescriptorBins == 0 {
+		c.DescriptorBins = 64
+	}
+	if c.DescriptorBins < 2 || c.DescriptorBins%2 != 0 {
+		return c, fmt.Errorf("sift: DescriptorBins must be even and >= 2, got %d", c.DescriptorBins)
+	}
+	if c.CellWidth <= 0 {
+		c.CellWidth = 4
+	}
+	if c.MaxFeatures == 0 {
+		c.MaxFeatures = 48
+	}
+	return c, nil
+}
+
+// Extract detects salient features on v and computes their descriptors.
+// Features are returned sorted by temporal position.
+func Extract(v []float64, cfg Config) ([]Feature, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	pyr, err := scalespace.Build(v, cfg.ScaleSpace)
+	if err != nil {
+		return nil, err
+	}
+	return ExtractFromPyramid(v, pyr, cfg)
+}
+
+// ExtractFromPyramid runs detection and description over an existing
+// pyramid, allowing callers that need the pyramid for other purposes to
+// avoid rebuilding it.
+func ExtractFromPyramid(v []float64, pyr *scalespace.Pyramid, cfg Config) ([]Feature, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	maxResp := maxAbsDoG(pyr)
+	minResp := cfg.ContrastThreshold * maxResp
+	var feats []Feature
+	for _, oct := range pyr.Octaves {
+		// Interior DoG levels have scale neighbours on both sides.
+		for l := 1; l+1 < len(oct.DoG); l++ {
+			d := oct.DoG[l].Values
+			below := oct.DoG[l-1].Values
+			above := oct.DoG[l+1].Values
+			for i := 1; i+1 < len(d); i++ {
+				val := d[i]
+				if cfg.ContrastThreshold >= 0 && math.Abs(val) < minResp {
+					continue
+				}
+				if !isRelaxedExtremum(val, i, d, below, above, cfg.Epsilon) {
+					continue
+				}
+				f := Feature{
+					X:        i * oct.Stride,
+					Sigma:    oct.DoG[l].Sigma,
+					Octave:   oct.Index,
+					Level:    l,
+					Response: val,
+				}
+				f.Scope = 3 * f.Sigma
+				f.Descriptor = describe(oct.Gauss[l].Values, i, cfg)
+				f.Amplitude = scopeAmplitude(v, f)
+				feats = append(feats, f)
+			}
+		}
+	}
+	feats = capFeatures(feats, cfg.MaxFeatures)
+	sort.Slice(feats, func(a, b int) bool {
+		if feats[a].X != feats[b].X {
+			return feats[a].X < feats[b].X
+		}
+		return feats[a].Sigma < feats[b].Sigma
+	})
+	return feats, nil
+}
+
+// capFeatures keeps at most limit features, allocating each octave a share
+// proportional to its detected population (at least one per non-empty
+// octave) and keeping the strongest |Response| within each octave.
+func capFeatures(feats []Feature, limit int) []Feature {
+	if limit <= 0 || len(feats) <= limit {
+		return feats
+	}
+	byOct := make(map[int][]Feature)
+	maxOct := 0
+	for _, f := range feats {
+		byOct[f.Octave] = append(byOct[f.Octave], f)
+		if f.Octave > maxOct {
+			maxOct = f.Octave
+		}
+	}
+	total := len(feats)
+	kept := feats[:0]
+	for oct := 0; oct <= maxOct; oct++ {
+		group := byOct[oct]
+		if len(group) == 0 {
+			continue
+		}
+		quota := limit * len(group) / total
+		if quota < 1 {
+			quota = 1
+		}
+		if quota > len(group) {
+			quota = len(group)
+		}
+		sort.Slice(group, func(a, b int) bool {
+			return math.Abs(group[a].Response) > math.Abs(group[b].Response)
+		})
+		kept = append(kept, group[:quota]...)
+	}
+	return kept
+}
+
+// isRelaxedExtremum applies the paper's relaxed extremum test at position i
+// of DoG level d with scale neighbours below/above: the point is accepted
+// when it is a maximum (or, symmetrically, a minimum) relative to all eight
+// neighbours up to the (1−ε) slack.
+func isRelaxedExtremum(val float64, i int, d, below, above []float64, eps float64) bool {
+	slack := 1 - eps
+	isMax, isMin := true, true
+	check := func(nb float64) {
+		// Maximum test with slack: val must be >= slack·nb for positive
+		// neighbours, and simply >= nb when the neighbour is negative
+		// (slack would make the test easier in the wrong direction).
+		if nb > 0 {
+			if val < slack*nb {
+				isMax = false
+			}
+		} else if val < nb {
+			isMax = false
+		}
+		// Minimum test, mirrored.
+		if nb < 0 {
+			if val > slack*nb {
+				isMin = false
+			}
+		} else if val > nb {
+			isMin = false
+		}
+	}
+	for off := -1; off <= 1; off++ {
+		j := i + off
+		if off != 0 {
+			check(d[j])
+		}
+		if j >= 0 && j < len(below) {
+			check(below[j])
+		}
+		if j >= 0 && j < len(above) {
+			check(above[j])
+		}
+	}
+	if val > 0 {
+		return isMax
+	}
+	if val < 0 {
+		return isMin
+	}
+	return false
+}
+
+// describe builds the gradient-histogram descriptor around sample i of the
+// octave-resolution smoothed series g (paper §3.1.2 step 2, Fig 5b).
+// The window spans cells·CellWidth samples centred at i; each cell
+// accumulates Gaussian-weighted positive gradient magnitude into its first
+// bin and negative magnitude into its second.
+func describe(g []float64, i int, cfg Config) []float64 {
+	cells := cfg.DescriptorBins / 2
+	window := cells * cfg.CellWidth
+	half := window / 2
+	desc := make([]float64, cfg.DescriptorBins)
+	if len(g) < 3 {
+		return desc
+	}
+	// Gaussian weighting with σ = half the window, as in SIFT.
+	wSigma := float64(window) / 2
+	for t := -half; t < window-half; t++ {
+		pos := i + t
+		grad := gradientAt(g, pos)
+		w := math.Exp(-0.5 * float64(t*t) / (wSigma * wSigma))
+		cell := (t + half) / cfg.CellWidth
+		if cell < 0 {
+			cell = 0
+		}
+		if cell >= cells {
+			cell = cells - 1
+		}
+		if grad >= 0 {
+			desc[2*cell] += w * grad
+		} else {
+			desc[2*cell+1] += w * (-grad)
+		}
+	}
+	if cfg.AmplitudeInvariant {
+		normalize(desc)
+	}
+	return desc
+}
+
+// gradientAt returns the central-difference gradient of g at pos with
+// clamp-to-edge behaviour. Positions outside the series clamp to the
+// nearest edge, where the gradient degenerates to a one-sided difference
+// or zero; descriptor windows near boundaries therefore fade out rather
+// than wrap or panic.
+func gradientAt(g []float64, pos int) float64 {
+	n := len(g)
+	if pos < 0 {
+		pos = 0
+	} else if pos >= n {
+		pos = n - 1
+	}
+	lo, hi := pos-1, pos+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= n {
+		hi = n - 1
+	}
+	if hi == lo {
+		return 0
+	}
+	return (g[hi] - g[lo]) / float64(hi-lo)
+}
+
+func normalize(v []float64) {
+	ss := 0.0
+	for _, x := range v {
+		ss += x * x
+	}
+	if ss == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(ss)
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// scopeAmplitude computes the mean of the original series over the
+// feature's scope.
+func scopeAmplitude(v []float64, f Feature) float64 {
+	s, e := f.Start(len(v)), f.End(len(v))
+	sum := 0.0
+	for i := s; i <= e; i++ {
+		sum += v[i]
+	}
+	return sum / float64(e-s+1)
+}
+
+func maxAbsDoG(pyr *scalespace.Pyramid) float64 {
+	maxAbs := 0.0
+	for _, oct := range pyr.Octaves {
+		for _, lvl := range oct.DoG {
+			for _, x := range lvl.Values {
+				if a := math.Abs(x); a > maxAbs {
+					maxAbs = a
+				}
+			}
+		}
+	}
+	return maxAbs
+}
+
+// DescriptorDistance returns the Euclidean distance between descriptors a
+// and b. Descriptors of different lengths are incomparable and yield +Inf.
+func DescriptorDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	ss := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss)
+}
+
+// DescriptorDistanceEarlyAbandon is DescriptorDistance with an early exit:
+// once the partial distance provably exceeds cutoff the function returns
+// +Inf. Matching performs |S_X|·|S_Y| nearest-neighbour scans where most
+// candidates lose quickly, so abandoning keeps the §3.4 matching cost far
+// below the DTW grid fill.
+func DescriptorDistanceEarlyAbandon(a, b []float64, cutoff float64) float64 {
+	d := DescriptorDistanceSqAbandon(a, b, cutoff*cutoff)
+	if math.IsInf(d, 1) {
+		return d
+	}
+	return math.Sqrt(d)
+}
+
+// DescriptorDistanceSqAbandon returns the squared Euclidean descriptor
+// distance, abandoning with +Inf once the partial sum exceeds cutoffSq.
+// Working in squared space lets nearest-neighbour scans avoid sqrt
+// entirely.
+func DescriptorDistanceSqAbandon(a, b []float64, cutoffSq float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	ss := 0.0
+	// Process in chunks of 8 between abandonment checks: the comparison
+	// itself costs as much as the arithmetic on short descriptors.
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		for k := i; k < i+8; k++ {
+			d := a[k] - b[k]
+			ss += d * d
+		}
+		if ss > cutoffSq {
+			return math.Inf(1)
+		}
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	if ss > cutoffSq {
+		return math.Inf(1)
+	}
+	return ss
+}
+
+// CountByClass tallies features per scale class, the statistic of Table 2.
+func CountByClass(feats []Feature) map[ScaleClass]int {
+	counts := make(map[ScaleClass]int, 3)
+	for _, f := range feats {
+		counts[f.Class()]++
+	}
+	return counts
+}

@@ -1,0 +1,103 @@
+package sdtw
+
+import (
+	"fmt"
+
+	"sdtw/internal/band"
+	"sdtw/internal/core"
+	"sdtw/internal/match"
+	"sdtw/internal/reduced"
+	"sdtw/internal/series"
+)
+
+// FastDTWResult carries a multi-resolution DTW approximation: the
+// distance, the full-resolution warp path, and the total cells evaluated
+// across all resolution levels.
+type FastDTWResult struct {
+	Distance float64
+	Path     Path
+	// Cells is the total grid work across all levels; compare against
+	// len(x)*len(y) for the effective pruning.
+	Cells int
+	// Levels is the number of resolution levels visited.
+	Levels int
+}
+
+// FastDTW computes an approximate DTW distance with the multi-resolution
+// algorithm of Salvador & Chan (coarsen by PAA, solve, project the path,
+// refine within radius). It is the reduced-representation speed-up family
+// the paper discusses as orthogonal to sDTW (§2.1.4). radius < 0 selects
+// the customary default of 1; larger radii are slower and more accurate.
+func FastDTW(x, y []float64, radius int) (FastDTWResult, error) {
+	res, err := reduced.FastDTW(x, y, radius, nil)
+	if err != nil {
+		return FastDTWResult{}, err
+	}
+	return FastDTWResult{Distance: res.Distance, Path: res.Path, Cells: res.Cells, Levels: res.Levels}, nil
+}
+
+// CombinedResult reports a distance computed under the intersection of
+// the multi-resolution projected band and the sDTW salient-feature band.
+type CombinedResult struct {
+	Distance float64
+	// Cells is total grid work including the coarse levels.
+	Cells int
+	// BandCells is the size of the final intersected band.
+	BandCells int
+	// Pairs is the number of consistent salient pairs that informed the
+	// sDTW side of the constraint.
+	Pairs int
+}
+
+// CombinedDistance realises the combination the paper sketches in
+// §1.1/§2: sDTW's locally relevant constraints intersected with a
+// FastDTW-style multi-resolution projection, so the refinement works only
+// where *both* techniques agree the warp path can be. opts selects the
+// sDTW strategy (adaptive strategies recommended); radius is the
+// multi-resolution refinement radius (< 0 means 1).
+func CombinedDistance(x, y []float64, radius int, opts Options) (CombinedResult, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return CombinedResult{}, fmt.Errorf("sdtw: empty input (len(x)=%d len(y)=%d)", len(x), len(y))
+	}
+	copts := opts.toCore()
+	eng := core.NewEngine(copts)
+	sx := series.Series{Values: x}
+	sy := series.Series{Values: y}
+
+	var al *match.Alignment
+	if copts.Band.Strategy.AdaptiveCore() || copts.Band.Strategy.AdaptiveWidth() {
+		fx, err := eng.Features(sx)
+		if err != nil {
+			return CombinedResult{}, err
+		}
+		fy, err := eng.Features(sy)
+		if err != nil {
+			return CombinedResult{}, err
+		}
+		al, err = match.Match(fx, fy, len(x), len(y), copts.Matcher)
+		if err != nil {
+			return CombinedResult{}, err
+		}
+	} else {
+		al = &match.Alignment{NX: len(x), NY: len(y)}
+	}
+	sdtwBand, err := band.Build(al, copts.Band)
+	if err != nil {
+		return CombinedResult{}, err
+	}
+	res, err := reduced.Combined(x, y, radius, sdtwBand, copts.PointDistance)
+	if err != nil {
+		return CombinedResult{}, err
+	}
+	return CombinedResult{
+		Distance:  res.Distance,
+		Cells:     res.Cells,
+		BandCells: res.BandCells,
+		Pairs:     len(al.Pairs),
+	}, nil
+}
+
+// PAA reduces a series to ceil(len(v)/factor) samples by piecewise
+// aggregate approximation — window means — the reduction underlying
+// FastDTW's coarse levels.
+func PAA(v []float64, factor int) []float64 { return reduced.PAA(v, factor) }

@@ -1,0 +1,73 @@
+package sdtw
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadFeaturesRoundTrip(t *testing.T) {
+	d := GunDataset(DatasetConfig{Seed: 61, SeriesPerClass: 3})
+	warm := NewEngine(DefaultOptions())
+	if err := warm.Warm(d.Series); err != nil {
+		t.Fatal(err)
+	}
+	want, err := warm.DistanceSeries(d.Series[0], d.Series[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := warm.SaveFeatures(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewEngine(DefaultOptions())
+	if err := fresh.LoadFeatures(&buf); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fresh.DistanceSeries(d.Series[0], d.Series[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance != want.Distance {
+		t.Fatalf("restored cache changed distance: %v vs %v", res.Distance, want.Distance)
+	}
+	// The restored cache must actually serve extraction: per-call
+	// extraction time collapses to (near) zero.
+	if res.ExtractTime.Milliseconds() > 10 {
+		t.Fatalf("restored cache missed: extract time %v", res.ExtractTime)
+	}
+	feats, err := fresh.Features(d.Series[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFeats, err := warm.Features(d.Series[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != len(wantFeats) {
+		t.Fatalf("restored %d features, want %d", len(feats), len(wantFeats))
+	}
+}
+
+func TestLoadFeaturesRejectsGarbage(t *testing.T) {
+	eng := NewEngine(DefaultOptions())
+	if err := eng.LoadFeatures(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+func TestSubsequencePublicAPI(t *testing.T) {
+	q := []float64{0, 1, 0}
+	s := []float64{9, 9, 0, 1, 0, 9, 9}
+	m, err := Subsequence(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Distance != 0 || m.Start != 2 || m.End != 4 {
+		t.Fatalf("match = %+v, want [2,4] at 0", m)
+	}
+	if _, err := Subsequence(nil, s); err == nil {
+		t.Fatal("empty query accepted")
+	}
+}
