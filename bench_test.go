@@ -488,6 +488,104 @@ func BenchmarkCombinedMultiresSDTW(b *testing.B) {
 	b.ReportMetric(1-float64(cells)/float64(len(x)*len(y)), "cellsgain")
 }
 
+// BenchmarkIndexTopKCascade measures the Index's cascaded parallel top-k
+// retrieval on a Table-1-style Trace workload: candidates ordered by
+// LB_Kim, pruned by LB_Kim then envelope LB_Keogh against the shared
+// best-so-far threshold, survivors fanned out over the worker pool. The
+// prunerate metric is the fraction of candidates whose DP work the
+// cascade skipped entirely; cellsgain additionally counts the sDTW band's
+// savings on the survivors.
+func BenchmarkIndexTopKCascade(b *testing.B) {
+	d, err := datasets.ByName("Trace", datasets.Config{Seed: benchSeed, SeriesPerClass: 15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	configs := []struct {
+		name string
+		opts Options
+	}{
+		{"sakoe-chiba-10", Options{Strategy: FixedCoreFixedWidth, WidthFrac: 0.10}},
+		{"itakura", Options{Strategy: ItakuraBand}},
+		{"ac-aw", DefaultOptions()},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			ix, err := NewIndex(d.Series, cfg.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			// Aggregate over every iteration so the reported metrics do
+			// not depend on which query b.N happens to end on.
+			var stats QueryStats
+			for i := 0; i < b.N; i++ {
+				_, s, err := ix.TopKStats(d.Series[i%d.Len()], 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats.merge(s)
+			}
+			b.ReportMetric(stats.PruneRate(), "prunerate")
+			b.ReportMetric(stats.CellsGain(), "cellsgain")
+		})
+	}
+}
+
+// BenchmarkIndexTopKBatch measures the whole-dataset batch entry point:
+// every indexed series queried against the collection in one call.
+func BenchmarkIndexTopKBatch(b *testing.B) {
+	d, err := datasets.ByName("Trace", datasets.Config{Seed: benchSeed, SeriesPerClass: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := NewIndex(d.Series, Options{Strategy: FixedCoreFixedWidth, WidthFrac: 0.10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var stats QueryStats
+	for i := 0; i < b.N; i++ {
+		_, s, err := ix.TopKBatch(d.Series, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats = s
+	}
+	b.ReportMetric(stats.PruneRate(), "prunerate")
+	b.ReportMetric(stats.CellsGain(), "cellsgain")
+}
+
+// BenchmarkIndexClassifyAll measures leave-one-out kNN classification of
+// the whole collection through the cascaded batch path.
+func BenchmarkIndexClassifyAll(b *testing.B) {
+	d, err := datasets.ByName("Gun", datasets.Config{Seed: benchSeed, SeriesPerClass: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := NewIndex(d.Series, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	correct := 0
+	for i := 0; i < b.N; i++ {
+		labels, _, err := ix.ClassifyAll(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		correct = 0
+		for j, ls := range labels {
+			for _, l := range ls {
+				if l == d.Series[j].Label {
+					correct++
+					break
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(correct)/float64(d.Len()), "accuracy")
+}
+
 // BenchmarkBoundedTopK measures exact windowed-DTW retrieval with the
 // LB_Kim/LB_Keogh cascade (Keogh's exact-indexing pipeline, paper ref [7]).
 func BenchmarkBoundedTopK(b *testing.B) {

@@ -19,12 +19,13 @@ import (
 	"strings"
 	"time"
 
+	"sdtw"
 	"sdtw/internal/experiments"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: table1, table2, fig13, fig14, fig15, fig16, fig17, fig18, noise, invariance, baseline, extras, bands, all")
+		exp     = flag.String("exp", "all", "experiment to run: table1, table2, fig13, fig14, fig15, fig16, fig17, fig18, noise, invariance, baseline, extras, retrieval, bands, all")
 		scale   = flag.String("scale", "full", "workload scale: full, medium, small")
 		dataset = flag.String("dataset", "", "restrict per-dataset figures to one data set (Gun, Trace, 50Words)")
 		seed    = flag.Int64("seed", 42, "workload generator seed")
@@ -187,6 +188,20 @@ func main() {
 			})
 		}
 	}
+	if want("retrieval") {
+		ran = true
+		for _, name := range names {
+			name := name
+			run("Cascaded k-NN retrieval (LB_Kim -> LB_Keogh -> sDTW) on "+name, func() error {
+				out, err := runRetrieval(name, sc, *seed)
+				if err != nil {
+					return err
+				}
+				fmt.Print(out)
+				return nil
+			})
+		}
+	}
 	if want("bands") {
 		ran = true
 		run("Band shapes (Fig 2/10)", func() error {
@@ -201,6 +216,45 @@ func main() {
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
+}
+
+// runRetrieval exercises the Index's lower-bound-cascaded batch retrieval
+// on one workload: every series queried against the collection, per band
+// strategy, reporting how many candidates each cascade stage discarded
+// and the DP work that remained.
+func runRetrieval(name string, sc experiments.Scale, seed int64) (string, error) {
+	d, err := experiments.LoadDataset(name, sc, seed)
+	if err != nil {
+		return "", err
+	}
+	configs := []struct {
+		label string
+		opts  sdtw.Options
+	}{
+		{"fc,fw 10%", sdtw.Options{Strategy: sdtw.FixedCoreFixedWidth, WidthFrac: 0.10}},
+		{"fc,fw 20%", sdtw.Options{Strategy: sdtw.FixedCoreFixedWidth, WidthFrac: 0.20}},
+		{"itakura", sdtw.Options{Strategy: sdtw.ItakuraBand}},
+		{"ac,aw", sdtw.DefaultOptions()},
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %d series x len %d, k=5, all-series batch queries\n",
+		d.Name, d.Len(), d.Length)
+	fmt.Fprintf(&sb, "%-10s %10s %10s %10s %10s %9s %9s %12s\n",
+		"algorithm", "candidates", "lb_kim", "lb_keogh", "evaluated", "prune", "cellsgain", "wall")
+	for _, cfg := range configs {
+		ix, err := sdtw.NewIndex(d.Series, cfg.opts)
+		if err != nil {
+			return "", fmt.Errorf("indexing %s under %s: %w", d.Name, cfg.label, err)
+		}
+		_, stats, err := ix.TopKBatch(d.Series, 5)
+		if err != nil {
+			return "", fmt.Errorf("batch retrieval on %s under %s: %w", d.Name, cfg.label, err)
+		}
+		fmt.Fprintf(&sb, "%-10s %10d %10d %10d %10d %8.1f%% %8.1f%% %12v\n",
+			cfg.label, stats.Candidates, stats.PrunedKim, stats.PrunedKeogh, stats.Evaluated,
+			100*stats.PruneRate(), 100*stats.CellsGain(), stats.WallTime.Round(time.Millisecond))
+	}
+	return sb.String(), nil
 }
 
 func parseScale(s string) (experiments.Scale, error) {

@@ -1,10 +1,26 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"sdtw/internal/experiments"
 )
+
+func TestRunRetrieval(t *testing.T) {
+	out, err := runRetrieval("Gun", experiments.Small, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lb_kim", "lb_keogh", "evaluated", "ac,aw", "fc,fw 10%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("retrieval report missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := runRetrieval("bogus", experiments.Small, 42); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
 
 func TestParseScale(t *testing.T) {
 	tests := []struct {

@@ -2,6 +2,13 @@
 // under sDTW constraints, comparing the result quality and work done
 // against exact DTW — the paper's §4 retrieval experiment in miniature.
 //
+// Building the index pays the one-time costs (salient feature extraction
+// and LB_Keogh envelopes); each query then runs a lower-bound cascade:
+// candidates ordered by the cheap LB_Kim bound are discarded against the
+// best-so-far k-th distance — first by LB_Kim, then by envelope LB_Keogh
+// — and only the survivors reach the sDTW pipeline, fanned out across a
+// worker pool. The QueryStats record reports how far each candidate got.
+//
 // Run with:
 //
 //	go run ./examples/retrieval
@@ -10,6 +17,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"sdtw"
 )
@@ -36,6 +44,7 @@ func main() {
 
 	const k = 5
 	overlapSum := 0.0
+	var cascade sdtw.QueryStats
 	queries := []int{0, 11, 23, 35} // one per class
 	for _, q := range queries {
 		query := data.Series[q]
@@ -43,10 +52,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fast, err := fastIdx.TopK(query, k)
+		fast, stats, err := fastIdx.TopKStats(query, k)
 		if err != nil {
 			log.Fatal(err)
 		}
+		cascade = stats
 
 		exactSet := make(map[int]bool, k)
 		for _, nb := range exact {
@@ -73,11 +83,29 @@ func main() {
 	}
 	fmt.Printf("\nmean top-%d retrieval accuracy (accret): %.3f\n", k, overlapSum/float64(len(queries)))
 
-	// The work saved per comparison, on one representative pair.
-	res, err := fastIdx.Engine().DistanceSeries(data.Series[0], data.Series[1])
+	// The work the last query's cascade avoided: candidates discarded by
+	// LB_Kim and LB_Keogh never touched the DTW grid, and the survivors
+	// only filled their sDTW bands.
+	fmt.Printf("cascade on the last query: %d candidates, %d pruned by LB_Kim, %d by LB_Keogh, %d evaluated\n",
+		cascade.Candidates, cascade.PrunedKim, cascade.PrunedKeogh, cascade.Evaluated)
+	fmt.Printf("DP work avoided: %d of %d grid cells filled (%.1f%% saved, bounds+band combined)\n",
+		cascade.Cells, cascade.GridCells, 100*cascade.CellsGain())
+
+	// Whole-dataset workloads batch through the same cascade: classify
+	// every indexed series leave-one-out in one call.
+	labels, batch, err := fastIdx.ClassifyAll(3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("per-comparison pruning: %d of %d grid cells filled (%.1f%% saved)\n",
-		res.CellsFilled, res.GridCells, 100*res.CellsGain())
+	correct := 0
+	for i, ls := range labels {
+		for _, l := range ls {
+			if l == data.Series[i].Label {
+				correct++
+				break
+			}
+		}
+	}
+	fmt.Printf("\nleave-one-out 3-NN over the whole collection: %d/%d correct, %.1f%% of candidates pruned, %v\n",
+		correct, data.Len(), 100*batch.PruneRate(), batch.WallTime.Round(time.Millisecond))
 }

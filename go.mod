@@ -1,0 +1,3 @@
+module sdtw
+
+go 1.24

@@ -1,20 +1,50 @@
 package sdtw
 
 import (
+	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
-	"sdtw/internal/eval"
+	"sdtw/internal/band"
+	"sdtw/internal/lower"
 )
 
 // Index supports retrieval and k-nearest-neighbour classification over a
-// collection of series using a shared sDTW engine. Salient features of the
-// indexed series are extracted once at construction (the paper's §3.4
-// one-time cost) and reused by every query.
+// collection of series using a shared sDTW engine. Construction pays the
+// paper's one-time indexing cost (§3.4) twice over: salient features of
+// every indexed series are extracted and cached, and the LB_Keogh
+// upper/lower envelopes of Keogh's exact-indexing pipeline (the paper's
+// reference [7]) are precomputed next to them.
+//
+// Queries run a lower-bound cascade instead of a brute-force scan:
+// candidates are ordered by the cheap LB_Kim bound, a best-so-far k-heap
+// maintains the pruning threshold, and any candidate whose LB_Kim or
+// envelope LB_Keogh bound already exceeds the k-th best distance is
+// discarded before any DTW grid work. Surviving candidates are fanned out
+// across a bounded worker pool sharing the threshold atomically. The
+// cascade is exact: LB_Kim and LB_Keogh (at the envelope radius the index
+// derives from the engine's band options) never exceed the banded sDTW
+// distance, so TopK returns precisely the neighbours a full scan would.
+//
+// An Index is safe for concurrent use.
 type Index struct {
 	engine *Engine
 	data   []Series
+	// envelopes[i] is the LB_Keogh envelope of data[i] at the radius
+	// admissible for the engine's band strategy; nil when the cascade is
+	// disabled (custom point distance).
+	envelopes []lower.Envelope
+	// cascade reports whether lower-bound pruning is active. It is off
+	// when Options.PointDistance is set: the bounds assume the default
+	// squared point cost (non-negative and monotone in the gap), and an
+	// arbitrary cost function voids their admissibility proofs.
+	cascade bool
+	workers int
 }
 
 // NewIndex builds an index over data using opts. Every series must be
@@ -36,9 +66,25 @@ func NewIndex(data []Series, opts Options) (*Index, error) {
 			seen[s.ID] = true
 		}
 	}
-	idx := &Index{engine: NewEngine(opts), data: data}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	idx := &Index{
+		engine:  NewEngine(opts),
+		data:    data,
+		cascade: opts.PointDistance == nil,
+		workers: workers,
+	}
 	if err := idx.engine.Warm(data); err != nil {
 		return nil, err
+	}
+	if idx.cascade {
+		bandCfg := opts.toCore().Band
+		idx.envelopes = make([]lower.Envelope, len(data))
+		for i, s := range data {
+			idx.envelopes[i] = lower.NewEnvelope(s.Values, band.EnvelopeRadius(bandCfg, len(s.Values)))
+		}
 	}
 	return idx, nil
 }
@@ -60,35 +106,329 @@ type Neighbor struct {
 	Distance float64
 }
 
-// TopK returns the k indexed series nearest to the query under the
-// engine's constrained distance, ascending. k larger than the collection
-// is truncated.
-func (ix *Index) TopK(query Series, k int) ([]Neighbor, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("sdtw: TopK needs k >= 1, got %d", k)
+// QueryStats accounts for the work one query (or a batch of queries) did
+// and, more importantly, avoided, mirroring eval.PairStats: how far each
+// cascade stage got, how many grid cells were filled, and where the time
+// went.
+type QueryStats struct {
+	// BoundStats counts how far each candidate got through the cascade
+	// (the same stage accounting BoundedIndex reports for its windowed
+	// retrieval, including PruneRate).
+	BoundStats
+	// Cells is the number of DTW grid cells actually filled.
+	Cells int
+	// GridCells is the total N·M over every candidate — the grids a
+	// brute-force scan would confront — so CellsGain reflects the combined
+	// effect of the cascade and the sDTW band.
+	GridCells int
+	// BoundTime is the time spent computing LB_Kim and LB_Keogh bounds.
+	BoundTime time.Duration
+	// MatchTime and DPTime are the summed engine stage durations of the
+	// evaluated candidates (paper tasks b and c).
+	MatchTime, DPTime time.Duration
+	// WallTime is the elapsed time of the whole query.
+	WallTime time.Duration
+}
+
+// CellsGain is the machine-independent pruning gain 1 − Cells/GridCells.
+func (s QueryStats) CellsGain() float64 {
+	if s.GridCells == 0 {
+		return 0
 	}
-	dists := make([]float64, len(ix.data))
+	return 1 - float64(s.Cells)/float64(s.GridCells)
+}
+
+// merge folds another stats record into s (batch aggregation). WallTime
+// is deliberately not summed: batches report their own elapsed time.
+func (s *QueryStats) merge(o QueryStats) {
+	s.Candidates += o.Candidates
+	s.PrunedKim += o.PrunedKim
+	s.PrunedKeogh += o.PrunedKeogh
+	s.Evaluated += o.Evaluated
+	s.Cells += o.Cells
+	s.GridCells += o.GridCells
+	s.BoundTime += o.BoundTime
+	s.MatchTime += o.MatchTime
+	s.DPTime += o.DPTime
+}
+
+// String implements fmt.Stringer for terse logs.
+func (s QueryStats) String() string {
+	return fmt.Sprintf("candidates=%d kim=%d keogh=%d evaluated=%d prune=%.2f cellsgain=%.2f",
+		s.Candidates, s.PrunedKim, s.PrunedKeogh, s.Evaluated, s.PruneRate(), s.CellsGain())
+}
+
+// TopK returns the k indexed series nearest to the query under the
+// engine's constrained distance, ascending (ties broken by position). k
+// larger than the collection is truncated.
+func (ix *Index) TopK(query Series, k int) ([]Neighbor, error) {
+	nbrs, _, err := ix.TopKStats(query, k)
+	return nbrs, err
+}
+
+// TopKStats is TopK with the cascade's work accounting.
+func (ix *Index) TopKStats(query Series, k int) ([]Neighbor, QueryStats, error) {
+	return ix.query(query, k, ix.workers, -1)
+}
+
+// candidate is one cascade work item: a collection position and its
+// LB_Kim bound.
+type candidate struct {
+	pos int
+	kim float64
+}
+
+// bestK is the best-so-far heap: a max-heap on (distance, position) holding
+// at most k neighbours, so the root is the current k-th best and the
+// pruning threshold.
+type bestK []Neighbor
+
+func (h bestK) Len() int { return len(h) }
+func (h bestK) Less(a, b int) bool {
+	if h[a].Distance != h[b].Distance {
+		return h[a].Distance > h[b].Distance
+	}
+	return h[a].Pos > h[b].Pos
+}
+func (h bestK) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *bestK) Push(x any)   { *h = append(*h, x.(Neighbor)) }
+func (h *bestK) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h bestK) worseThan(nb Neighbor) bool {
+	w := h[0]
+	return nb.Distance < w.Distance || (nb.Distance == w.Distance && nb.Pos < w.Pos)
+}
+
+// parallelFor fans fn out over [0, n) across at most workers goroutines,
+// stopping early (best effort) once stop is set. fn must be safe for
+// concurrent calls on distinct indices.
+func parallelFor(workers, n int, stop *atomic.Bool, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n && !stop.Load(); i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// atomicThreshold shares the k-th best distance across workers. It only
+// ever decreases; a stale read yields a looser threshold, which costs a
+// bound evaluation but never correctness.
+type atomicThreshold struct{ bits atomic.Uint64 }
+
+func (t *atomicThreshold) store(v float64) { t.bits.Store(math.Float64bits(v)) }
+func (t *atomicThreshold) load() float64   { return math.Float64frombits(t.bits.Load()) }
+
+// query runs the cascaded top-k search with the given worker count.
+// excludePos drops the candidate at that collection position (for
+// leave-one-out workloads whose series may lack IDs); -1 excludes none.
+func (ix *Index) query(query Series, k int, workers, excludePos int) ([]Neighbor, QueryStats, error) {
+	var stats QueryStats
+	start := time.Now()
+	if k <= 0 {
+		return nil, stats, fmt.Errorf("sdtw: TopK needs k >= 1, got %d", k)
+	}
+	if len(query.Values) == 0 {
+		return nil, stats, fmt.Errorf("sdtw: empty query series")
+	}
+
+	// Stage 0: LB_Kim for every candidate, cheapest first. O(1) per
+	// candidate, so this stays sequential; it also fixes the processing
+	// order that lets the k-heap threshold tighten fast.
+	boundStart := time.Now()
+	cands := make([]candidate, 0, len(ix.data))
 	for i, s := range ix.data {
 		// Skip self-matches when the query is an indexed series.
-		if s.ID != "" && s.ID == query.ID {
-			dists[i] = math.NaN()
+		if i == excludePos || (s.ID != "" && s.ID == query.ID) {
 			continue
+		}
+		stats.GridCells += len(query.Values) * len(s.Values)
+		c := candidate{pos: i}
+		if ix.cascade {
+			kim, err := lower.Kim(query.Values, s.Values, nil)
+			if err != nil {
+				return nil, stats, fmt.Errorf("sdtw: LB_Kim to %q: %w", s.ID, err)
+			}
+			c.kim = kim
+		}
+		cands = append(cands, c)
+	}
+	stats.Candidates = len(cands)
+	stats.BoundTime += time.Since(boundStart)
+	if ix.cascade {
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].kim != cands[b].kim {
+				return cands[a].kim < cands[b].kim
+			}
+			return cands[a].pos < cands[b].pos
+		})
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	if k == 0 {
+		stats.WallTime = time.Since(start)
+		return nil, stats, nil
+	}
+
+	// Stages 1-3, fanned out: LB_Kim check, LB_Keogh check, full sDTW.
+	// Per-candidate accounting uses atomic counters so the fast prune
+	// path never touches the heap mutex.
+	best := make(bestK, 0, k+1)
+	var mu sync.Mutex // guards best and firstErr
+	var firstErr error
+	var stop atomic.Bool
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	var threshold atomicThreshold
+	threshold.store(math.Inf(1))
+	var prunedKim, prunedKeogh, evaluated, cells atomic.Int64
+	var boundNS, matchNS, dpNS atomic.Int64
+	parallelFor(workers, len(cands), &stop, func(n int) {
+		c := cands[n]
+		s := ix.data[c.pos]
+		if ix.cascade {
+			if c.kim > threshold.load() {
+				prunedKim.Add(1)
+				return
+			}
+			if env := ix.envelopes[c.pos]; len(env.Upper) == len(query.Values) {
+				kgStart := time.Now()
+				kg, err := lower.Keogh(query.Values, env, nil)
+				boundNS.Add(int64(time.Since(kgStart)))
+				if err != nil {
+					fail(fmt.Errorf("sdtw: LB_Keogh to %q: %w", s.ID, err))
+					return
+				}
+				if kg > threshold.load() {
+					prunedKeogh.Add(1)
+					return
+				}
+			}
 		}
 		res, err := ix.engine.DistanceSeries(query, s)
 		if err != nil {
-			return nil, fmt.Errorf("sdtw: distance to %q: %w", s.ID, err)
+			fail(fmt.Errorf("sdtw: distance to %q: %w", s.ID, err))
+			return
 		}
-		dists[i] = res.Distance
+		evaluated.Add(1)
+		cells.Add(int64(res.CellsFilled))
+		matchNS.Add(int64(res.MatchTime))
+		dpNS.Add(int64(res.DPTime))
+
+		nb := Neighbor{Pos: c.pos, Distance: res.Distance}
+		mu.Lock()
+		if len(best) < k {
+			heap.Push(&best, nb)
+		} else if best.worseThan(nb) {
+			best[0] = nb
+			heap.Fix(&best, 0)
+		}
+		if len(best) == k {
+			threshold.store(best[0].Distance)
+		}
+		mu.Unlock()
+	})
+	stats.PrunedKim = int(prunedKim.Load())
+	stats.PrunedKeogh = int(prunedKeogh.Load())
+	stats.Evaluated = int(evaluated.Load())
+	stats.Cells = int(cells.Load())
+	stats.BoundTime += time.Duration(boundNS.Load())
+	stats.MatchTime = time.Duration(matchNS.Load())
+	stats.DPTime = time.Duration(dpNS.Load())
+	if firstErr != nil {
+		stats.WallTime = time.Since(start)
+		return nil, stats, firstErr
 	}
-	ranked := eval.Ranking(dists)
-	if k > len(ranked) {
-		k = len(ranked)
+
+	out := []Neighbor(best)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Distance != out[b].Distance {
+			return out[a].Distance < out[b].Distance
+		}
+		return out[a].Pos < out[b].Pos
+	})
+	stats.WallTime = time.Since(start)
+	return out, stats, nil
+}
+
+// TopKBatch answers one top-k query per entry of queries, parallelising
+// across queries and dividing the remaining worker budget inside each
+// query's cascade, so the pool stays bounded at the index's worker
+// count. The returned stats aggregate every query; WallTime is the
+// batch's elapsed time.
+func (ix *Index) TopKBatch(queries []Series, k int) ([][]Neighbor, QueryStats, error) {
+	return ix.batch(queries, k, false)
+}
+
+// batch fans queries out across the worker pool. With excludeSelf set,
+// queries must be the indexed collection itself and query n additionally
+// excludes position n — leave-one-out even when series lack the IDs the
+// usual self-match skip keys on.
+func (ix *Index) batch(queries []Series, k int, excludeSelf bool) ([][]Neighbor, QueryStats, error) {
+	var stats QueryStats
+	start := time.Now()
+	if len(queries) == 0 {
+		return nil, stats, fmt.Errorf("sdtw: TopKBatch needs at least one query")
 	}
-	out := make([]Neighbor, k)
-	for i := 0; i < k; i++ {
-		out[i] = Neighbor{Pos: ranked[i], Distance: dists[ranked[i]]}
+	out := make([][]Neighbor, len(queries))
+	// Divide the pool across queries: small batches still use every
+	// worker inside each query, large batches parallelise across queries
+	// with sequential cascades. Ceiling division may oversubscribe by a
+	// few goroutines but never leaves workers idle on mid-size batches.
+	perQuery := (ix.workers + len(queries) - 1) / len(queries)
+	if perQuery < 1 {
+		perQuery = 1
 	}
-	return out, nil
+	var mu sync.Mutex // guards stats and firstErr; out slots are disjoint
+	var firstErr error
+	var stop atomic.Bool
+	parallelFor(ix.workers, len(queries), &stop, func(n int) {
+		excl := -1
+		if excludeSelf {
+			excl = n
+		}
+		nbrs, qs, err := ix.query(queries[n], k, perQuery, excl)
+		mu.Lock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("query %d (%q): %w", n, queries[n].ID, err)
+		}
+		out[n] = nbrs
+		stats.merge(qs)
+		mu.Unlock()
+		if err != nil {
+			stop.Store(true)
+		}
+	})
+	stats.WallTime = time.Since(start)
+	if firstErr != nil {
+		return nil, stats, firstErr
+	}
+	return out, stats, nil
 }
 
 // Classify attaches class labels to the query by k-nearest-neighbour
@@ -100,6 +440,28 @@ func (ix *Index) Classify(query Series, k int) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ix.vote(nbrs), nil
+}
+
+// ClassifyAll classifies every indexed series against the rest of the
+// collection, the paper's whole-dataset classification workload (§4.2).
+// Each series is excluded from its own candidate set by position, so
+// leave-one-out holds even for collections without series IDs. labels[i]
+// is the label set attached to series i.
+func (ix *Index) ClassifyAll(k int) ([][]int, QueryStats, error) {
+	nbrs, stats, err := ix.batch(ix.data, k, true)
+	if err != nil {
+		return nil, stats, err
+	}
+	labels := make([][]int, len(nbrs))
+	for i, nb := range nbrs {
+		labels[i] = ix.vote(nb)
+	}
+	return labels, stats, nil
+}
+
+// vote derives the majority-vote label set from a neighbour list.
+func (ix *Index) vote(nbrs []Neighbor) []int {
 	counts := make(map[int]int)
 	maxCount := 0
 	for _, nb := range nbrs {
@@ -116,5 +478,5 @@ func (ix *Index) Classify(query Series, k int) ([]int, error) {
 		}
 	}
 	sort.Ints(labels)
-	return labels, nil
+	return labels
 }

@@ -1,0 +1,75 @@
+package sdtw
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestIndexConcurrentQueries hammers a single Index from many goroutines
+// mixing every query entry point. The engine documents itself as safe for
+// concurrent use; this proves the claim for the cascaded worker-pool
+// query path too. Run it under -race (the CI race lane does).
+func TestIndexConcurrentQueries(t *testing.T) {
+	d := TraceDataset(DatasetConfig{Seed: 21, SeriesPerClass: 4})
+	ix, err := NewIndex(d.Series, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const rounds = 4
+
+	// One reference result per query to compare the concurrent runs
+	// against: concurrency must not change what a query returns.
+	want := make([][]Neighbor, len(d.Series))
+	for i, q := range d.Series {
+		nbrs, err := ix.TopK(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = nbrs
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				qi := (g + r) % len(d.Series)
+				q := d.Series[qi]
+				switch (g + r) % 3 {
+				case 0:
+					nbrs, _, err := ix.TopKStats(q, 3)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for j := range nbrs {
+						if nbrs[j] != want[qi][j] {
+							t.Errorf("goroutine %d: query %d rank %d diverged under concurrency: %+v vs %+v",
+								g, qi, j, nbrs[j], want[qi][j])
+							return
+						}
+					}
+				case 1:
+					if _, err := ix.Classify(q, 3); err != nil {
+						errs <- err
+						return
+					}
+				case 2:
+					if _, _, err := ix.TopKBatch(d.Series[:4], 2); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -101,7 +101,8 @@ type Config struct {
 	// averages the sizes of the r intervals on each side of the current
 	// one. Zero means 1 (previous, current, next — the paper's ac2,aw).
 	NeighborRadius int
-	// Slope is the Itakura slope bound; zero means 2.
+	// Slope is the Itakura slope bound; values <= 1 (including zero) mean
+	// 2, matching dtw.Itakura's own normalisation.
 	Slope float64
 	// Symmetric, when true, unions this band with the transposed band
 	// built with the roles of X and Y switched (§3.3.3), making the
@@ -122,7 +123,9 @@ func (c Config) withDefaults() Config {
 	if c.NeighborRadius <= 0 {
 		c.NeighborRadius = 1
 	}
-	if c.Slope <= 0 {
+	// dtw.Itakura itself resets any slope <= 1 to 2; normalise identically
+	// here so EnvelopeRadius reasons about the band actually built.
+	if c.Slope <= 1 {
 		c.Slope = 2
 	}
 	return c
@@ -343,4 +346,41 @@ func widthBounds(cfg Config, m int) (minW, maxW int) {
 		maxW = int(math.Ceil(cfg.MaxWidthFrac * float64(m)))
 	}
 	return minW, maxW
+}
+
+// EnvelopeRadius returns a warping radius (in samples) such that every
+// cell (i,j) of any band this package can build for an m-by-m grid under
+// cfg satisfies |i-j| <= radius. Retrieval indexes use it to size the
+// LB_Keogh envelopes of their lower-bound cascade: LB_Keogh at this
+// radius lower-bounds the radius-windowed DTW distance, which any band
+// within the window can only overestimate, keeping the cascade exact.
+// It lives next to the builders so the geometry constants cannot drift
+// apart silently; envelope_test.go cross-checks it against built bands.
+//
+// Adaptive-core strategies follow the salient alignment anywhere in the
+// grid, so their only admissible radius is m: the full-width envelope,
+// whose LB_Keogh degenerates to a global min/max range test that
+// lower-bounds even unconstrained DTW.
+func EnvelopeRadius(cfg Config, m int) int {
+	cfg = cfg.withDefaults()
+	switch cfg.Strategy {
+	case FixedCoreFixedWidth:
+		// dtw.SakoeChiba places ceil(w*m/2) columns on each side of the
+		// scaled diagonal.
+		return int(math.Ceil(cfg.WidthFrac*float64(m)/2)) + 1
+	case FixedCoreAdaptiveWidth:
+		// Diagonal core; rowWidths clamps adaptive widths to maxW last,
+		// so with a max bound the half-width never exceeds maxW/2.
+		if _, maxW := widthBounds(cfg, m); maxW > 0 {
+			return maxW/2 + 2
+		}
+		return m
+	case ItakuraBand:
+		// The parallelogram's maximum deviation from the diagonal is
+		// (s-1)(m-1)/(s+1), attained one (s+1)-th of the way in.
+		return int(math.Ceil((cfg.Slope-1)*float64(m-1)/(cfg.Slope+1))) + 1
+	default:
+		// FullGrid and the adaptive-core strategies.
+		return m
+	}
 }

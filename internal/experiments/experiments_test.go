@@ -158,6 +158,9 @@ func TestFig15SmallTrace(t *testing.T) {
 }
 
 func TestFig16SmallWords(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the 50-class workload needs a 450x450 distance matrix even at Small scale")
+	}
 	results, err := Fig16(Small, 42)
 	if err != nil {
 		t.Fatal(err)

@@ -10,6 +10,13 @@
 // assumes or is itself an over-estimate of full DTW, and constrained DTW
 // never underestimates the unconstrained distance, so
 // LB(x,y) <= DTW(x,y) <= sDTW(x,y) holds throughout.
+//
+// The public Index builds its k-NN query cascade on these bounds: LB_Kim
+// orders and pre-filters candidates, and per-series envelopes (at a
+// radius the index derives from the engine's band options so the chain
+// above holds) power the LB_Keogh stage. BoundedIndex cascades the same
+// two bounds in the opposite order (Keogh-sorted candidates, Kim as the
+// second check) for exact windowed-DTW retrieval.
 package lower
 
 import (
@@ -29,6 +36,11 @@ func Kim(x, y []float64, dist series.PointDistance) (float64, error) {
 	}
 	if dist == nil {
 		dist = series.SquaredDistance
+	}
+	if len(x) == 1 && len(y) == 1 {
+		// First and last are the same grid cell; summing both would
+		// double-count it and overshoot the single-cell DTW distance.
+		return dist(x[0], y[0]), nil
 	}
 	return dist(x[0], y[0]) + dist(x[len(x)-1], y[len(y)-1]), nil
 }

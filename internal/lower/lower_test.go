@@ -29,6 +29,23 @@ func TestKimKnownValue(t *testing.T) {
 	}
 }
 
+func TestKimSinglePointPair(t *testing.T) {
+	// A 1x1 grid has one cell, which is both the first and last aligned
+	// pair: the bound must pay it once, or it exceeds the exact DTW
+	// distance and mis-prunes.
+	got, err := Kim([]float64{0}, []float64{0.12}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := dtw.Distance([]float64{0}, []float64{0.12}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != exact {
+		t.Fatalf("Kim on 1-point pair = %v, want the exact single-cell cost %v", got, exact)
+	}
+}
+
 func TestKimEmpty(t *testing.T) {
 	if _, err := Kim(nil, []float64{1}, nil); err == nil {
 		t.Fatal("empty input accepted")

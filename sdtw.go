@@ -12,10 +12,21 @@
 //   - Index for retrieval and k-nearest-neighbour classification over a
 //     collection of series.
 //
+// Index queries run a lower-bound cascade (Keogh's exact-indexing
+// pipeline, the paper's reference [7]): candidates are ordered by the
+// cheap LB_Kim bound and discarded against a shared best-so-far threshold
+// — first by LB_Kim, then by LB_Keogh on envelopes precomputed at
+// indexing time — before any DTW grid work, with the survivors fanned out
+// across a bounded worker pool. The cascade is exact for the engine's
+// banded distance, and every query reports a QueryStats record (per-stage
+// prune counts, grid cells filled, per-stage times). TopKBatch and
+// ClassifyAll run whole-dataset workloads through the same path.
+//
 // The heavy lifting lives in internal packages: dtw (the dynamic program
 // and band-constrained variants), scalespace and sift (1-D scale-invariant
 // salient features), match (feature pairing and inconsistency pruning),
-// band (the locally relevant constraint builders) and core (the pipeline).
+// band (the locally relevant constraint builders), lower (the LB_Kim and
+// LB_Keogh bounds) and core (the pipeline).
 package sdtw
 
 import (
@@ -85,7 +96,8 @@ type Options struct {
 	MinWidthFrac, MaxWidthFrac float64
 	// NeighborRadius is r for the ac2 width averaging. Zero means 1.
 	NeighborRadius int
-	// Slope is the Itakura slope bound. Zero means 2.
+	// Slope is the Itakura slope bound. Values <= 1 (including zero)
+	// mean 2.
 	Slope float64
 	// Symmetric unions the X-driven and Y-driven bands so the distance is
 	// symmetric (§3.3.3).
@@ -111,6 +123,10 @@ type Options struct {
 	KeepBand bool
 	// DisableCache turns off per-series feature caching.
 	DisableCache bool
+	// Workers bounds the worker pool Index queries fan candidates out
+	// across. Zero means GOMAXPROCS; 1 forces sequential queries. It does
+	// not affect Engine, whose calls are parallelised by the caller.
+	Workers int
 }
 
 // DefaultOptions returns the paper's headline configuration: adaptive
