@@ -527,6 +527,7 @@ func BenchmarkIndexTopKCascade(b *testing.B) {
 			}
 			b.ReportMetric(stats.PruneRate(), "prunerate")
 			b.ReportMetric(stats.CellsGain(), "cellsgain")
+			b.ReportMetric(stats.AbandonRate(), "abandonrate")
 		})
 	}
 }
@@ -553,6 +554,7 @@ func BenchmarkIndexTopKBatch(b *testing.B) {
 	}
 	b.ReportMetric(stats.PruneRate(), "prunerate")
 	b.ReportMetric(stats.CellsGain(), "cellsgain")
+	b.ReportMetric(stats.AbandonRate(), "abandonrate")
 }
 
 // BenchmarkIndexClassifyAll measures leave-one-out kNN classification of
@@ -607,6 +609,7 @@ func BenchmarkBoundedTopK(b *testing.B) {
 		stats = s
 	}
 	b.ReportMetric(stats.PruneRate(), "prunerate")
+	b.ReportMetric(stats.AbandonRate(), "abandonrate")
 }
 
 // BenchmarkClusteringKMedoids measures k-medoids over sDTW distances on

@@ -16,8 +16,17 @@ type BoundStats struct {
 	// PrunedKim and PrunedKeogh count candidates discarded by each bound
 	// before any DTW grid work.
 	PrunedKim, PrunedKeogh int
-	// Evaluated counts candidates that required a DTW computation.
+	// Evaluated counts candidates that required a DTW computation
+	// (including ones abandoned partway through).
 	Evaluated int
+	// AbandonedDTW counts evaluated candidates whose DTW computation was
+	// abandoned early once its partial cost — itself a valid lower bound —
+	// exceeded the best-so-far threshold. Abandoned candidates are
+	// included in Evaluated.
+	AbandonedDTW int
+	// CellsSaved counts the band cells early abandonment skipped on
+	// abandoned candidates.
+	CellsSaved int
 }
 
 // PruneRate is the fraction of candidates discarded without DTW work.
@@ -28,25 +37,37 @@ func (s BoundStats) PruneRate() float64 {
 	return float64(s.PrunedKim+s.PrunedKeogh) / float64(s.Candidates)
 }
 
+// AbandonRate is the fraction of evaluated candidates whose DTW
+// computation was abandoned before filling the whole band.
+func (s BoundStats) AbandonRate() float64 {
+	if s.Evaluated == 0 {
+		return 0
+	}
+	return float64(s.AbandonedDTW) / float64(s.Evaluated)
+}
+
 // BoundedIndex answers exact top-k DTW queries over an equal-length
 // collection using the classical lower-bound cascade (LB_Kim, then
-// LB_Keogh on precomputed envelopes) of Keogh's exact-indexing pipeline —
-// the paper's reference [7] and the natural companion to sDTW for
-// retrieval workloads. Results are exact with respect to the (optionally
-// Sakoe-Chiba-windowed) DTW distance.
+// LB_Keogh on precomputed envelopes, then early-abandoning DTW) of
+// Keogh's exact-indexing pipeline — the paper's reference [7] and the
+// natural companion to sDTW for retrieval workloads. Results are exact
+// with respect to the (optionally Sakoe-Chiba-windowed) DTW distance.
 type BoundedIndex struct {
 	data      []Series
 	envelopes []lower.Envelope
 	radius    int
-	band      dtw.Band // empty when radius covers the full grid
+	band      dtw.Band // the DP constraint; FullBand when unconstrained
+	bandCells int
 	length    int
+	abandon   bool
 }
 
 // NewBoundedIndex builds the index. All series must share one length.
 // radius is the Sakoe-Chiba warping window in samples: both the DTW
-// computation and the envelopes use it, keeping the bound exact for the
-// windowed distance. radius < 0 (or >= length) selects unconstrained DTW
-// with full-width envelopes.
+// computation and the envelopes use the same radius, keeping the bound
+// exact for the windowed distance. radius < 0 (or >= length) selects
+// unconstrained DTW with full-width envelopes. Early abandonment is on
+// by default; SetEarlyAbandon turns it off for A/B verification.
 func NewBoundedIndex(data []Series, radius int) (*BoundedIndex, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("sdtw: cannot index an empty collection")
@@ -63,14 +84,21 @@ func NewBoundedIndex(data []Series, radius int) (*BoundedIndex, error) {
 	if radius < 0 || radius >= length {
 		radius = length // unconstrained
 	}
-	ix := &BoundedIndex{data: data, radius: radius, length: length}
+	ix := &BoundedIndex{data: data, radius: radius, length: length, abandon: true}
 	ix.envelopes = make([]lower.Envelope, len(data))
 	for i, s := range data {
 		ix.envelopes[i] = lower.NewEnvelope(s.Values, radius)
 	}
 	if radius < length {
-		ix.band = dtw.SakoeChiba(length, length, float64(2*radius+1)/float64(length))
+		// The band must sit at exactly the envelope radius: LB_Keogh at
+		// radius r does not lower-bound windowed DTW at radius r+1, and
+		// deriving the band from a width fraction (whose ceil rounding
+		// yields radius r+1) silently drops true nearest neighbours.
+		ix.band = dtw.SakoeChibaRadius(length, length, radius)
+	} else {
+		ix.band = dtw.FullBand(length, length)
 	}
+	ix.bandCells = ix.band.Cells()
 	return ix, nil
 }
 
@@ -80,19 +108,16 @@ func (ix *BoundedIndex) Len() int { return len(ix.data) }
 // Radius returns the effective warping window in samples.
 func (ix *BoundedIndex) Radius() int { return ix.radius }
 
-// distance computes the (windowed) DTW distance of the query to candidate i.
-func (ix *BoundedIndex) distance(q []float64, i int) (float64, error) {
-	if ix.radius >= ix.length {
-		return dtw.Distance(q, ix.data[i].Values, nil)
-	}
-	d, _, err := dtw.Banded(q, ix.data[i].Values, ix.band, nil)
-	return d, err
-}
+// SetEarlyAbandon toggles early-abandoning DTW inside TopK. Abandonment
+// never changes results — only the grid work spent refuting hopeless
+// candidates — so the switch exists for verification and measurement.
+func (ix *BoundedIndex) SetEarlyAbandon(on bool) { ix.abandon = on }
 
 // TopK returns the k nearest indexed series to the query under the
 // (windowed) DTW distance, exactly, using the bound cascade to skip
 // candidates. Candidates sharing the query's non-empty ID are excluded,
-// so leave-one-out evaluation works naturally.
+// so leave-one-out evaluation works naturally. k larger than the
+// candidate count returns every candidate.
 func (ix *BoundedIndex) TopK(query Series, k int) ([]Neighbor, BoundStats, error) {
 	var stats BoundStats
 	if k <= 0 {
@@ -101,25 +126,32 @@ func (ix *BoundedIndex) TopK(query Series, k int) ([]Neighbor, BoundStats, error
 	if query.Len() != ix.length {
 		return nil, stats, fmt.Errorf("sdtw: query length %d != indexed length %d", query.Len(), ix.length)
 	}
-	// Candidate order: ascending LB_Keogh, so strong matches surface
-	// early and the pruning threshold tightens fast.
+	// Candidate order: ascending LB_Kim — O(1) per candidate, so ordering
+	// the whole collection is nearly free and strong matches still surface
+	// early. The O(n) LB_Keogh is computed lazily, only for candidates
+	// that survive the Kim check, keeping the cascade cheapest-first.
 	type cand struct {
-		pos   int
-		bound float64
+		pos int
+		kim float64
 	}
 	cands := make([]cand, 0, len(ix.data))
 	for i, s := range ix.data {
 		if s.ID != "" && s.ID == query.ID {
 			continue
 		}
-		b, err := lower.Keogh(query.Values, ix.envelopes[i], nil)
+		kim, err := lower.Kim(query.Values, s.Values, nil)
 		if err != nil {
 			return nil, stats, err
 		}
-		cands = append(cands, cand{pos: i, bound: b})
+		cands = append(cands, cand{pos: i, kim: kim})
 	}
 	stats.Candidates = len(cands)
-	sort.Slice(cands, func(a, b int) bool { return cands[a].bound < cands[b].bound })
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].kim != cands[b].kim {
+			return cands[a].kim < cands[b].kim
+		}
+		return cands[a].pos < cands[b].pos
+	})
 
 	best := make([]Neighbor, 0, k)
 	kth := math.Inf(1)
@@ -138,24 +170,36 @@ func (ix *BoundedIndex) TopK(query Series, k int) ([]Neighbor, BoundStats, error
 			kth = best[k-1].Distance
 		}
 	}
+	var ws dtw.Workspace
 	for _, c := range cands {
-		if c.bound > kth {
-			stats.PrunedKeogh++
-			continue
-		}
-		kim, err := lower.Kim(query.Values, ix.data[c.pos].Values, nil)
-		if err != nil {
-			return nil, stats, err
-		}
-		if kim > kth {
+		if c.kim > kth {
 			stats.PrunedKim++
 			continue
 		}
-		d, err := ix.distance(query.Values, c.pos)
+		kg, err := lower.Keogh(query.Values, ix.envelopes[c.pos], nil)
+		if err != nil {
+			return nil, stats, err
+		}
+		if kg > kth {
+			stats.PrunedKeogh++
+			continue
+		}
+		budget := math.Inf(1)
+		if ix.abandon {
+			budget = kth
+		}
+		d, cells, abandoned, err := dtw.BandedAbandonWS(query.Values, ix.data[c.pos].Values, ix.band, nil, budget, &ws)
 		if err != nil {
 			return nil, stats, err
 		}
 		stats.Evaluated++
+		if abandoned {
+			// The partial cost already exceeds the k-th best distance, so
+			// the candidate cannot enter the result set.
+			stats.AbandonedDTW++
+			stats.CellsSaved += ix.bandCells - cells
+			continue
+		}
 		if d <= kth || len(best) < k {
 			insert(Neighbor{Pos: c.pos, Distance: d})
 		}

@@ -3,6 +3,8 @@ package sdtw
 import (
 	"math"
 	"testing"
+
+	"sdtw/internal/dtw"
 )
 
 func boundedWorkload(t *testing.T) *Dataset {
@@ -75,14 +77,131 @@ func TestBoundedIndexWindowedExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Windowed distances must match direct Sakoe-Chiba computations.
-	want, err := SakoeChibaDTW(d.Series[2].Values, d.Series[got[0].Pos].Values,
-		float64(2*radius+1)/float64(d.Length))
+	// Windowed distances must match a direct computation on the band at
+	// exactly the envelope radius (not the widthFrac-derived band, whose
+	// ceil rounding widens the radius by one).
+	want, _, err := dtw.Banded(d.Series[2].Values, d.Series[got[0].Pos].Values,
+		dtw.SakoeChibaRadius(d.Length, d.Length, radius), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(got[0].Distance-want) > 1e-9 {
 		t.Fatalf("windowed distance %v != direct %v", got[0].Distance, want)
+	}
+}
+
+// TestBoundedIndexTies: duplicate series produce duplicate distances;
+// ties must resolve by ascending collection position, deterministically.
+func TestBoundedIndexTies(t *testing.T) {
+	base := []float64{0, 1, 3, 2, 1, 0, 1, 2}
+	far := []float64{9, 9, 9, 9, 9, 9, 9, 9}
+	data := []Series{
+		NewSeries("", 0, base), // pos 0: distance 0 to the query
+		NewSeries("", 1, far),  // pos 1: far away
+		NewSeries("", 2, base), // pos 2: distance 0 again
+		NewSeries("", 3, base), // pos 3: distance 0 again
+	}
+	ix, err := NewBoundedIndex(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := NewSeries("q", 0, base)
+	got, _, err := ix.TopK(query, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPos := []int{0, 2, 3}
+	if len(got) != len(wantPos) {
+		t.Fatalf("got %d neighbours, want %d", len(got), len(wantPos))
+	}
+	for i, nb := range got {
+		if nb.Pos != wantPos[i] || nb.Distance != 0 {
+			t.Fatalf("rank %d: %+v, want pos %d at distance 0", i, nb, wantPos[i])
+		}
+	}
+	// With k=2 only the two lowest positions among the tied trio survive.
+	got, _, err = ix.TopK(query, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Pos != 0 || got[1].Pos != 2 {
+		t.Fatalf("k=2 tie-break by position failed: %+v", got)
+	}
+}
+
+// TestBoundedIndexKExceedsCollection: k beyond the candidate count
+// returns every candidate, ranked, rather than erroring or padding.
+func TestBoundedIndexKExceedsCollection(t *testing.T) {
+	d := TraceDataset(DatasetConfig{Seed: 61, SeriesPerClass: 2})
+	ix, err := NewBoundedIndex(d.Series, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := ix.TopK(d.Series[0], d.Len()+50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != d.Len()-1 {
+		t.Fatalf("got %d neighbours, want every other candidate (%d)", len(got), d.Len()-1)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Distance < got[i-1].Distance {
+			t.Fatalf("neighbours not ascending at rank %d: %+v", i, got)
+		}
+	}
+	if stats.Evaluated+stats.PrunedKim+stats.PrunedKeogh != stats.Candidates {
+		t.Fatalf("stats do not partition candidates: %+v", stats)
+	}
+	// The heap never fills, so the threshold stays +Inf and nothing may
+	// be pruned or abandoned away.
+	if stats.PrunedKim+stats.PrunedKeogh+stats.AbandonedDTW != 0 {
+		t.Fatalf("work was skipped although every candidate is a result: %+v", stats)
+	}
+}
+
+// TestBoundedIndexSelfExclusionByID mirrors cascade_test.go's harness:
+// a query sharing an indexed series' non-empty ID is excluded from its
+// own candidate set, so leave-one-out never reports a 0-distance self
+// match; empty IDs are never treated as equal.
+func TestBoundedIndexSelfExclusionByID(t *testing.T) {
+	d := boundedWorkload(t)
+	ix, err := NewBoundedIndex(d.Series, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []int{0, 5, d.Len() - 1} {
+		got, stats, err := ix.TopK(d.Series[q], d.Len())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Candidates != d.Len()-1 {
+			t.Fatalf("query %d: %d candidates, want %d after self-exclusion", q, stats.Candidates, d.Len()-1)
+		}
+		for _, nb := range got {
+			if nb.Pos == q {
+				t.Fatalf("query %d returned itself: %+v", q, nb)
+			}
+		}
+	}
+	// Empty IDs must not match each other: two anonymous series are
+	// candidates for one another.
+	anon := []Series{
+		NewSeries("", 0, []float64{0, 1, 2, 1, 0, 1, 2, 1}),
+		NewSeries("", 1, []float64{2, 1, 0, 1, 2, 1, 0, 1}),
+	}
+	ixa, err := NewBoundedIndex(anon, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := ixa.TopK(anon[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Candidates != 2 {
+		t.Fatalf("anonymous series excluded by empty ID: %d candidates, want 2", stats.Candidates)
+	}
+	if len(got) != 1 || got[0].Pos != 0 || got[0].Distance != 0 {
+		t.Fatalf("anonymous self-query top-1 = %+v, want pos 0 at distance 0", got)
 	}
 }
 

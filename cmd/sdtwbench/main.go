@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ func main() {
 		scale   = flag.String("scale", "full", "workload scale: full, medium, small")
 		dataset = flag.String("dataset", "", "restrict per-dataset figures to one data set (Gun, Trace, 50Words)")
 		seed    = flag.Int64("seed", 42, "workload generator seed")
+		jsonOut = flag.String("json", "BENCH_retrieval.json", "path for the machine-readable retrieval results (empty disables)")
 	)
 	flag.Parse()
 
@@ -190,16 +192,24 @@ func main() {
 	}
 	if want("retrieval") {
 		ran = true
+		var entries []retrievalEntry
 		for _, name := range names {
 			name := name
-			run("Cascaded k-NN retrieval (LB_Kim -> LB_Keogh -> sDTW) on "+name, func() error {
-				out, err := runRetrieval(name, sc, *seed)
+			run("Cascaded k-NN retrieval (LB_Kim -> LB_Keogh -> abandoning sDTW) on "+name, func() error {
+				out, rows, err := runRetrieval(name, sc, *seed)
 				if err != nil {
 					return err
 				}
+				entries = append(entries, rows...)
 				fmt.Print(out)
 				return nil
 			})
+		}
+		if *jsonOut != "" {
+			if err := writeRetrievalJSON(*jsonOut, entries); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("machine-readable results written to %s\n\n", *jsonOut)
 		}
 	}
 	if want("bands") {
@@ -218,14 +228,48 @@ func main() {
 	}
 }
 
+// retrievalEntry is one row of the machine-readable retrieval results:
+// per dataset and band strategy, the cascade's stage counts, the saving
+// rates, and the wall time — the numbers CI tracks across PRs.
+type retrievalEntry struct {
+	Dataset      string  `json:"dataset"`
+	Algorithm    string  `json:"algorithm"`
+	SeriesCount  int     `json:"series"`
+	Length       int     `json:"length"`
+	Candidates   int     `json:"candidates"`
+	PrunedKim    int     `json:"pruned_kim"`
+	PrunedKeogh  int     `json:"pruned_keogh"`
+	Evaluated    int     `json:"evaluated"`
+	AbandonedDTW int     `json:"abandoned_dtw"`
+	CellsSaved   int     `json:"cells_saved"`
+	PruneRate    float64 `json:"prune_rate"`
+	CellsGain    float64 `json:"cells_gain"`
+	AbandonRate  float64 `json:"abandon_rate"`
+	WallMS       float64 `json:"wall_ms"`
+}
+
+// writeRetrievalJSON persists the retrieval entries for machines (CI
+// trend lines) next to the human-readable tables on stdout.
+func writeRetrievalJSON(path string, entries []retrievalEntry) error {
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding retrieval results: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing retrieval results: %w", err)
+	}
+	return nil
+}
+
 // runRetrieval exercises the Index's lower-bound-cascaded batch retrieval
 // on one workload: every series queried against the collection, per band
-// strategy, reporting how many candidates each cascade stage discarded
-// and the DP work that remained.
-func runRetrieval(name string, sc experiments.Scale, seed int64) (string, error) {
+// strategy, reporting how many candidates each cascade stage discarded,
+// how many dynamic programs abandoned early, and the DP work that
+// remained.
+func runRetrieval(name string, sc experiments.Scale, seed int64) (string, []retrievalEntry, error) {
 	d, err := experiments.LoadDataset(name, sc, seed)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	configs := []struct {
 		label string
@@ -237,24 +281,42 @@ func runRetrieval(name string, sc experiments.Scale, seed int64) (string, error)
 		{"ac,aw", sdtw.DefaultOptions()},
 	}
 	var sb strings.Builder
+	var entries []retrievalEntry
 	fmt.Fprintf(&sb, "%s: %d series x len %d, k=5, all-series batch queries\n",
 		d.Name, d.Len(), d.Length)
-	fmt.Fprintf(&sb, "%-10s %10s %10s %10s %10s %9s %9s %12s\n",
-		"algorithm", "candidates", "lb_kim", "lb_keogh", "evaluated", "prune", "cellsgain", "wall")
+	fmt.Fprintf(&sb, "%-10s %10s %10s %10s %10s %10s %9s %9s %9s %12s\n",
+		"algorithm", "candidates", "lb_kim", "lb_keogh", "evaluated", "abandoned", "prune", "cellsgain", "abandon", "wall")
 	for _, cfg := range configs {
 		ix, err := sdtw.NewIndex(d.Series, cfg.opts)
 		if err != nil {
-			return "", fmt.Errorf("indexing %s under %s: %w", d.Name, cfg.label, err)
+			return "", nil, fmt.Errorf("indexing %s under %s: %w", d.Name, cfg.label, err)
 		}
 		_, stats, err := ix.TopKBatch(d.Series, 5)
 		if err != nil {
-			return "", fmt.Errorf("batch retrieval on %s under %s: %w", d.Name, cfg.label, err)
+			return "", nil, fmt.Errorf("batch retrieval on %s under %s: %w", d.Name, cfg.label, err)
 		}
-		fmt.Fprintf(&sb, "%-10s %10d %10d %10d %10d %8.1f%% %8.1f%% %12v\n",
+		fmt.Fprintf(&sb, "%-10s %10d %10d %10d %10d %10d %8.1f%% %8.1f%% %8.1f%% %12v\n",
 			cfg.label, stats.Candidates, stats.PrunedKim, stats.PrunedKeogh, stats.Evaluated,
-			100*stats.PruneRate(), 100*stats.CellsGain(), stats.WallTime.Round(time.Millisecond))
+			stats.AbandonedDTW, 100*stats.PruneRate(), 100*stats.CellsGain(),
+			100*stats.AbandonRate(), stats.WallTime.Round(time.Millisecond))
+		entries = append(entries, retrievalEntry{
+			Dataset:      d.Name,
+			Algorithm:    cfg.label,
+			SeriesCount:  d.Len(),
+			Length:       d.Length,
+			Candidates:   stats.Candidates,
+			PrunedKim:    stats.PrunedKim,
+			PrunedKeogh:  stats.PrunedKeogh,
+			Evaluated:    stats.Evaluated,
+			AbandonedDTW: stats.AbandonedDTW,
+			CellsSaved:   stats.CellsSaved,
+			PruneRate:    stats.PruneRate(),
+			CellsGain:    stats.CellsGain(),
+			AbandonRate:  stats.AbandonRate(),
+			WallMS:       float64(stats.WallTime.Microseconds()) / 1000,
+		})
 	}
-	return sb.String(), nil
+	return sb.String(), entries, nil
 }
 
 func parseScale(s string) (experiments.Scale, error) {

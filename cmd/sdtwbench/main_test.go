@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -8,17 +11,47 @@ import (
 )
 
 func TestRunRetrieval(t *testing.T) {
-	out, err := runRetrieval("Gun", experiments.Small, 42)
+	out, entries, err := runRetrieval("Gun", experiments.Small, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"lb_kim", "lb_keogh", "evaluated", "ac,aw", "fc,fw 10%"} {
+	for _, want := range []string{"lb_kim", "lb_keogh", "evaluated", "abandoned", "ac,aw", "fc,fw 10%"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("retrieval report missing %q:\n%s", want, out)
 		}
 	}
-	if _, err := runRetrieval("bogus", experiments.Small, 42); err == nil {
+	if len(entries) != 4 {
+		t.Fatalf("got %d machine-readable entries, want one per config", len(entries))
+	}
+	for _, e := range entries {
+		if e.Dataset != "Gun" || e.Algorithm == "" || e.Candidates == 0 {
+			t.Fatalf("malformed entry: %+v", e)
+		}
+		if e.PrunedKim+e.PrunedKeogh+e.Evaluated != e.Candidates {
+			t.Fatalf("entry stages do not partition candidates: %+v", e)
+		}
+	}
+	if _, _, err := runRetrieval("bogus", experiments.Small, 42); err == nil {
 		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestWriteRetrievalJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_retrieval.json")
+	entries := []retrievalEntry{{Dataset: "Trace", Algorithm: "ac,aw", Candidates: 10, Evaluated: 4, AbandonedDTW: 2}}
+	if err := writeRetrievalJSON(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []retrievalEntry
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != entries[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
 	}
 }
 

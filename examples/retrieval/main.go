@@ -85,11 +85,12 @@ func main() {
 
 	// The work the last query's cascade avoided: candidates discarded by
 	// LB_Kim and LB_Keogh never touched the DTW grid, and the survivors
-	// only filled their sDTW bands.
-	fmt.Printf("cascade on the last query: %d candidates, %d pruned by LB_Kim, %d by LB_Keogh, %d evaluated\n",
-		cascade.Candidates, cascade.PrunedKim, cascade.PrunedKeogh, cascade.Evaluated)
-	fmt.Printf("DP work avoided: %d of %d grid cells filled (%.1f%% saved, bounds+band combined)\n",
-		cascade.Cells, cascade.GridCells, 100*cascade.CellsGain())
+	// ran an early-abandoning DP that stops once the partial cost exceeds
+	// the k-th best distance.
+	fmt.Printf("cascade on the last query: %d candidates, %d pruned by LB_Kim, %d by LB_Keogh, %d evaluated (%d abandoned mid-grid)\n",
+		cascade.Candidates, cascade.PrunedKim, cascade.PrunedKeogh, cascade.Evaluated, cascade.AbandonedDTW)
+	fmt.Printf("DP work avoided: %d of %d grid cells filled (%.1f%% saved, bounds+band+abandonment combined; %d cells saved by abandonment alone)\n",
+		cascade.Cells, cascade.GridCells, 100*cascade.CellsGain(), cascade.CellsSaved)
 
 	// Whole-dataset workloads batch through the same cascade: classify
 	// every indexed series leave-one-out in one call.

@@ -26,10 +26,15 @@ import (
 // maintains the pruning threshold, and any candidate whose LB_Kim or
 // envelope LB_Keogh bound already exceeds the k-th best distance is
 // discarded before any DTW grid work. Surviving candidates are fanned out
-// across a bounded worker pool sharing the threshold atomically. The
-// cascade is exact: LB_Kim and LB_Keogh (at the envelope radius the index
-// derives from the engine's band options) never exceed the banded sDTW
-// distance, so TopK returns precisely the neighbours a full scan would.
+// across a bounded worker pool sharing the threshold atomically, and the
+// threshold follows them into the dynamic program itself: the banded DP
+// early-abandons the moment every continuation exceeds the k-th best
+// distance, so even evaluated candidates rarely fill their whole band.
+// The cascade is exact: LB_Kim and LB_Keogh (at the envelope radius the
+// index derives from the engine's band options) never exceed the banded
+// sDTW distance, and an abandoned candidate's partial cost is itself a
+// lower bound above the threshold, so TopK returns precisely the
+// neighbours a full scan would.
 //
 // An Index is safe for concurrent use.
 type Index struct {
@@ -44,6 +49,11 @@ type Index struct {
 	// squared point cost (non-negative and monotone in the gap), and an
 	// arbitrary cost function voids their admissibility proofs.
 	cascade bool
+	// abandon enables threshold-aware early abandonment inside the DP
+	// (stage 3 of the cascade). Like the bounds it assumes a non-negative
+	// point cost, so it is tied to cascade and additionally gated by
+	// Options.DisableAbandon.
+	abandon bool
 	workers int
 }
 
@@ -74,6 +84,7 @@ func NewIndex(data []Series, opts Options) (*Index, error) {
 		engine:  NewEngine(opts),
 		data:    data,
 		cascade: opts.PointDistance == nil,
+		abandon: opts.PointDistance == nil && !opts.DisableAbandon,
 		workers: workers,
 	}
 	if err := idx.engine.Warm(data); err != nil {
@@ -145,6 +156,8 @@ func (s *QueryStats) merge(o QueryStats) {
 	s.PrunedKim += o.PrunedKim
 	s.PrunedKeogh += o.PrunedKeogh
 	s.Evaluated += o.Evaluated
+	s.AbandonedDTW += o.AbandonedDTW
+	s.CellsSaved += o.CellsSaved
 	s.Cells += o.Cells
 	s.GridCells += o.GridCells
 	s.BoundTime += o.BoundTime
@@ -154,8 +167,8 @@ func (s *QueryStats) merge(o QueryStats) {
 
 // String implements fmt.Stringer for terse logs.
 func (s QueryStats) String() string {
-	return fmt.Sprintf("candidates=%d kim=%d keogh=%d evaluated=%d prune=%.2f cellsgain=%.2f",
-		s.Candidates, s.PrunedKim, s.PrunedKeogh, s.Evaluated, s.PruneRate(), s.CellsGain())
+	return fmt.Sprintf("candidates=%d kim=%d keogh=%d evaluated=%d abandoned=%d prune=%.2f cellsgain=%.2f cellssaved=%d",
+		s.Candidates, s.PrunedKim, s.PrunedKeogh, s.Evaluated, s.AbandonedDTW, s.PruneRate(), s.CellsGain(), s.CellsSaved)
 }
 
 // TopK returns the k indexed series nearest to the query under the
@@ -306,7 +319,7 @@ func (ix *Index) query(query Series, k int, workers, excludePos int) ([]Neighbor
 	}
 	var threshold atomicThreshold
 	threshold.store(math.Inf(1))
-	var prunedKim, prunedKeogh, evaluated, cells atomic.Int64
+	var prunedKim, prunedKeogh, evaluated, abandoned, cells, cellsSaved atomic.Int64
 	var boundNS, matchNS, dpNS atomic.Int64
 	parallelFor(workers, len(cands), &stop, func(n int) {
 		c := cands[n]
@@ -330,7 +343,16 @@ func (ix *Index) query(query Series, k int, workers, excludePos int) ([]Neighbor
 				}
 			}
 		}
-		res, err := ix.engine.DistanceSeries(query, s)
+		// Stage 3: the dynamic program itself, early-abandoning against
+		// the shared threshold. The threshold only ever decreases, so a
+		// stale read yields a looser budget — extra rows filled, never a
+		// wrong result. Abandonment is strict (> budget), so a candidate
+		// tying the k-th distance is always evaluated fully.
+		budget := math.Inf(1)
+		if ix.abandon {
+			budget = threshold.load()
+		}
+		res, err := ix.engine.DistanceUnderSeries(query, s, budget)
 		if err != nil {
 			fail(fmt.Errorf("sdtw: distance to %q: %w", s.ID, err))
 			return
@@ -339,6 +361,14 @@ func (ix *Index) query(query Series, k int, workers, excludePos int) ([]Neighbor
 		cells.Add(int64(res.CellsFilled))
 		matchNS.Add(int64(res.MatchTime))
 		dpNS.Add(int64(res.DPTime))
+		if res.Abandoned {
+			// The partial cost already exceeds the k-th best distance (and
+			// the threshold can only have tightened since), so the
+			// candidate cannot enter the heap.
+			abandoned.Add(1)
+			cellsSaved.Add(int64(res.BandCells - res.CellsFilled))
+			return
+		}
 
 		nb := Neighbor{Pos: c.pos, Distance: res.Distance}
 		mu.Lock()
@@ -356,6 +386,8 @@ func (ix *Index) query(query Series, k int, workers, excludePos int) ([]Neighbor
 	stats.PrunedKim = int(prunedKim.Load())
 	stats.PrunedKeogh = int(prunedKeogh.Load())
 	stats.Evaluated = int(evaluated.Load())
+	stats.AbandonedDTW = int(abandoned.Load())
+	stats.CellsSaved = int(cellsSaved.Load())
 	stats.Cells = int(cells.Load())
 	stats.BoundTime += time.Duration(boundNS.Load())
 	stats.MatchTime = time.Duration(matchNS.Load())

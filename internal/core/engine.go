@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -74,8 +75,16 @@ type Result struct {
 	Band dtw.Band
 	// CellsFilled is the number of DTW grid cells evaluated.
 	CellsFilled int
+	// BandCells is the total cell count of the constraint band; it equals
+	// CellsFilled unless the computation abandoned early, in which case
+	// BandCells − CellsFilled is the work abandonment skipped.
+	BandCells int
 	// GridCells is N·M, for computing pruning gains.
 	GridCells int
+	// Abandoned reports that DistanceUnder stopped early because every
+	// continuation already exceeded the caller's budget. Distance is then
+	// a valid lower bound on the banded distance, not the distance itself.
+	Abandoned bool
 	// Pairs is the number of consistent salient pairs that informed the
 	// band (0 for fixed-core/fixed-width strategies).
 	Pairs int
@@ -185,8 +194,22 @@ func (e *Engine) ClearCache() {
 // direction-dependent, and the canonicalisation is what turns the
 // symmetric band union into an exactly symmetric distance.
 func (e *Engine) Distance(x, y series.Series) (Result, error) {
+	return e.DistanceUnder(x, y, math.Inf(1))
+}
+
+// DistanceUnder is Distance with threshold-aware early abandonment: the
+// dynamic program stops the moment every continuation already exceeds
+// budget (exclusive), returning Result.Abandoned=true and a partial
+// Distance that is itself a valid lower bound on the banded distance.
+// Retrieval cascades pass their best-so-far k-th distance as the budget,
+// so hopeless candidates stop after a few rows instead of filling the
+// whole band. A budget of +Inf makes the call identical to Distance.
+//
+// Abandonment assumes a non-negative point cost; when Options.ComputePath
+// is set (the path needs the full band) the budget is ignored.
+func (e *Engine) DistanceUnder(x, y series.Series, budget float64) (Result, error) {
 	if e.opts.Band.Symmetric && canonicalLess(y, x) {
-		res, err := e.distance(y, x)
+		res, err := e.distance(y, x, budget)
 		if err != nil {
 			return res, err
 		}
@@ -198,7 +221,7 @@ func (e *Engine) Distance(x, y series.Series) (Result, error) {
 		}
 		return res, nil
 	}
-	return e.distance(x, y)
+	return e.distance(x, y, budget)
 }
 
 // canonicalLess is a deterministic total preorder on series used to pick
@@ -219,7 +242,7 @@ func canonicalLess(a, b series.Series) bool {
 	return false
 }
 
-func (e *Engine) distance(x, y series.Series) (Result, error) {
+func (e *Engine) distance(x, y series.Series, budget float64) (Result, error) {
 	nx, ny := x.Len(), y.Len()
 	if nx == 0 || ny == 0 {
 		return Result{}, fmt.Errorf("core: empty series (len(x)=%d len(y)=%d)", nx, ny)
@@ -271,6 +294,7 @@ func (e *Engine) distance(x, y series.Series) (Result, error) {
 	if e.opts.KeepBand {
 		res.Band = b.Clone()
 	}
+	res.BandCells = b.Cells()
 
 	dpStart := time.Now()
 	if e.opts.ComputePath {
@@ -280,11 +304,11 @@ func (e *Engine) distance(x, y series.Series) (Result, error) {
 		}
 		res.Distance, res.Path, res.CellsFilled = pr.Distance, pr.Path, pr.Cells
 	} else {
-		d, cells, err := dtw.BandedWS(x.Values, y.Values, b, e.opts.PointDistance, &ws.dp)
+		d, cells, abandoned, err := dtw.BandedAbandonWS(x.Values, y.Values, b, e.opts.PointDistance, budget, &ws.dp)
 		if err != nil {
 			return res, fmt.Errorf("core: constrained DTW: %w", err)
 		}
-		res.Distance, res.CellsFilled = d, cells
+		res.Distance, res.CellsFilled, res.Abandoned = d, cells, abandoned
 	}
 	res.DPTime = time.Since(dpStart)
 	return res, nil

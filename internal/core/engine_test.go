@@ -397,3 +397,110 @@ func TestDefaultOptions(t *testing.T) {
 		t.Fatal("Options() does not round-trip")
 	}
 }
+
+// TestEngineDistanceUnder pins the threshold-aware entry point: an
+// infinite budget is bit-identical to Distance, a tight budget abandons
+// with a partial distance that lower-bounds the true one while skipping
+// band cells, and a budget at the true distance (exclusive) never
+// abandons. Exercised across strategies so every band builder feeds the
+// abandoning DP.
+func TestEngineDistanceUnder(t *testing.T) {
+	strategies := []band.Strategy{
+		band.FullGrid, band.FixedCoreFixedWidth, band.AdaptiveCoreAdaptiveWidth,
+	}
+	for _, s := range strategies {
+		t.Run(s.String(), func(t *testing.T) {
+			x, y := makePair(7, 160, 0.3)
+			eng := NewEngine(optsFor(s))
+			full, err := eng.Distance(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if full.Abandoned {
+				t.Fatal("Distance reported an abandoned computation")
+			}
+			if full.BandCells != full.CellsFilled {
+				t.Fatalf("full run filled %d cells of a %d-cell band", full.CellsFilled, full.BandCells)
+			}
+			inf, err := eng.DistanceUnder(x, y, math.Inf(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inf.Abandoned || inf.Distance != full.Distance || inf.CellsFilled != full.CellsFilled {
+				t.Fatalf("budget=+Inf diverges from Distance: %+v vs %+v", inf, full)
+			}
+			at, err := eng.DistanceUnder(x, y, full.Distance)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if at.Abandoned || at.Distance != full.Distance {
+				t.Fatalf("budget at the true distance abandoned: %+v", at)
+			}
+			tight, err := eng.DistanceUnder(x, y, full.Distance*0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tight.Abandoned {
+				t.Fatalf("budget %v did not abandon (distance %v)", full.Distance*0.05, full.Distance)
+			}
+			if tight.Distance <= full.Distance*0.05 {
+				t.Fatalf("partial %v not above budget %v", tight.Distance, full.Distance*0.05)
+			}
+			if tight.Distance > full.Distance+1e-9*(1+math.Abs(full.Distance)) {
+				t.Fatalf("partial %v exceeds true distance %v", tight.Distance, full.Distance)
+			}
+			if tight.CellsFilled >= tight.BandCells {
+				t.Fatalf("abandoned run filled the whole band: %d of %d", tight.CellsFilled, tight.BandCells)
+			}
+		})
+	}
+}
+
+// TestEngineDistanceUnderSymmetric checks the symmetric canonicalisation
+// also governs the threshold-aware path: both orientations run the
+// identical computation, abandoned or not.
+func TestEngineDistanceUnderSymmetric(t *testing.T) {
+	x, y := makePair(9, 140, 0.3)
+	opts := optsFor(band.AdaptiveCoreAdaptiveWidth)
+	opts.Band.Symmetric = true
+	eng := NewEngine(opts)
+	full, err := eng.Distance(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []float64{math.Inf(1), full.Distance * 0.1} {
+		a, err := eng.DistanceUnder(x, y, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := eng.DistanceUnder(y, x, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Distance != b.Distance || a.Abandoned != b.Abandoned || a.CellsFilled != b.CellsFilled {
+			t.Fatalf("budget %v: orientations diverge: %+v vs %+v", budget, a, b)
+		}
+	}
+}
+
+// TestEngineDistanceUnderComputePath: path recovery needs the full band,
+// so the budget is ignored rather than producing a pathless partial.
+func TestEngineDistanceUnderComputePath(t *testing.T) {
+	x, y := makePair(11, 120, 0.3)
+	opts := optsFor(band.FixedCoreFixedWidth)
+	opts.ComputePath = true
+	eng := NewEngine(opts)
+	res, err := eng.DistanceUnder(x, y, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Abandoned {
+		t.Fatal("ComputePath run abandoned")
+	}
+	if len(res.Path) == 0 {
+		t.Fatal("no path recovered")
+	}
+	if err := res.Path.Validate(x.Len(), y.Len()); err != nil {
+		t.Fatal(err)
+	}
+}

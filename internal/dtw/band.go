@@ -247,6 +247,30 @@ func SakoeChiba(n, m int, widthFrac float64) Band {
 	return b.Normalize()
 }
 
+// SakoeChibaRadius returns the Sakoe-Chiba band for an n-by-m grid with
+// an explicit window radius in samples: row i may visit the columns
+// within radius of the scaled diagonal. For square grids this is exactly
+// the set |i-j| <= radius, the window LB_Keogh envelopes at the same
+// radius lower-bound — retrieval indexes must build their band through
+// this constructor (not the widthFrac one, whose ceil rounding can widen
+// the radius by one and void the bound's admissibility). radius <= 0
+// degenerates to the diagonal; the result is normalized.
+func SakoeChibaRadius(n, m, radius int) Band {
+	if n <= 0 || m <= 0 {
+		panic("dtw: SakoeChibaRadius needs positive grid dimensions")
+	}
+	if radius < 0 {
+		radius = 0
+	}
+	b := Band{Lo: make([]int, n), Hi: make([]int, n), M: m}
+	for i := 0; i < n; i++ {
+		center := diagonalColumn(i, n, m)
+		b.Lo[i] = center - radius
+		b.Hi[i] = center + radius
+	}
+	return b.Normalize()
+}
+
 // Itakura returns the Itakura parallelogram band for an n-by-m grid with
 // maximum local slope maxSlope (> 1, classically 2): the warp path is
 // confined to the intersection of two cones with slopes maxSlope and

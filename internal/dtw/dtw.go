@@ -32,8 +32,10 @@ func (p Path) Validate(n, m int) error {
 	if last.I != n-1 || last.J != m-1 {
 		return fmt.Errorf("dtw: path ends at (%d,%d), want (%d,%d)", last.I, last.J, n-1, m-1)
 	}
-	if len(p) < max(n, m) || len(p) > n+m {
-		return fmt.Errorf("dtw: path length %d outside [max(N,M)=%d, N+M=%d]", len(p), max(n, m), n+m)
+	// A monotone unit-step path from (0,0) to (n-1,m-1) takes at most
+	// (n-1)+(m-1) steps after the origin cell, so n+m-1 cells total.
+	if len(p) < max(n, m) || len(p) > n+m-1 {
+		return fmt.Errorf("dtw: path length %d outside [max(N,M)=%d, N+M-1=%d]", len(p), max(n, m), n+m-1)
 	}
 	for k := 1; k < len(p); k++ {
 		di := p[k].I - p[k-1].I
@@ -136,8 +138,29 @@ func Banded(x, y []float64, b Band, dist series.PointDistance) (float64, int, er
 // BandedWS is Banded with an optional caller-provided workspace for
 // allocation-free repeated computation.
 func BandedWS(x, y []float64, b Band, dist series.PointDistance, ws *Workspace) (float64, int, error) {
+	d, cells, _, err := BandedAbandonWS(x, y, b, dist, math.Inf(1), ws)
+	return d, cells, err
+}
+
+// BandedAbandonWS is BandedWS with early abandonment against a pruning
+// budget: after each row it checks the running row minimum, and the
+// moment every cell of the current row already exceeds budget it stops
+// filling the grid and returns abandoned=true. Every warp path must pass
+// through some in-band cell of every row and point costs are
+// non-negative, so the returned partial cost (the abandoned row's
+// minimum) is itself a valid lower bound on the banded distance. The
+// budget is exclusive: abandonment requires the row minimum to be
+// strictly greater than budget, so a candidate whose true distance ties
+// the budget is always evaluated fully. A budget of +Inf (or NaN) never
+// abandons and makes the call identical to BandedWS, including its
+// distance and cell count bit for bit.
+//
+// Admissibility of the partial cost requires a non-negative point
+// distance (the default squared cost is); callers with signed custom
+// costs must pass budget = +Inf.
+func BandedAbandonWS(x, y []float64, b Band, dist series.PointDistance, budget float64, ws *Workspace) (float64, int, bool, error) {
 	if err := checkInputs(x, y, b); err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
 	if dist == nil {
 		dist = series.SquaredDistance
@@ -163,6 +186,7 @@ func BandedWS(x, y []float64, b Band, dist series.PointDistance, ws *Workspace) 
 	for i := 0; i < n; i++ {
 		lo, hi := b.Lo[i], b.Hi[i]
 		xi := x[i]
+		rowMin := inf
 		for j := lo; j <= hi; j++ {
 			var best float64
 			if i == 0 && j == 0 {
@@ -183,20 +207,29 @@ func BandedWS(x, y []float64, b Band, dist series.PointDistance, ws *Workspace) 
 					}
 				}
 			}
-			curr[j-lo] = best + dist(xi, y[j])
+			v := best + dist(xi, y[j])
+			curr[j-lo] = v
+			if v < rowMin {
+				rowMin = v
+			}
 			cells++
 		}
 		prev, curr = curr, prev
 		prevLo, prevHi = lo, hi
+		// Abandoning on the final row would save nothing, and skipping the
+		// check there keeps the non-abandoned result identical to BandedWS.
+		if i < n-1 && rowMin > budget {
+			return rowMin, cells, true, nil
+		}
 	}
 	if m-1 < prevLo || m-1 > prevHi {
-		return 0, cells, fmt.Errorf("dtw: band admits no warp path (band not normalized?)")
+		return 0, cells, false, fmt.Errorf("dtw: band admits no warp path (band not normalized?)")
 	}
 	d := prev[m-1-prevLo]
 	if math.IsInf(d, 1) {
-		return 0, cells, fmt.Errorf("dtw: band admits no warp path (band not normalized?)")
+		return 0, cells, false, fmt.Errorf("dtw: band admits no warp path (band not normalized?)")
 	}
-	return d, cells, nil
+	return d, cells, false, nil
 }
 
 // BandedWithPath computes the band-constrained DTW distance and recovers

@@ -368,3 +368,146 @@ func TestWiderBandNeverWorse(t *testing.T) {
 		}
 	}
 }
+
+// TestPathValidateLengthBoundary pins both ends of the length bound: a
+// monotone unit-step path holds at most n+m-1 cells (the pure staircase),
+// so n+m-1 must validate and n+m must be rejected.
+func TestPathValidateLengthBoundary(t *testing.T) {
+	n, m := 3, 4
+	// Staircase: across row 0, then down the last column — n+m-1 cells.
+	staircase := Path{}
+	for j := 0; j < m; j++ {
+		staircase = append(staircase, Step{0, j})
+	}
+	for i := 1; i < n; i++ {
+		staircase = append(staircase, Step{i, m - 1})
+	}
+	tests := []struct {
+		name    string
+		path    Path
+		wantErr bool
+	}{
+		{"staircase n+m-1", staircase, false},
+		{"diagonal max(n,m)", Path{{0, 0}, {0, 1}, {1, 2}, {2, 3}}, false},
+		{"overlong n+m", append(append(Path{}, staircase...), Step{n - 1, m - 1}), true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if len(tc.path) > 0 {
+				if want := n + m - 1; !tc.wantErr && tc.name == "staircase n+m-1" && len(tc.path) != want {
+					t.Fatalf("staircase has %d cells, want %d", len(tc.path), want)
+				}
+			}
+			err := tc.path.Validate(n, m)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() error = %v, wantErr = %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestBandedAbandonProperties is the contract the retrieval cascade's
+// exactness rests on: with budget +Inf the abandoning variant is
+// bit-identical to BandedWS; with a finite budget an abandoned run's
+// partial cost is strictly above the budget yet never above the true
+// banded distance (a valid lower bound), and a budget at or above the
+// true distance never abandons (the budget is exclusive).
+func TestBandedAbandonProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 80; trial++ {
+		n, m := 3+rng.Intn(30), 3+rng.Intn(30)
+		x := randomSeries(rng, n)
+		y := randomSeries(rng, m)
+		var b Band
+		if trial%2 == 0 {
+			b = FullBand(n, m)
+		} else {
+			b = SakoeChiba(n, m, 0.2)
+		}
+		d, cells, err := BandedWS(x, y, b, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		di, ci, abandoned, err := BandedAbandonWS(x, y, b, nil, math.Inf(1), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if abandoned || di != d || ci != cells {
+			t.Fatalf("budget=+Inf diverges: (%v,%d,%v) vs (%v,%d)", di, ci, abandoned, d, cells)
+		}
+		// Budget exactly at the true distance: exclusive, must not abandon.
+		dt, ct, abandoned, err := BandedAbandonWS(x, y, b, nil, d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if abandoned || dt != d || ct != cells {
+			t.Fatalf("budget=d abandoned or diverged: (%v,%d,%v) vs (%v,%d)", dt, ct, abandoned, d, cells)
+		}
+		// Tight budget: if the run abandons, the partial cost must be a
+		// lower bound on d sitting strictly above the budget, with fewer
+		// cells filled.
+		budget := d * 0.25
+		dp, cp, abandoned, err := BandedAbandonWS(x, y, b, nil, budget, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if abandoned {
+			if dp <= budget {
+				t.Fatalf("abandoned at %v with budget %v (must be strictly above)", dp, budget)
+			}
+			if dp > d+1e-9*(1+math.Abs(d)) {
+				t.Fatalf("partial cost %v exceeds true banded distance %v", dp, d)
+			}
+			if cp >= cells {
+				t.Fatalf("abandoned run filled %d cells, full run %d", cp, cells)
+			}
+		} else if dp != d || cp != cells {
+			t.Fatalf("non-abandoned run diverged: (%v,%d) vs (%v,%d)", dp, cp, d, cells)
+		}
+	}
+}
+
+// TestSakoeChibaRadiusGeometry checks the explicit-radius constructor
+// keeps every square-grid band cell within |i-j| <= radius — the exact
+// window LB_Keogh envelopes at the same radius lower-bound — while the
+// widthFrac constructor's ceil rounding can exceed it.
+func TestSakoeChibaRadiusGeometry(t *testing.T) {
+	for _, n := range []int{2, 9, 50, 137} {
+		for _, r := range []int{0, 1, 5, n - 1} {
+			b := SakoeChibaRadius(n, n, r)
+			if err := b.Validate(); err != nil {
+				t.Fatalf("n=%d r=%d: %v", n, r, err)
+			}
+			for i := 0; i < n; i++ {
+				for _, j := range []int{b.Lo[i], b.Hi[i]} {
+					if j < i-r || j > i+r {
+						t.Fatalf("n=%d r=%d: cell (%d,%d) outside the radius window", n, r, i, j)
+					}
+				}
+				// The full window (clamped to the grid) must be present:
+				// narrower would make the windowed distance stricter than
+				// the envelopes assume.
+				wantLo, wantHi := i-r, i+r
+				if wantLo < 0 {
+					wantLo = 0
+				}
+				if wantHi > n-1 {
+					wantHi = n - 1
+				}
+				if b.Lo[i] > wantLo || b.Hi[i] < wantHi {
+					t.Fatalf("n=%d r=%d row %d: band [%d,%d] narrower than window [%d,%d]",
+						n, r, i, b.Lo[i], b.Hi[i], wantLo, wantHi)
+				}
+			}
+		}
+	}
+	// The off-by-one this constructor exists to avoid: deriving radius 1
+	// via widthFrac gives ceil(3/L * L/2) = 2.
+	wide := SakoeChiba(9, 9, 3.0/9.0)
+	if wide.Hi[0] <= 1 {
+		t.Fatalf("widthFrac-derived band no longer over-widens (Hi[0]=%d); keep constructors in sync", wide.Hi[0])
+	}
+	if exact := SakoeChibaRadius(9, 9, 1); exact.Hi[0] != 1 {
+		t.Fatalf("radius-1 band Hi[0] = %d, want 1", exact.Hi[0])
+	}
+}

@@ -14,9 +14,10 @@
 // The public Index builds its k-NN query cascade on these bounds: LB_Kim
 // orders and pre-filters candidates, and per-series envelopes (at a
 // radius the index derives from the engine's band options so the chain
-// above holds) power the LB_Keogh stage. BoundedIndex cascades the same
-// two bounds in the opposite order (Keogh-sorted candidates, Kim as the
-// second check) for exact windowed-DTW retrieval.
+// above holds) power the LB_Keogh stage. BoundedIndex runs the same
+// Kim-first cascade for exact windowed-DTW retrieval. Both finish with
+// early-abandoning DTW: the partial row minimum of an abandoned dynamic
+// program is one more lower bound in the same chain.
 package lower
 
 import (

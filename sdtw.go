@@ -17,9 +17,10 @@
 // cheap LB_Kim bound and discarded against a shared best-so-far threshold
 // — first by LB_Kim, then by LB_Keogh on envelopes precomputed at
 // indexing time — before any DTW grid work, with the survivors fanned out
-// across a bounded worker pool. The cascade is exact for the engine's
-// banded distance, and every query reports a QueryStats record (per-stage
-// prune counts, grid cells filled, per-stage times). TopKBatch and
+// across a bounded worker pool running early-abandoning DTW against the
+// same threshold. The cascade is exact for the engine's banded distance,
+// and every query reports a QueryStats record (per-stage prune counts,
+// grid cells filled and saved, per-stage times). TopKBatch and
 // ClassifyAll run whole-dataset workloads through the same path.
 //
 // The heavy lifting lives in internal packages: dtw (the dynamic program
@@ -123,6 +124,12 @@ type Options struct {
 	KeepBand bool
 	// DisableCache turns off per-series feature caching.
 	DisableCache bool
+	// DisableAbandon turns off threshold-based early abandonment inside
+	// Index queries. Abandonment never changes results — a candidate is
+	// abandoned only once its partial cost, itself a lower bound on its
+	// distance, exceeds the k-th best distance — it only skips grid work;
+	// the switch exists for A/B verification and measurement.
+	DisableAbandon bool
 	// Workers bounds the worker pool Index queries fan candidates out
 	// across. Zero means GOMAXPROCS; 1 forces sequential queries. It does
 	// not affect Engine, whose calls are parallelised by the caller.
@@ -199,6 +206,24 @@ func (e *Engine) Distance(x, y []float64) (Result, error) {
 // caching salient features under their IDs.
 func (e *Engine) DistanceSeries(x, y Series) (Result, error) {
 	return e.inner.Distance(x, y)
+}
+
+// DistanceUnder computes the constrained distance with threshold-aware
+// early abandonment: once every continuation of the dynamic program
+// already exceeds budget, the computation stops with Result.Abandoned set
+// and a partial Distance that is a valid lower bound on the true banded
+// distance. Retrieval loops pass their best-so-far k-th distance so
+// hopeless candidates stop after a few rows. budget = +Inf behaves
+// exactly like Distance. Abandonment assumes a non-negative point cost
+// (the default squared cost qualifies).
+func (e *Engine) DistanceUnder(x, y []float64, budget float64) (Result, error) {
+	return e.inner.DistanceUnder(Series{Values: x}, Series{Values: y}, budget)
+}
+
+// DistanceUnderSeries is DistanceUnder for ID-carrying Series, caching
+// salient features under their IDs.
+func (e *Engine) DistanceUnderSeries(x, y Series, budget float64) (Result, error) {
+	return e.inner.DistanceUnder(x, y, budget)
 }
 
 // Features extracts (or recalls from cache) the salient features of s.
