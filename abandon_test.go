@@ -1,6 +1,7 @@
 package sdtw
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -50,13 +51,14 @@ func TestTopKAbandonInvariance(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
+				ctx := context.Background()
 				for _, k := range []int{1, 3, 100} {
 					for _, q := range []Series{data[0], data[len(data)-1]} {
-						got, gotStats, err := on.TopKStats(q, k)
+						got, gotStats, err := on.Search(ctx, q, WithK(k))
 						if err != nil {
 							t.Fatal(err)
 						}
-						want, wantStats, err := off.TopKStats(q, k)
+						want, wantStats, err := off.Search(ctx, q, WithK(k))
 						if err != nil {
 							t.Fatal(err)
 						}
@@ -80,11 +82,11 @@ func TestTopKAbandonInvariance(t *testing.T) {
 						}
 					}
 				}
-				onLabels, _, err := on.ClassifyAll(3)
+				onLabels, _, err := on.LabelsAll(ctx, WithK(3))
 				if err != nil {
 					t.Fatal(err)
 				}
-				offLabels, _, err := off.ClassifyAll(3)
+				offLabels, _, err := off.LabelsAll(ctx, WithK(3))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -162,11 +164,11 @@ func TestAbandonSavesWorkOnTrace(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			_, onStats, err := on.TopKBatch(d.Series, 5)
+			_, onStats, err := on.SearchBatch(context.Background(), d.Series, WithK(5))
 			if err != nil {
 				t.Fatal(err)
 			}
-			_, offStats, err := off.TopKBatch(d.Series, 5)
+			_, offStats, err := off.SearchBatch(context.Background(), d.Series, WithK(5), WithoutAbandon())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -186,29 +188,26 @@ func TestAbandonSavesWorkOnTrace(t *testing.T) {
 	}
 }
 
-// TestBoundedIndexAbandonInvariance mirrors the invariance property for
-// the windowed exact index: abandonment on and off return identical
-// neighbours, and on a structured workload abandonment actually fires.
-func TestBoundedIndexAbandonInvariance(t *testing.T) {
+// TestWindowedIndexAbandonInvariance mirrors the invariance property for
+// the windowed exact index: abandonment on and off (per search, via
+// WithoutAbandon) return identical neighbours, and on a structured
+// workload abandonment actually fires.
+func TestWindowedIndexAbandonInvariance(t *testing.T) {
 	d := TraceDataset(DatasetConfig{Seed: 33, SeriesPerClass: 8})
+	ctx := context.Background()
 	for _, radius := range []int{-1, 10, 25} {
-		on, err := NewBoundedIndex(d.Series, radius)
+		ix, err := NewWindowedIndex(d.Series, radius)
 		if err != nil {
 			t.Fatal(err)
 		}
-		off, err := NewBoundedIndex(d.Series, radius)
-		if err != nil {
-			t.Fatal(err)
-		}
-		off.SetEarlyAbandon(false)
 		totalAbandoned := 0
 		for q := 0; q < d.Len(); q += 3 {
 			for _, k := range []int{1, 4} {
-				got, gotStats, err := on.TopK(d.Series[q], k)
+				got, gotStats, err := ix.Search(ctx, d.Series[q], WithK(k))
 				if err != nil {
 					t.Fatal(err)
 				}
-				want, wantStats, err := off.TopK(d.Series[q], k)
+				want, wantStats, err := ix.Search(ctx, d.Series[q], WithK(k), WithoutAbandon())
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -222,7 +221,7 @@ func TestBoundedIndexAbandonInvariance(t *testing.T) {
 					}
 				}
 				if wantStats.AbandonedDTW != 0 {
-					t.Fatalf("disabled index abandoned: %+v", wantStats)
+					t.Fatalf("WithoutAbandon search abandoned: %+v", wantStats)
 				}
 				totalAbandoned += gotStats.AbandonedDTW
 				if gotStats.Evaluated+gotStats.PrunedKim+gotStats.PrunedKeogh != gotStats.Candidates {
@@ -253,8 +252,8 @@ func TestBoundedIndexRadiusRegression(t *testing.T) {
 		v[spikeAt] = height
 		return NewSeries(id, 0, v)
 	}
-	trueNeighbor := mk("true", 5, 2)    // pos 0: spike 2 right of the query's
-	decoy := mk("decoy", 3, 1.9)        // pos 1: nearly matching spike in place
+	trueNeighbor := mk("true", 5, 2) // pos 0: spike 2 right of the query's
+	decoy := mk("decoy", 3, 1.9)     // pos 1: nearly matching spike in place
 	data := []Series{trueNeighbor, decoy}
 	query := mk("q", 3, 2)
 
@@ -313,22 +312,24 @@ func TestBoundedIndexRadiusRegression(t *testing.T) {
 	}
 
 	// --- The fixed index: band built directly at the envelope radius.
-	// TopK must agree with a brute-force scan under the index's own band.
-	ix, err := NewBoundedIndex(data, radius)
+	// Search must agree with a brute-force scan under the index's own
+	// band, which sits at exactly the envelope radius.
+	ix, err := NewWindowedIndex(data, radius)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ix.band.Hi[0] != radius {
-		t.Fatalf("fixed band radius = %d, want %d", ix.band.Hi[0], radius)
+	fixedBand := dtw.SakoeChibaRadius(length, length, ix.Radius())
+	if fixedBand.Hi[0] != radius {
+		t.Fatalf("fixed band radius = %d, want %d", fixedBand.Hi[0], radius)
 	}
 	for _, k := range []int{1, 2} {
-		got, _, err := ix.TopK(query, k)
+		got, _, err := ix.Search(context.Background(), query, WithK(k))
 		if err != nil {
 			t.Fatal(err)
 		}
 		var brute []Neighbor
 		for i, s := range data {
-			dist, _, err := dtw.Banded(query.Values, s.Values, ix.band, nil)
+			dist, _, err := dtw.Banded(query.Values, s.Values, fixedBand, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -348,7 +349,7 @@ func TestBoundedIndexRadiusRegression(t *testing.T) {
 		}
 		for i := 0; i < k; i++ {
 			if got[i] != brute[i] {
-				t.Fatalf("k=%d rank %d: TopK %+v, brute force %+v", k, i, got[i], brute[i])
+				t.Fatalf("k=%d rank %d: Search %+v, brute force %+v", k, i, got[i], brute[i])
 			}
 		}
 	}

@@ -10,6 +10,7 @@
 package sdtw
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -519,11 +520,11 @@ func BenchmarkIndexTopKCascade(b *testing.B) {
 			// not depend on which query b.N happens to end on.
 			var stats QueryStats
 			for i := 0; i < b.N; i++ {
-				_, s, err := ix.TopKStats(d.Series[i%d.Len()], 5)
+				_, s, err := ix.Search(context.Background(), d.Series[i%d.Len()], WithK(5))
 				if err != nil {
 					b.Fatal(err)
 				}
-				stats.merge(s)
+				stats.Merge(s)
 			}
 			b.ReportMetric(stats.PruneRate(), "prunerate")
 			b.ReportMetric(stats.CellsGain(), "cellsgain")
@@ -546,7 +547,7 @@ func BenchmarkIndexTopKBatch(b *testing.B) {
 	b.ReportAllocs()
 	var stats QueryStats
 	for i := 0; i < b.N; i++ {
-		_, s, err := ix.TopKBatch(d.Series, 5)
+		_, s, err := ix.SearchBatch(context.Background(), d.Series, WithK(5))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -571,7 +572,7 @@ func BenchmarkIndexClassifyAll(b *testing.B) {
 	b.ReportAllocs()
 	correct := 0
 	for i := 0; i < b.N; i++ {
-		labels, _, err := ix.ClassifyAll(3)
+		labels, _, err := ix.LabelsAll(context.Background(), WithK(3))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -595,14 +596,14 @@ func BenchmarkBoundedTopK(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ix, err := NewBoundedIndex(d.Series, 15)
+	ix, err := NewWindowedIndex(d.Series, 15)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
-	var stats BoundStats
+	var stats SearchStats
 	for i := 0; i < b.N; i++ {
-		_, s, err := ix.TopK(d.Series[i%d.Len()], 5)
+		_, s, err := ix.Search(context.Background(), d.Series[i%d.Len()], WithK(5))
 		if err != nil {
 			b.Fatal(err)
 		}

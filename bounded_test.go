@@ -1,6 +1,7 @@
 package sdtw
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -12,15 +13,15 @@ func boundedWorkload(t *testing.T) *Dataset {
 	return TraceDataset(DatasetConfig{Seed: 31, SeriesPerClass: 6})
 }
 
-func TestBoundedIndexExactAgainstBruteForce(t *testing.T) {
+func TestWindowedIndexExactAgainstBruteForce(t *testing.T) {
 	d := boundedWorkload(t)
-	ix, err := NewBoundedIndex(d.Series, -1) // unconstrained DTW
+	ix, err := NewWindowedIndex(d.Series, -1) // unconstrained DTW
 	if err != nil {
 		t.Fatal(err)
 	}
 	const k = 5
 	for _, q := range []int{0, 7, 13} {
-		got, stats, err := ix.TopK(d.Series[q], k)
+		got, stats, err := ix.Search(context.Background(), d.Series[q], WithK(k))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -51,7 +52,7 @@ func TestBoundedIndexExactAgainstBruteForce(t *testing.T) {
 				}
 			}
 			if math.Abs(all[best].d-got[rank].Distance) > 1e-9 {
-				t.Fatalf("query %d rank %d: bounded %v (pos %d) vs brute %v (pos %d)",
+				t.Fatalf("query %d rank %d: windowed %v (pos %d) vs brute %v (pos %d)",
 					q, rank, got[rank].Distance, got[rank].Pos, all[best].d, all[best].pos)
 			}
 			all[best] = all[len(all)-1]
@@ -63,17 +64,20 @@ func TestBoundedIndexExactAgainstBruteForce(t *testing.T) {
 	}
 }
 
-func TestBoundedIndexWindowedExact(t *testing.T) {
+func TestWindowedIndexWindowedExact(t *testing.T) {
 	d := boundedWorkload(t)
 	radius := 20
-	ix, err := NewBoundedIndex(d.Series, radius)
+	ix, err := NewWindowedIndex(d.Series, radius)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ix.Radius() != radius {
 		t.Fatalf("radius = %d", ix.Radius())
 	}
-	got, _, err := ix.TopK(d.Series[2], 3)
+	if ix.Engine() != nil {
+		t.Fatal("windowed index reports an sDTW engine")
+	}
+	got, _, err := ix.Search(context.Background(), d.Series[2], WithK(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,9 +94,9 @@ func TestBoundedIndexWindowedExact(t *testing.T) {
 	}
 }
 
-// TestBoundedIndexTies: duplicate series produce duplicate distances;
+// TestWindowedIndexTies: duplicate series produce duplicate distances;
 // ties must resolve by ascending collection position, deterministically.
-func TestBoundedIndexTies(t *testing.T) {
+func TestWindowedIndexTies(t *testing.T) {
 	base := []float64{0, 1, 3, 2, 1, 0, 1, 2}
 	far := []float64{9, 9, 9, 9, 9, 9, 9, 9}
 	data := []Series{
@@ -101,12 +105,12 @@ func TestBoundedIndexTies(t *testing.T) {
 		NewSeries("", 2, base), // pos 2: distance 0 again
 		NewSeries("", 3, base), // pos 3: distance 0 again
 	}
-	ix, err := NewBoundedIndex(data, 2)
+	ix, err := NewWindowedIndex(data, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	query := NewSeries("q", 0, base)
-	got, _, err := ix.TopK(query, 3)
+	got, _, err := ix.Search(context.Background(), query, WithK(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +124,7 @@ func TestBoundedIndexTies(t *testing.T) {
 		}
 	}
 	// With k=2 only the two lowest positions among the tied trio survive.
-	got, _, err = ix.TopK(query, 2)
+	got, _, err = ix.Search(context.Background(), query, WithK(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,15 +133,15 @@ func TestBoundedIndexTies(t *testing.T) {
 	}
 }
 
-// TestBoundedIndexKExceedsCollection: k beyond the candidate count
+// TestWindowedIndexKExceedsCollection: k beyond the candidate count
 // returns every candidate, ranked, rather than erroring or padding.
-func TestBoundedIndexKExceedsCollection(t *testing.T) {
+func TestWindowedIndexKExceedsCollection(t *testing.T) {
 	d := TraceDataset(DatasetConfig{Seed: 61, SeriesPerClass: 2})
-	ix, err := NewBoundedIndex(d.Series, 10)
+	ix, err := NewWindowedIndex(d.Series, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, stats, err := ix.TopK(d.Series[0], d.Len()+50)
+	got, stats, err := ix.Search(context.Background(), d.Series[0], WithK(d.Len()+50))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,18 +163,18 @@ func TestBoundedIndexKExceedsCollection(t *testing.T) {
 	}
 }
 
-// TestBoundedIndexSelfExclusionByID mirrors cascade_test.go's harness:
+// TestWindowedIndexSelfExclusionByID mirrors cascade_test.go's harness:
 // a query sharing an indexed series' non-empty ID is excluded from its
 // own candidate set, so leave-one-out never reports a 0-distance self
 // match; empty IDs are never treated as equal.
-func TestBoundedIndexSelfExclusionByID(t *testing.T) {
+func TestWindowedIndexSelfExclusionByID(t *testing.T) {
 	d := boundedWorkload(t)
-	ix, err := NewBoundedIndex(d.Series, 10)
+	ix, err := NewWindowedIndex(d.Series, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, q := range []int{0, 5, d.Len() - 1} {
-		got, stats, err := ix.TopK(d.Series[q], d.Len())
+		got, stats, err := ix.Search(context.Background(), d.Series[q], WithK(d.Len()))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -189,11 +193,11 @@ func TestBoundedIndexSelfExclusionByID(t *testing.T) {
 		NewSeries("", 0, []float64{0, 1, 2, 1, 0, 1, 2, 1}),
 		NewSeries("", 1, []float64{2, 1, 0, 1, 2, 1, 0, 1}),
 	}
-	ixa, err := NewBoundedIndex(anon, -1)
+	ixa, err := NewWindowedIndex(anon, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, stats, err := ixa.TopK(anon[0], 1)
+	got, stats, err := ixa.Search(context.Background(), anon[0], WithK(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,17 +209,17 @@ func TestBoundedIndexSelfExclusionByID(t *testing.T) {
 	}
 }
 
-func TestBoundedIndexPrunes(t *testing.T) {
+func TestWindowedIndexPrunes(t *testing.T) {
 	// On a structured workload with tight warping windows, the cascade
 	// must discard a meaningful share of candidates without DTW work.
 	d := TraceDataset(DatasetConfig{Seed: 41, SeriesPerClass: 12})
-	ix, err := NewBoundedIndex(d.Series, 15)
+	ix, err := NewWindowedIndex(d.Series, 15)
 	if err != nil {
 		t.Fatal(err)
 	}
 	totalPruned, totalCands := 0, 0
 	for q := 0; q < 8; q++ {
-		_, stats, err := ix.TopK(d.Series[q], 3)
+		_, stats, err := ix.Search(context.Background(), d.Series[q], WithK(3))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -228,39 +232,39 @@ func TestBoundedIndexPrunes(t *testing.T) {
 	}
 }
 
-func TestBoundedIndexValidation(t *testing.T) {
-	if _, err := NewBoundedIndex(nil, 5); err == nil {
+func TestWindowedIndexValidation(t *testing.T) {
+	if _, err := NewWindowedIndex(nil, 5); err == nil {
 		t.Fatal("empty collection accepted")
 	}
 	uneven := []Series{
 		NewSeries("a", 0, make([]float64, 10)),
 		NewSeries("b", 0, make([]float64, 12)),
 	}
-	if _, err := NewBoundedIndex(uneven, 5); err == nil {
-		t.Fatal("unequal lengths accepted")
+	if _, err := NewWindowedIndex(uneven, 5); !IsErr(err, ErrLengthMismatch) {
+		t.Fatalf("unequal lengths: got %v, want ErrLengthMismatch", err)
 	}
 	d := boundedWorkload(t)
-	ix, err := NewBoundedIndex(d.Series, 5)
+	ix, err := NewWindowedIndex(d.Series, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := ix.TopK(d.Series[0], 0); err == nil {
-		t.Fatal("k=0 accepted")
+	if _, _, err := ix.Search(context.Background(), d.Series[0], WithK(0)); !IsErr(err, ErrBadK) {
+		t.Fatalf("k=0: got %v, want ErrBadK", err)
 	}
-	if _, _, err := ix.TopK(NewSeries("q", 0, make([]float64, 7)), 3); err == nil {
-		t.Fatal("wrong-length query accepted")
+	if _, _, err := ix.Search(context.Background(), NewSeries("q", 0, make([]float64, 7)), WithK(3)); !IsErr(err, ErrLengthMismatch) {
+		t.Fatalf("wrong-length query: got %v, want ErrLengthMismatch", err)
 	}
 	if ix.Len() != d.Len() {
 		t.Fatalf("Len = %d", ix.Len())
 	}
 }
 
-func TestBoundStatsPruneRate(t *testing.T) {
-	s := BoundStats{Candidates: 10, PrunedKim: 2, PrunedKeogh: 3, Evaluated: 5}
+func TestSearchStatsPruneRate(t *testing.T) {
+	s := SearchStats{Candidates: 10, PrunedKim: 2, PrunedKeogh: 3, Evaluated: 5}
 	if got := s.PruneRate(); got != 0.5 {
 		t.Fatalf("prune rate = %v", got)
 	}
-	if (BoundStats{}).PruneRate() != 0 {
+	if (SearchStats{}).PruneRate() != 0 {
 		t.Fatal("empty stats prune rate not zero")
 	}
 }
@@ -318,8 +322,8 @@ func TestCombinedDistancePublicAPI(t *testing.T) {
 	if res.BandCells > solo.Band.Cells() {
 		t.Fatalf("combined band %d cells > sDTW band %d", res.BandCells, solo.Band.Cells())
 	}
-	if _, err := CombinedDistance(nil, y, 1, DefaultOptions()); err == nil {
-		t.Fatal("empty input accepted")
+	if _, err := CombinedDistance(nil, y, 1, DefaultOptions()); !IsErr(err, ErrEmptySeries) {
+		t.Fatalf("empty input: got %v, want ErrEmptySeries", err)
 	}
 }
 
@@ -362,8 +366,8 @@ func TestClusterPublicAPI(t *testing.T) {
 	if pExact < 0.7 {
 		t.Fatalf("exact clustering purity = %v", pExact)
 	}
-	if _, err := Cluster(nil, 2, DefaultOptions()); err == nil {
-		t.Fatal("empty collection accepted")
+	if _, err := Cluster(nil, 2, DefaultOptions()); !IsErr(err, ErrEmptyCollection) {
+		t.Fatalf("empty collection: got %v, want ErrEmptyCollection", err)
 	}
 	if _, err := ClusterPurity(nil, d.Series); err == nil {
 		t.Fatal("nil clustering accepted")

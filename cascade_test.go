@@ -1,6 +1,7 @@
 package sdtw
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -92,7 +93,7 @@ func bruteTopK(t *testing.T, ix *Index, query Series, k int) []Neighbor {
 }
 
 // TestCascadeMatchesBruteForce is the exactness property: on randomized
-// collections and every band strategy, the cascaded parallel TopK returns
+// collections and every band strategy, the cascaded parallel Search returns
 // the same neighbours at the same distances as a brute-force scan.
 func TestCascadeMatchesBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
@@ -130,7 +131,7 @@ func TestCascadeMatchesBruteForce(t *testing.T) {
 				for qi, q := range queries {
 					for _, k := range []int{1, 3, 100} {
 						want := bruteTopK(t, ix, q, k)
-						got, stats, err := ix.TopKStats(q, k)
+						got, stats, err := ix.Search(context.Background(), q, WithK(k))
 						if err != nil {
 							t.Fatal(err)
 						}
@@ -205,7 +206,7 @@ func TestCascadePrunesMajority(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, stats, err := ix.TopKBatch(d.Series, 5)
+	_, stats, err := ix.SearchBatch(context.Background(), d.Series, WithK(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestQueryStatsAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nbrs, stats, err := ix.TopKStats(d.Series[0], 5)
+	nbrs, stats, err := ix.Search(context.Background(), d.Series[0], WithK(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,16 +253,16 @@ func TestQueryStatsAccounting(t *testing.T) {
 	}
 }
 
-// TestTopKBatchMatchesSingle checks the batch entry point returns exactly
-// the per-query results and that ClassifyAll agrees with Classify.
-func TestTopKBatchMatchesSingle(t *testing.T) {
+// TestSearchBatchMatchesSingle checks the batch entry point returns exactly
+// the per-query results and that LabelsAll agrees with Labels.
+func TestSearchBatchMatchesSingle(t *testing.T) {
 	d := TraceDataset(DatasetConfig{Seed: 11, SeriesPerClass: 4})
 	ix, err := NewIndex(d.Series, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	const k = 3
-	batch, stats, err := ix.TopKBatch(d.Series, k)
+	batch, stats, err := ix.SearchBatch(context.Background(), d.Series, WithK(k))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +273,7 @@ func TestTopKBatchMatchesSingle(t *testing.T) {
 		t.Fatalf("batch stats candidates %d, want %d", stats.Candidates, len(d.Series)*(len(d.Series)-1))
 	}
 	for i, s := range d.Series {
-		single, err := ix.TopK(s, k)
+		single, _, err := ix.Search(context.Background(), s, WithK(k))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -286,35 +287,35 @@ func TestTopKBatchMatchesSingle(t *testing.T) {
 		}
 	}
 
-	all, _, err := ix.ClassifyAll(k)
+	all, _, err := ix.LabelsAll(context.Background(), WithK(k))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, s := range d.Series {
-		want, err := ix.Classify(s, k)
+		want, err := ix.Labels(context.Background(), s, WithK(k))
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(all[i]) != len(want) {
-			t.Fatalf("series %d: ClassifyAll %v vs Classify %v", i, all[i], want)
+			t.Fatalf("series %d: LabelsAll %v vs Labels %v", i, all[i], want)
 		}
 		for j := range want {
 			if all[i][j] != want[j] {
-				t.Fatalf("series %d: ClassifyAll %v vs Classify %v", i, all[i], want)
+				t.Fatalf("series %d: LabelsAll %v vs Labels %v", i, all[i], want)
 			}
 		}
 	}
 
-	if _, _, err := ix.TopKBatch(nil, k); err == nil {
+	if _, _, err := ix.SearchBatch(context.Background(), nil, WithK(k)); err == nil {
 		t.Fatal("empty batch accepted")
 	}
 }
 
-// TestClassifyAllWithoutIDs checks leave-one-out holds by position when
+// TestLabelsAllWithoutIDs checks leave-one-out holds by position when
 // series carry no IDs: with k=1 and two unlabeled-ID series, each must be
 // classified by the *other* one — a self-match at distance 0 would hand
 // every series its own label and silently inflate accuracy.
-func TestClassifyAllWithoutIDs(t *testing.T) {
+func TestLabelsAllWithoutIDs(t *testing.T) {
 	data := []Series{
 		NewSeries("", 0, []float64{0, 1, 2, 3, 2, 1, 0, 1}),
 		NewSeries("", 1, []float64{5, 4, 3, 2, 3, 4, 5, 4}),
@@ -323,7 +324,7 @@ func TestClassifyAllWithoutIDs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	labels, stats, err := ix.ClassifyAll(1)
+	labels, stats, err := ix.LabelsAll(context.Background(), WithK(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +349,7 @@ func TestCascadeCustomPointDistance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, stats, err := ix.TopKStats(data[0], 4)
+	got, stats, err := ix.Search(context.Background(), data[0], WithK(4))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,7 +27,7 @@ type Clustering struct {
 // clustering itself is deterministic for identical inputs.
 func Cluster(data []Series, k int, opts Options) (*Clustering, error) {
 	if len(data) == 0 {
-		return nil, fmt.Errorf("sdtw: cannot cluster an empty collection")
+		return nil, fmt.Errorf("sdtw: cannot cluster: %w", ErrEmptyCollection)
 	}
 	engine := core.NewEngine(opts.toCore())
 	if _, err := engine.Warm(data); err != nil {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -136,7 +137,7 @@ func runQuery(data *sdtw.Dataset, q, k int, opts sdtw.Options) error {
 	if err != nil {
 		return err
 	}
-	nbrs, err := idx.TopK(data.Series[q], k)
+	nbrs, _, err := idx.Search(context.Background(), data.Series[q], sdtw.WithK(k))
 	if err != nil {
 		return err
 	}
@@ -145,7 +146,7 @@ func runQuery(data *sdtw.Dataset, q, k int, opts sdtw.Options) error {
 		s := data.Series[nb.Pos]
 		fmt.Printf("%3d. %-20s label=%-3d distance=%g\n", rank+1, s.ID, s.Label, nb.Distance)
 	}
-	labels, err := idx.Classify(data.Series[q], k)
+	labels, err := idx.Labels(context.Background(), data.Series[q], sdtw.WithK(k))
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -291,7 +292,7 @@ func runRetrieval(name string, sc experiments.Scale, seed int64) (string, []retr
 		if err != nil {
 			return "", nil, fmt.Errorf("indexing %s under %s: %w", d.Name, cfg.label, err)
 		}
-		_, stats, err := ix.TopKBatch(d.Series, 5)
+		_, stats, err := ix.SearchBatch(context.Background(), d.Series, sdtw.WithK(5))
 		if err != nil {
 			return "", nil, fmt.Errorf("batch retrieval on %s under %s: %w", d.Name, cfg.label, err)
 		}

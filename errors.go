@@ -1,0 +1,30 @@
+package sdtw
+
+import "sdtw/internal/retrieve"
+
+// Sentinel errors of the query surface. Every validation failure across
+// NewIndex, NewWindowedIndex, Search, Add, Remove, Cluster and the
+// one-shot helpers wraps one of these, so callers branch with errors.Is
+// instead of matching message strings:
+//
+//	if _, _, err := ix.Search(ctx, q, sdtw.WithK(k)); errors.Is(err, sdtw.ErrBadK) { ... }
+var (
+	// ErrEmptyCollection reports an attempt to index, cluster, or batch
+	// over zero series — or to Remove an index's last series.
+	ErrEmptyCollection = retrieve.ErrEmptyCollection
+	// ErrEmptySeries reports a series or query with no observations.
+	ErrEmptySeries = retrieve.ErrEmptySeries
+	// ErrBadK reports a non-positive neighbour count.
+	ErrBadK = retrieve.ErrBadK
+	// ErrLengthMismatch reports a series or query whose length violates
+	// the windowed backend's equal-length requirement.
+	ErrLengthMismatch = retrieve.ErrLengthMismatch
+	// ErrConfigMismatch reports an index snapshot whose configuration
+	// fingerprint does not match the options it is being loaded under.
+	ErrConfigMismatch = retrieve.ErrConfigMismatch
+	// ErrDuplicateID reports two collection series sharing one non-empty
+	// ID (IDs key the feature cache and Remove).
+	ErrDuplicateID = retrieve.ErrDuplicateID
+	// ErrUnknownID reports a Remove of an ID not in the collection.
+	ErrUnknownID = retrieve.ErrUnknownID
+)

@@ -1,6 +1,7 @@
 package sdtw_test
 
 import (
+	"context"
 	"fmt"
 
 	"sdtw"
@@ -65,4 +66,53 @@ func ExampleSubsequence() {
 func ExamplePAA() {
 	fmt.Println(sdtw.PAA([]float64{1, 3, 5, 7, 9, 11}, 3))
 	// Output: [3 9]
+}
+
+// Search is the unified query surface: one call serves top-k retrieval,
+// range search (WithThreshold) and leave-one-out exclusion on either
+// backend, under a cancellable context.
+func Example_search() {
+	data := []sdtw.Series{
+		sdtw.NewSeries("ramp", 0, []float64{0, 1, 2, 3, 4, 5, 6, 7}),
+		sdtw.NewSeries("ramp-slow", 0, []float64{0, 0, 1, 1, 2, 3, 5, 7}),
+		sdtw.NewSeries("flat", 1, []float64{3, 3, 3, 3, 3, 3, 3, 3}),
+	}
+	ix, err := sdtw.NewIndex(data, sdtw.Options{Strategy: sdtw.FullGrid})
+	if err != nil {
+		panic(err)
+	}
+	query := sdtw.NewSeries("q", 0, []float64{0, 1, 2, 3, 4, 5, 6, 7})
+	nbrs, stats, err := ix.Search(context.Background(), query, sdtw.WithK(2))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("nearest: %s (distance %.1f)\n", ix.Series(nbrs[0].Pos).ID, nbrs[0].Distance)
+	fmt.Printf("examined %d candidates\n", stats.Candidates)
+	// Output:
+	// nearest: ramp (distance 0.0)
+	// examined 3 candidates
+}
+
+// Indexes are mutable: Add pays the new series' one-time costs (feature
+// extraction, LB_Keogh envelope) incrementally, and the next search sees
+// it immediately.
+func ExampleIndex_Add() {
+	data := []sdtw.Series{
+		sdtw.NewSeries("up", 0, []float64{0, 1, 2, 3, 4, 5, 6, 7}),
+		sdtw.NewSeries("down", 1, []float64{7, 6, 5, 4, 3, 2, 1, 0}),
+	}
+	ix, err := sdtw.NewWindowedIndex(data, -1) // exact DTW backend
+	if err != nil {
+		panic(err)
+	}
+	if err := ix.Add(sdtw.NewSeries("up-too", 0, []float64{0, 0, 1, 2, 3, 4, 6, 7})); err != nil {
+		panic(err)
+	}
+	query := sdtw.NewSeries("q", 0, []float64{0, 1, 1, 2, 3, 4, 6, 7})
+	nbrs, _, err := ix.Search(context.Background(), query, sdtw.WithK(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d series indexed; nearest to the query: %s\n", ix.Len(), ix.Series(nbrs[0].Pos).ID)
+	// Output: 3 series indexed; nearest to the query: up-too
 }

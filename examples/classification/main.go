@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,9 +54,9 @@ func leaveOneOut(data *sdtw.Dataset, opts sdtw.Options, k int) (acc, gain float6
 	}
 	correct := 0
 	for i := 0; i < data.Len(); i++ {
-		// TopK skips the query itself (matching IDs), so this is
+		// Search skips the query itself (matching IDs), so this is
 		// leave-one-out by construction.
-		labels, err := idx.Classify(data.Series[i], k)
+		labels, err := idx.Labels(context.Background(), data.Series[i], sdtw.WithK(k))
 		if err != nil {
 			return 0, 0, err
 		}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -43,16 +44,17 @@ func main() {
 	}
 
 	const k = 5
+	ctx := context.Background()
 	overlapSum := 0.0
-	var cascade sdtw.QueryStats
+	var cascade sdtw.SearchStats
 	queries := []int{0, 11, 23, 35} // one per class
 	for _, q := range queries {
 		query := data.Series[q]
-		exact, err := exactIdx.TopK(query, k)
+		exact, _, err := exactIdx.Search(ctx, query, sdtw.WithK(k))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fast, stats, err := fastIdx.TopKStats(query, k)
+		fast, stats, err := fastIdx.Search(ctx, query, sdtw.WithK(k))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -94,7 +96,7 @@ func main() {
 
 	// Whole-dataset workloads batch through the same cascade: classify
 	// every indexed series leave-one-out in one call.
-	labels, batch, err := fastIdx.ClassifyAll(3)
+	labels, batch, err := fastIdx.LabelsAll(ctx, sdtw.WithK(3))
 	if err != nil {
 		log.Fatal(err)
 	}

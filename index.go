@@ -1,503 +1,353 @@
 package sdtw
 
 import (
-	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
-	"time"
+	"strconv"
+	"strings"
 
-	"sdtw/internal/band"
-	"sdtw/internal/lower"
+	"sdtw/internal/retrieve"
 )
 
 // Index supports retrieval and k-nearest-neighbour classification over a
-// collection of series using a shared sDTW engine. Construction pays the
-// paper's one-time indexing cost (§3.4) twice over: salient features of
-// every indexed series are extracted and cached, and the LB_Keogh
-// upper/lower envelopes of Keogh's exact-indexing pipeline (the paper's
-// reference [7]) are precomputed next to them.
+// mutable collection of series through one query surface, backed by a
+// pluggable distance family:
 //
-// Queries run a lower-bound cascade instead of a brute-force scan:
-// candidates are ordered by the cheap LB_Kim bound, a best-so-far k-heap
-// maintains the pruning threshold, and any candidate whose LB_Kim or
-// envelope LB_Keogh bound already exceeds the k-th best distance is
-// discarded before any DTW grid work. Surviving candidates are fanned out
-// across a bounded worker pool sharing the threshold atomically, and the
-// threshold follows them into the dynamic program itself: the banded DP
-// early-abandons the moment every continuation exceeds the k-th best
-// distance, so even evaluated candidates rarely fill their whole band.
-// The cascade is exact: LB_Kim and LB_Keogh (at the envelope radius the
-// index derives from the engine's band options) never exceed the banded
-// sDTW distance, and an abandoned candidate's partial cost is itself a
-// lower bound above the threshold, so TopK returns precisely the
-// neighbours a full scan would.
+//   - NewIndex builds it over the sDTW engine (salient-feature banded
+//     DTW, the paper's pipeline);
+//   - NewWindowedIndex builds it over exact, optionally
+//     Sakoe-Chiba-windowed DTW (Keogh's exact-indexing pipeline, the
+//     paper's reference [7]).
 //
-// An Index is safe for concurrent use.
+// Both constructors pay the one-time indexing costs up front (salient
+// feature extraction for the engine backend; LB_Keogh upper/lower
+// envelopes for both) and both serve queries through the same shared
+// cascade: candidates ordered by the cheap LB_Kim bound are discarded
+// against a best-so-far threshold — first by LB_Kim, then by envelope
+// LB_Keogh — before any DTW grid work, and the survivors fan out across a
+// bounded worker pool running threshold-aware early-abandoning dynamic
+// programs. The cascade is exact: Search returns precisely the neighbours
+// a brute-force scan under the same distance would.
+//
+// An Index is safe for concurrent use. Searches run under a read lock;
+// Add and Remove take the write lock, so a mutating index keeps serving
+// queries between mutations.
 type Index struct {
-	engine *Engine
-	data   []Series
-	// envelopes[i] is the LB_Keogh envelope of data[i] at the radius
-	// admissible for the engine's band strategy; nil when the cascade is
-	// disabled (custom point distance).
-	envelopes []lower.Envelope
-	// cascade reports whether lower-bound pruning is active. It is off
-	// when Options.PointDistance is set: the bounds assume the default
-	// squared point cost (non-negative and monotone in the gap), and an
-	// arbitrary cost function voids their admissibility proofs.
-	cascade bool
-	// abandon enables threshold-aware early abandonment inside the DP
-	// (stage 3 of the cascade). Like the bounds it assumes a non-negative
-	// point cost, so it is tied to cascade and additionally gated by
-	// Options.DisableAbandon.
-	abandon bool
-	workers int
+	core   *retrieve.Core
+	engine *Engine // nil for the windowed backend
+	radius int     // effective windowed radius; -1 for the engine backend
 }
 
-// NewIndex builds an index over data using opts. Every series must be
-// non-empty; series IDs must be unique when non-empty (they key the
-// feature cache).
+// Neighbor is one retrieval result.
+type Neighbor = retrieve.Neighbor
+
+// SearchStats accounts for the work one search (or batch) did and, more
+// importantly, avoided: per-stage prune counts, abandonment and grid-cell
+// accounting, and per-stage timings. It is shared by both backends.
+type SearchStats = retrieve.Stats
+
+// QueryStats is the pre-unification name of SearchStats.
+//
+// Deprecated: use SearchStats.
+type QueryStats = SearchStats
+
+// BoundStats is the pre-unification name of the windowed index's stats;
+// both backends now report the unified SearchStats.
+//
+// Deprecated: use SearchStats.
+type BoundStats = SearchStats
+
+// NewIndex builds an index over data using the sDTW engine configured by
+// opts. Every series must be non-empty; series IDs must be unique when
+// non-empty (they key the feature cache and Remove). Construction
+// extracts and caches the salient features of every series and
+// precomputes LB_Keogh envelopes at the radius admissible for the
+// engine's band strategy.
 func NewIndex(data []Series, opts Options) (*Index, error) {
+	engine := NewEngine(opts)
+	backend := retrieve.NewEngineBackend(engine.inner, engineFingerprint(opts), opts.PointDistance != nil)
+	core, err := retrieve.New(backend, data, indexWorkers(opts.Workers), !opts.DisableAbandon)
+	if err != nil {
+		return nil, fmt.Errorf("sdtw: %w", err)
+	}
+	return &Index{core: core, engine: engine, radius: -1}, nil
+}
+
+// NewWindowedIndex builds an index answering exact top-k DTW queries over
+// an equal-length collection. radius is the Sakoe-Chiba warping window in
+// samples: both the DTW computation and the LB_Keogh envelopes use the
+// same radius, keeping the cascade exact for the windowed distance.
+// radius < 0 (or >= the series length) selects unconstrained DTW with
+// full-width envelopes.
+//
+// Validation is shared with NewIndex — in particular non-empty series IDs
+// must be unique (they key Remove), which the pre-unification
+// NewBoundedIndex did not require.
+func NewWindowedIndex(data []Series, radius int) (*Index, error) {
 	if len(data) == 0 {
-		return nil, fmt.Errorf("sdtw: cannot index an empty collection")
+		return nil, fmt.Errorf("sdtw: cannot index: %w", ErrEmptyCollection)
 	}
-	seen := make(map[string]bool, len(data))
-	for i, s := range data {
-		if len(s.Values) == 0 {
-			return nil, fmt.Errorf("sdtw: series %d (%q) is empty", i, s.ID)
-		}
-		if s.ID != "" {
-			if seen[s.ID] {
-				return nil, fmt.Errorf("sdtw: duplicate series ID %q", s.ID)
-			}
-			seen[s.ID] = true
-		}
+	length := data[0].Len()
+	if length == 0 {
+		return nil, fmt.Errorf("sdtw: series 0: %w", ErrEmptySeries)
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	backend, eff, err := retrieve.NewWindowedBackend(length, radius)
+	if err != nil {
+		return nil, fmt.Errorf("sdtw: %w", err)
 	}
-	idx := &Index{
-		engine:  NewEngine(opts),
-		data:    data,
-		cascade: opts.PointDistance == nil,
-		abandon: opts.PointDistance == nil && !opts.DisableAbandon,
-		workers: workers,
+	core, err := retrieve.New(backend, data, indexWorkers(0), true)
+	if err != nil {
+		return nil, fmt.Errorf("sdtw: %w", err)
 	}
-	if err := idx.engine.Warm(data); err != nil {
-		return nil, err
+	return &Index{core: core, radius: eff}, nil
+}
+
+// indexWorkers resolves a worker-pool width: <= 0 means GOMAXPROCS.
+func indexWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
 	}
-	if idx.cascade {
-		bandCfg := opts.toCore().Band
-		idx.envelopes = make([]lower.Envelope, len(data))
-		for i, s := range data {
-			idx.envelopes[i] = lower.NewEnvelope(s.Values, band.EnvelopeRadius(bandCfg, len(s.Values)))
-		}
-	}
-	return idx, nil
+	return w
+}
+
+// engineFingerprint deterministically encodes every engine option that
+// affects distances or cascade geometry, so persisted indexes refuse to
+// load under options that would change their answers. A custom
+// PointDistance is recorded by presence only — functions cannot be
+// serialised — so callers persisting such indexes must supply the same
+// function on load.
+func engineFingerprint(o Options) string {
+	var b strings.Builder
+	b.WriteString("sdtw/v1")
+	f := func(k string, v any) { fmt.Fprintf(&b, "|%s=%v", k, v) }
+	f("strategy", int(o.Strategy))
+	f("w", strconv.FormatFloat(o.WidthFrac, 'g', -1, 64))
+	f("minw", strconv.FormatFloat(o.MinWidthFrac, 'g', -1, 64))
+	f("maxw", strconv.FormatFloat(o.MaxWidthFrac, 'g', -1, 64))
+	f("nr", o.NeighborRadius)
+	f("slope", strconv.FormatFloat(o.Slope, 'g', -1, 64))
+	f("sym", o.Symmetric)
+	f("bins", o.DescriptorBins)
+	f("eps", strconv.FormatFloat(o.Epsilon, 'g', -1, 64))
+	f("oct", o.Octaves)
+	f("lev", o.Levels)
+	f("amp", strconv.FormatFloat(o.MaxAmplitudeDiff, 'g', -1, 64))
+	f("scale", strconv.FormatFloat(o.MaxScaleRatio, 'g', -1, 64))
+	f("dom", strconv.FormatFloat(o.DominanceRatio, 'g', -1, 64))
+	f("pd", o.PointDistance != nil)
+	return b.String()
 }
 
 // Len returns the number of indexed series.
-func (ix *Index) Len() int { return len(ix.data) }
+func (ix *Index) Len() int { return ix.core.Len() }
 
-// Series returns the indexed series at position i.
-func (ix *Index) Series(i int) Series { return ix.data[i] }
+// Series returns the indexed series at position i. Positions are
+// renumbered by Add and Remove; a position is only meaningful against the
+// collection state it was observed under.
+func (ix *Index) Series(i int) Series { return ix.core.Series(i) }
 
-// Engine exposes the index's engine for direct distance computations.
+// Engine exposes the index's engine for direct distance computations. It
+// is nil for windowed indexes, which have no salient-feature pipeline.
 func (ix *Index) Engine() *Engine { return ix.engine }
 
-// Neighbor is one retrieval result.
-type Neighbor struct {
-	// Pos is the position of the neighbour in the indexed collection.
-	Pos int
-	// Distance is the (constrained) DTW distance to the query.
-	Distance float64
+// Radius returns the effective Sakoe-Chiba warping window in samples for
+// windowed indexes, and -1 for engine-backed indexes.
+func (ix *Index) Radius() int { return ix.radius }
+
+// Add appends a series to the collection, incrementally paying its
+// one-time costs (feature extraction on the engine backend, LB_Keogh
+// envelope on both) under the index's write lock. The series must be
+// non-empty, its non-empty ID unique, and — on windowed indexes — its
+// length equal to the indexed length.
+func (ix *Index) Add(s Series) error {
+	if err := ix.core.Add(s); err != nil {
+		return fmt.Errorf("sdtw: Add: %w", err)
+	}
+	return nil
 }
 
-// QueryStats accounts for the work one query (or a batch of queries) did
-// and, more importantly, avoided, mirroring eval.PairStats: how far each
-// cascade stage got, how many grid cells were filled, and where the time
-// went.
-type QueryStats struct {
-	// BoundStats counts how far each candidate got through the cascade
-	// (the same stage accounting BoundedIndex reports for its windowed
-	// retrieval, including PruneRate).
-	BoundStats
-	// Cells is the number of DTW grid cells actually filled.
-	Cells int
-	// GridCells is the total N·M over every candidate — the grids a
-	// brute-force scan would confront — so CellsGain reflects the combined
-	// effect of the cascade and the sDTW band.
-	GridCells int
-	// BoundTime is the time spent computing LB_Kim and LB_Keogh bounds.
-	BoundTime time.Duration
-	// MatchTime and DPTime are the summed engine stage durations of the
-	// evaluated candidates (paper tasks b and c).
-	MatchTime, DPTime time.Duration
-	// WallTime is the elapsed time of the whole query.
-	WallTime time.Duration
+// Remove deletes the series with the given non-empty ID, dropping its
+// envelope and cached features. Later series shift down one position.
+// Removing the last series fails: an index is never empty.
+func (ix *Index) Remove(id string) error {
+	if err := ix.core.Remove(id); err != nil {
+		return fmt.Errorf("sdtw: Remove: %w", err)
+	}
+	return nil
 }
 
-// CellsGain is the machine-independent pruning gain 1 − Cells/GridCells.
-func (s QueryStats) CellsGain() float64 {
-	if s.GridCells == 0 {
-		return 0
-	}
-	return 1 - float64(s.Cells)/float64(s.GridCells)
+// searchConfig is the resolved form of a SearchOption list.
+type searchConfig struct {
+	k            int
+	kSet         bool
+	workers      int
+	exclude      int
+	threshold    float64
+	thresholdSet bool
+	noAbandon    bool
 }
 
-// merge folds another stats record into s (batch aggregation). WallTime
-// is deliberately not summed: batches report their own elapsed time.
-func (s *QueryStats) merge(o QueryStats) {
-	s.Candidates += o.Candidates
-	s.PrunedKim += o.PrunedKim
-	s.PrunedKeogh += o.PrunedKeogh
-	s.Evaluated += o.Evaluated
-	s.AbandonedDTW += o.AbandonedDTW
-	s.CellsSaved += o.CellsSaved
-	s.Cells += o.Cells
-	s.GridCells += o.GridCells
-	s.BoundTime += o.BoundTime
-	s.MatchTime += o.MatchTime
-	s.DPTime += o.DPTime
+// SearchOption configures one Search, SearchBatch, Labels or LabelsAll
+// call.
+type SearchOption func(*searchConfig)
+
+// WithK requests the k nearest neighbours (k >= 1; Search reports ErrBadK
+// otherwise). k larger than the candidate count is truncated. Without
+// WithK a search returns the single nearest neighbour — unless
+// WithThreshold is given, in which case it returns every neighbour within
+// the threshold.
+func WithK(k int) SearchOption {
+	return func(c *searchConfig) { c.k, c.kSet = k, true }
 }
 
-// String implements fmt.Stringer for terse logs.
-func (s QueryStats) String() string {
-	return fmt.Sprintf("candidates=%d kim=%d keogh=%d evaluated=%d abandoned=%d prune=%.2f cellsgain=%.2f cellssaved=%d",
-		s.Candidates, s.PrunedKim, s.PrunedKeogh, s.Evaluated, s.AbandonedDTW, s.PruneRate(), s.CellsGain(), s.CellsSaved)
+// WithWorkers overrides the index's worker-pool width for this search.
+// n <= 0 leaves the index default; 1 forces a sequential cascade.
+func WithWorkers(n int) SearchOption {
+	return func(c *searchConfig) { c.workers = n }
 }
 
-// TopK returns the k indexed series nearest to the query under the
-// engine's constrained distance, ascending (ties broken by position). k
-// larger than the collection is truncated.
-func (ix *Index) TopK(query Series, k int) ([]Neighbor, error) {
-	nbrs, _, err := ix.TopKStats(query, k)
-	return nbrs, err
+// WithExclude drops the candidate at the given collection position, for
+// leave-one-out workloads whose series may lack IDs. (Candidates sharing
+// the query's non-empty ID are always excluded.)
+func WithExclude(pos int) SearchOption {
+	return func(c *searchConfig) { c.exclude = pos }
 }
 
-// TopKStats is TopK with the cascade's work accounting.
-func (ix *Index) TopKStats(query Series, k int) ([]Neighbor, QueryStats, error) {
-	return ix.query(query, k, ix.workers, -1)
+// WithThreshold restricts results to neighbours at distance <= d and
+// seeds the cascade's pruning threshold with it, so hopeless candidates
+// are discarded even before the best-so-far heap fills. Combined with
+// WithK it returns the k nearest within d; alone it returns every
+// neighbour within d.
+func WithThreshold(d float64) SearchOption {
+	return func(c *searchConfig) { c.threshold, c.thresholdSet = d, true }
 }
 
-// candidate is one cascade work item: a collection position and its
-// LB_Kim bound.
-type candidate struct {
-	pos int
-	kim float64
+// WithoutAbandon disables threshold-aware early abandonment inside the
+// dynamic program for this search. Abandonment never changes results —
+// only the grid work spent refuting hopeless candidates — so the switch
+// exists for A/B verification and measurement.
+func WithoutAbandon() SearchOption {
+	return func(c *searchConfig) { c.noAbandon = true }
 }
 
-// bestK is the best-so-far heap: a max-heap on (distance, position) holding
-// at most k neighbours, so the root is the current k-th best and the
-// pruning threshold.
-type bestK []Neighbor
-
-func (h bestK) Len() int { return len(h) }
-func (h bestK) Less(a, b int) bool {
-	if h[a].Distance != h[b].Distance {
-		return h[a].Distance > h[b].Distance
+// resolve validates and lowers a SearchOption list onto retrieve.Params.
+func resolveSearch(opts []SearchOption) (retrieve.Params, error) {
+	cfg := searchConfig{exclude: -1, threshold: math.Inf(1)}
+	for _, o := range opts {
+		o(&cfg)
 	}
-	return h[a].Pos > h[b].Pos
-}
-func (h bestK) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
-func (h *bestK) Push(x any)   { *h = append(*h, x.(Neighbor)) }
-func (h *bestK) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
-func (h bestK) worseThan(nb Neighbor) bool {
-	w := h[0]
-	return nb.Distance < w.Distance || (nb.Distance == w.Distance && nb.Pos < w.Pos)
-}
-
-// parallelFor fans fn out over [0, n) across at most workers goroutines,
-// stopping early (best effort) once stop is set. fn must be safe for
-// concurrent calls on distinct indices.
-func parallelFor(workers, n int, stop *atomic.Bool, fn func(i int)) {
-	if workers > n {
-		workers = n
+	if cfg.kSet && cfg.k <= 0 {
+		return retrieve.Params{}, fmt.Errorf("sdtw: %w: got %d", ErrBadK, cfg.k)
 	}
-	if workers <= 1 {
-		for i := 0; i < n && !stop.Load(); i++ {
-			fn(i)
+	if cfg.thresholdSet && math.IsNaN(cfg.threshold) {
+		return retrieve.Params{}, fmt.Errorf("sdtw: WithThreshold needs a number, got NaN")
+	}
+	k := cfg.k
+	if !cfg.kSet {
+		if cfg.thresholdSet {
+			k = 0 // every neighbour within the threshold
+		} else {
+			k = 1
 		}
-		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || stop.Load() {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+	return retrieve.Params{
+		K:         k,
+		Workers:   cfg.workers,
+		Exclude:   cfg.exclude,
+		Threshold: cfg.threshold,
+		NoAbandon: cfg.noAbandon,
+	}, nil
 }
 
-// atomicThreshold shares the k-th best distance across workers. It only
-// ever decreases; a stale read yields a looser threshold, which costs a
-// bound evaluation but never correctness.
-type atomicThreshold struct{ bits atomic.Uint64 }
-
-func (t *atomicThreshold) store(v float64) { t.bits.Store(math.Float64bits(v)) }
-func (t *atomicThreshold) load() float64   { return math.Float64frombits(t.bits.Load()) }
-
-// query runs the cascaded top-k search with the given worker count.
-// excludePos drops the candidate at that collection position (for
-// leave-one-out workloads whose series may lack IDs); -1 excludes none.
-func (ix *Index) query(query Series, k int, workers, excludePos int) ([]Neighbor, QueryStats, error) {
-	var stats QueryStats
-	start := time.Now()
-	if k <= 0 {
-		return nil, stats, fmt.Errorf("sdtw: TopK needs k >= 1, got %d", k)
+// Search returns the query's nearest indexed series under the index's
+// distance, ascending (ties broken by position), through the exact
+// lower-bound cascade. Options select the neighbour count (WithK), a
+// distance cutoff (WithThreshold), leave-one-out exclusion (WithExclude)
+// and per-call tuning (WithWorkers, WithoutAbandon).
+//
+// ctx cancellation stops the search promptly — the worker pool stops
+// dispatching and the dynamic programs stop mid-band — and Search returns
+// ctx.Err(), so errors.Is(err, context.Canceled) holds. (With
+// Options.ComputePath set the path-recovering DP runs each candidate's
+// band to completion; cancellation is then observed between candidates.)
+// Validation is uniform across backends: an empty query reports
+// ErrEmptySeries, a bad k ErrBadK, and a wrong-length query on a windowed
+// index ErrLengthMismatch.
+func (ix *Index) Search(ctx context.Context, query Series, opts ...SearchOption) ([]Neighbor, SearchStats, error) {
+	p, err := resolveSearch(opts)
+	if err != nil {
+		return nil, SearchStats{}, err
 	}
-	if len(query.Values) == 0 {
-		return nil, stats, fmt.Errorf("sdtw: empty query series")
+	nbrs, stats, err := ix.core.Search(ctx, query, p)
+	if err != nil {
+		return nil, stats, fmt.Errorf("sdtw: %w", err)
 	}
-
-	// Stage 0: LB_Kim for every candidate, cheapest first. O(1) per
-	// candidate, so this stays sequential; it also fixes the processing
-	// order that lets the k-heap threshold tighten fast.
-	boundStart := time.Now()
-	cands := make([]candidate, 0, len(ix.data))
-	for i, s := range ix.data {
-		// Skip self-matches when the query is an indexed series.
-		if i == excludePos || (s.ID != "" && s.ID == query.ID) {
-			continue
-		}
-		stats.GridCells += len(query.Values) * len(s.Values)
-		c := candidate{pos: i}
-		if ix.cascade {
-			kim, err := lower.Kim(query.Values, s.Values, nil)
-			if err != nil {
-				return nil, stats, fmt.Errorf("sdtw: LB_Kim to %q: %w", s.ID, err)
-			}
-			c.kim = kim
-		}
-		cands = append(cands, c)
-	}
-	stats.Candidates = len(cands)
-	stats.BoundTime += time.Since(boundStart)
-	if ix.cascade {
-		sort.Slice(cands, func(a, b int) bool {
-			if cands[a].kim != cands[b].kim {
-				return cands[a].kim < cands[b].kim
-			}
-			return cands[a].pos < cands[b].pos
-		})
-	}
-	if k > len(cands) {
-		k = len(cands)
-	}
-	if k == 0 {
-		stats.WallTime = time.Since(start)
-		return nil, stats, nil
-	}
-
-	// Stages 1-3, fanned out: LB_Kim check, LB_Keogh check, full sDTW.
-	// Per-candidate accounting uses atomic counters so the fast prune
-	// path never touches the heap mutex.
-	best := make(bestK, 0, k+1)
-	var mu sync.Mutex // guards best and firstErr
-	var firstErr error
-	var stop atomic.Bool
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-		stop.Store(true)
-	}
-	var threshold atomicThreshold
-	threshold.store(math.Inf(1))
-	var prunedKim, prunedKeogh, evaluated, abandoned, cells, cellsSaved atomic.Int64
-	var boundNS, matchNS, dpNS atomic.Int64
-	parallelFor(workers, len(cands), &stop, func(n int) {
-		c := cands[n]
-		s := ix.data[c.pos]
-		if ix.cascade {
-			if c.kim > threshold.load() {
-				prunedKim.Add(1)
-				return
-			}
-			if env := ix.envelopes[c.pos]; len(env.Upper) == len(query.Values) {
-				kgStart := time.Now()
-				kg, err := lower.Keogh(query.Values, env, nil)
-				boundNS.Add(int64(time.Since(kgStart)))
-				if err != nil {
-					fail(fmt.Errorf("sdtw: LB_Keogh to %q: %w", s.ID, err))
-					return
-				}
-				if kg > threshold.load() {
-					prunedKeogh.Add(1)
-					return
-				}
-			}
-		}
-		// Stage 3: the dynamic program itself, early-abandoning against
-		// the shared threshold. The threshold only ever decreases, so a
-		// stale read yields a looser budget — extra rows filled, never a
-		// wrong result. Abandonment is strict (> budget), so a candidate
-		// tying the k-th distance is always evaluated fully.
-		budget := math.Inf(1)
-		if ix.abandon {
-			budget = threshold.load()
-		}
-		res, err := ix.engine.DistanceUnderSeries(query, s, budget)
-		if err != nil {
-			fail(fmt.Errorf("sdtw: distance to %q: %w", s.ID, err))
-			return
-		}
-		evaluated.Add(1)
-		cells.Add(int64(res.CellsFilled))
-		matchNS.Add(int64(res.MatchTime))
-		dpNS.Add(int64(res.DPTime))
-		if res.Abandoned {
-			// The partial cost already exceeds the k-th best distance (and
-			// the threshold can only have tightened since), so the
-			// candidate cannot enter the heap.
-			abandoned.Add(1)
-			cellsSaved.Add(int64(res.BandCells - res.CellsFilled))
-			return
-		}
-
-		nb := Neighbor{Pos: c.pos, Distance: res.Distance}
-		mu.Lock()
-		if len(best) < k {
-			heap.Push(&best, nb)
-		} else if best.worseThan(nb) {
-			best[0] = nb
-			heap.Fix(&best, 0)
-		}
-		if len(best) == k {
-			threshold.store(best[0].Distance)
-		}
-		mu.Unlock()
-	})
-	stats.PrunedKim = int(prunedKim.Load())
-	stats.PrunedKeogh = int(prunedKeogh.Load())
-	stats.Evaluated = int(evaluated.Load())
-	stats.AbandonedDTW = int(abandoned.Load())
-	stats.CellsSaved = int(cellsSaved.Load())
-	stats.Cells = int(cells.Load())
-	stats.BoundTime += time.Duration(boundNS.Load())
-	stats.MatchTime = time.Duration(matchNS.Load())
-	stats.DPTime = time.Duration(dpNS.Load())
-	if firstErr != nil {
-		stats.WallTime = time.Since(start)
-		return nil, stats, firstErr
-	}
-
-	out := []Neighbor(best)
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Distance != out[b].Distance {
-			return out[a].Distance < out[b].Distance
-		}
-		return out[a].Pos < out[b].Pos
-	})
-	stats.WallTime = time.Since(start)
-	return out, stats, nil
+	return nbrs, stats, nil
 }
 
-// TopKBatch answers one top-k query per entry of queries, parallelising
-// across queries and dividing the remaining worker budget inside each
-// query's cascade, so the pool stays bounded at the index's worker
-// count. The returned stats aggregate every query; WallTime is the
-// batch's elapsed time.
-func (ix *Index) TopKBatch(queries []Series, k int) ([][]Neighbor, QueryStats, error) {
-	return ix.batch(queries, k, false)
-}
-
-// batch fans queries out across the worker pool. With excludeSelf set,
-// queries must be the indexed collection itself and query n additionally
-// excludes position n — leave-one-out even when series lack the IDs the
-// usual self-match skip keys on.
-func (ix *Index) batch(queries []Series, k int, excludeSelf bool) ([][]Neighbor, QueryStats, error) {
-	var stats QueryStats
-	start := time.Now()
-	if len(queries) == 0 {
-		return nil, stats, fmt.Errorf("sdtw: TopKBatch needs at least one query")
+// SearchBatch answers one search per entry of queries, parallelising
+// across queries while keeping the total worker pool bounded. The
+// returned stats aggregate every query; WallTime is the batch's elapsed
+// time. The whole batch sees one consistent collection state.
+func (ix *Index) SearchBatch(ctx context.Context, queries []Series, opts ...SearchOption) ([][]Neighbor, SearchStats, error) {
+	p, err := resolveSearch(opts)
+	if err != nil {
+		return nil, SearchStats{}, err
 	}
-	out := make([][]Neighbor, len(queries))
-	// Divide the pool across queries: small batches still use every
-	// worker inside each query, large batches parallelise across queries
-	// with sequential cascades. Ceiling division may oversubscribe by a
-	// few goroutines but never leaves workers idle on mid-size batches.
-	perQuery := (ix.workers + len(queries) - 1) / len(queries)
-	if perQuery < 1 {
-		perQuery = 1
-	}
-	var mu sync.Mutex // guards stats and firstErr; out slots are disjoint
-	var firstErr error
-	var stop atomic.Bool
-	parallelFor(ix.workers, len(queries), &stop, func(n int) {
-		excl := -1
-		if excludeSelf {
-			excl = n
-		}
-		nbrs, qs, err := ix.query(queries[n], k, perQuery, excl)
-		mu.Lock()
-		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("query %d (%q): %w", n, queries[n].ID, err)
-		}
-		out[n] = nbrs
-		stats.merge(qs)
-		mu.Unlock()
-		if err != nil {
-			stop.Store(true)
-		}
-	})
-	stats.WallTime = time.Since(start)
-	if firstErr != nil {
-		return nil, stats, firstErr
+	out, stats, err := ix.core.SearchBatch(ctx, queries, p, false)
+	if err != nil {
+		return nil, stats, fmt.Errorf("sdtw: %w", err)
 	}
 	return out, stats, nil
 }
 
-// Classify attaches class labels to the query by k-nearest-neighbour
-// majority vote. Every label achieving the maximum count among the k
-// nearest is returned (ties can attach multiple labels, §4.2), sorted
-// ascending.
-func (ix *Index) Classify(query Series, k int) ([]int, error) {
-	nbrs, err := ix.TopK(query, k)
+// Labels attaches class labels to the query by k-nearest-neighbour
+// majority vote over a Search with the same options. Every label
+// achieving the maximum count among the neighbours is returned (ties can
+// attach multiple labels, §4.2), sorted ascending.
+func (ix *Index) Labels(ctx context.Context, query Series, opts ...SearchOption) ([]int, error) {
+	p, err := resolveSearch(opts)
 	if err != nil {
 		return nil, err
 	}
-	return ix.vote(nbrs), nil
+	// Neighbour labels are resolved inside the search's read lock, so a
+	// concurrent Remove cannot renumber positions under the vote.
+	_, nbLabels, _, err := ix.core.SearchWithLabels(ctx, query, p)
+	if err != nil {
+		return nil, fmt.Errorf("sdtw: %w", err)
+	}
+	return vote(nbLabels), nil
 }
 
-// ClassifyAll classifies every indexed series against the rest of the
-// collection, the paper's whole-dataset classification workload (§4.2).
+// LabelsAll classifies every indexed series against the rest of the
+// collection — the paper's whole-dataset leave-one-out workload (§4.2).
 // Each series is excluded from its own candidate set by position, so
 // leave-one-out holds even for collections without series IDs. labels[i]
 // is the label set attached to series i.
-func (ix *Index) ClassifyAll(k int) ([][]int, QueryStats, error) {
-	nbrs, stats, err := ix.batch(ix.data, k, true)
+func (ix *Index) LabelsAll(ctx context.Context, opts ...SearchOption) ([][]int, SearchStats, error) {
+	p, err := resolveSearch(opts)
 	if err != nil {
-		return nil, stats, err
+		return nil, SearchStats{}, err
 	}
-	labels := make([][]int, len(nbrs))
-	for i, nb := range nbrs {
-		labels[i] = ix.vote(nb)
+	_, nbLabels, stats, err := ix.core.SearchAllWithLabels(ctx, p)
+	if err != nil {
+		return nil, stats, fmt.Errorf("sdtw: %w", err)
+	}
+	labels := make([][]int, len(nbLabels))
+	for i, ls := range nbLabels {
+		labels[i] = vote(ls)
 	}
 	return labels, stats, nil
 }
 
-// vote derives the majority-vote label set from a neighbour list.
-func (ix *Index) vote(nbrs []Neighbor) []int {
+// vote derives the majority-vote label set from the neighbours' labels.
+func vote(nbLabels []int) []int {
 	counts := make(map[int]int)
 	maxCount := 0
-	for _, nb := range nbrs {
-		l := ix.data[nb.Pos].Label
+	for _, l := range nbLabels {
 		counts[l]++
 		if counts[l] > maxCount {
 			maxCount = counts[l]
@@ -512,3 +362,48 @@ func (ix *Index) vote(nbrs []Neighbor) []int {
 	sort.Ints(labels)
 	return labels
 }
+
+// TopK returns the k indexed series nearest to the query, ascending.
+//
+// Deprecated: use Search(ctx, query, WithK(k)).
+func (ix *Index) TopK(query Series, k int) ([]Neighbor, error) {
+	nbrs, _, err := ix.Search(context.Background(), query, WithK(k))
+	return nbrs, err
+}
+
+// TopKStats is TopK with the cascade's work accounting.
+//
+// Deprecated: use Search(ctx, query, WithK(k)).
+func (ix *Index) TopKStats(query Series, k int) ([]Neighbor, QueryStats, error) {
+	return ix.Search(context.Background(), query, WithK(k))
+}
+
+// TopKBatch answers one top-k query per entry of queries.
+//
+// Deprecated: use SearchBatch(ctx, queries, WithK(k)).
+func (ix *Index) TopKBatch(queries []Series, k int) ([][]Neighbor, QueryStats, error) {
+	return ix.SearchBatch(context.Background(), queries, WithK(k))
+}
+
+// Classify attaches class labels to the query by k-nearest-neighbour
+// majority vote.
+//
+// Deprecated: use Labels(ctx, query, WithK(k)).
+func (ix *Index) Classify(query Series, k int) ([]int, error) {
+	return ix.Labels(context.Background(), query, WithK(k))
+}
+
+// ClassifyAll classifies every indexed series against the rest of the
+// collection, leave-one-out.
+//
+// Deprecated: use LabelsAll(ctx, WithK(k)).
+func (ix *Index) ClassifyAll(k int) ([][]int, QueryStats, error) {
+	return ix.LabelsAll(context.Background(), WithK(k))
+}
+
+// SetEarlyAbandon toggles the index-wide default for early-abandoning
+// DTW. Abandonment never changes results, only the grid work spent
+// refuting hopeless candidates.
+//
+// Deprecated: use the per-search WithoutAbandon option.
+func (ix *Index) SetEarlyAbandon(on bool) { ix.core.SetAbandon(on) }

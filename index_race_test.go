@@ -1,6 +1,7 @@
 package sdtw
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -8,13 +9,14 @@ import (
 // TestIndexConcurrentQueries hammers a single Index from many goroutines
 // mixing every query entry point. The engine documents itself as safe for
 // concurrent use; this proves the claim for the cascaded worker-pool
-// query path too. Run it under -race (the CI race lane does).
+// search path too. Run it under -race (the CI race lane does).
 func TestIndexConcurrentQueries(t *testing.T) {
 	d := TraceDataset(DatasetConfig{Seed: 21, SeriesPerClass: 4})
 	ix, err := NewIndex(d.Series, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 	const goroutines = 8
 	const rounds = 4
 
@@ -22,7 +24,7 @@ func TestIndexConcurrentQueries(t *testing.T) {
 	// against: concurrency must not change what a query returns.
 	want := make([][]Neighbor, len(d.Series))
 	for i, q := range d.Series {
-		nbrs, err := ix.TopK(q, 3)
+		nbrs, _, err := ix.Search(ctx, q, WithK(3))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -41,7 +43,7 @@ func TestIndexConcurrentQueries(t *testing.T) {
 				q := d.Series[qi]
 				switch (g + r) % 3 {
 				case 0:
-					nbrs, _, err := ix.TopKStats(q, 3)
+					nbrs, _, err := ix.Search(ctx, q, WithK(3))
 					if err != nil {
 						errs <- err
 						return
@@ -54,12 +56,12 @@ func TestIndexConcurrentQueries(t *testing.T) {
 						}
 					}
 				case 1:
-					if _, err := ix.Classify(q, 3); err != nil {
+					if _, err := ix.Labels(ctx, q, WithK(3)); err != nil {
 						errs <- err
 						return
 					}
 				case 2:
-					if _, _, err := ix.TopKBatch(d.Series[:4], 2); err != nil {
+					if _, _, err := ix.SearchBatch(ctx, d.Series[:4], WithK(2)); err != nil {
 						errs <- err
 						return
 					}

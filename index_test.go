@@ -2,6 +2,8 @@ package sdtw
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -27,26 +29,29 @@ func TestIndexConstruction(t *testing.T) {
 	if idx.Engine() == nil {
 		t.Fatal("Engine accessor nil")
 	}
+	if idx.Radius() != -1 {
+		t.Fatalf("engine-backed index Radius() = %d, want -1", idx.Radius())
+	}
 }
 
 func TestIndexRejectsBadInput(t *testing.T) {
-	if _, err := NewIndex(nil, DefaultOptions()); err == nil {
-		t.Fatal("empty collection accepted")
+	if _, err := NewIndex(nil, DefaultOptions()); !errors.Is(err, ErrEmptyCollection) {
+		t.Fatalf("empty collection: got %v, want ErrEmptyCollection", err)
 	}
 	bad := []Series{NewSeries("a", 0, []float64{1, 2}), NewSeries("a", 0, []float64{3, 4})}
-	if _, err := NewIndex(bad, DefaultOptions()); err == nil {
-		t.Fatal("duplicate IDs accepted")
+	if _, err := NewIndex(bad, DefaultOptions()); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate IDs: got %v, want ErrDuplicateID", err)
 	}
 	empty := []Series{NewSeries("a", 0, nil)}
-	if _, err := NewIndex(empty, DefaultOptions()); err == nil {
-		t.Fatal("empty series accepted")
+	if _, err := NewIndex(empty, DefaultOptions()); !errors.Is(err, ErrEmptySeries) {
+		t.Fatalf("empty series: got %v, want ErrEmptySeries", err)
 	}
 }
 
-func TestIndexTopKExcludesSelf(t *testing.T) {
+func TestIndexSearchExcludesSelf(t *testing.T) {
 	idx, d := buildIndex(t)
 	q := d.Series[0]
-	nbrs, err := idx.TopK(q, 5)
+	nbrs, _, err := idx.Search(context.Background(), q, WithK(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,12 +71,12 @@ func TestIndexTopKExcludesSelf(t *testing.T) {
 	}
 }
 
-func TestIndexTopKExternalQuery(t *testing.T) {
+func TestIndexSearchExternalQuery(t *testing.T) {
 	idx, _ := buildIndex(t)
 	ext := TraceDataset(DatasetConfig{Seed: 99, SeriesPerClass: 1})
 	q := ext.Series[0]
 	q.ID = "external-query"
-	nbrs, err := idx.TopK(q, 3)
+	nbrs, _, err := idx.Search(context.Background(), q, WithK(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,13 +85,29 @@ func TestIndexTopKExternalQuery(t *testing.T) {
 	}
 }
 
-func TestIndexTopKValidation(t *testing.T) {
+func TestIndexSearchDefaultsToNearest(t *testing.T) {
 	idx, d := buildIndex(t)
-	if _, err := idx.TopK(d.Series[0], 0); err == nil {
-		t.Fatal("k=0 accepted")
+	// Without WithK a search returns the single nearest neighbour.
+	nbrs, _, err := idx.Search(context.Background(), d.Series[0])
+	if err != nil {
+		t.Fatal(err)
 	}
-	// k larger than collection truncates instead of failing.
-	nbrs, err := idx.TopK(d.Series[0], 1000)
+	if len(nbrs) != 1 {
+		t.Fatalf("default search returned %d neighbours, want 1", len(nbrs))
+	}
+	top, _, err := idx.Search(context.Background(), d.Series[0], WithK(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nbrs[0] != top[0] {
+		t.Fatalf("default %+v != WithK(1) %+v", nbrs[0], top[0])
+	}
+}
+
+func TestIndexSearchOversizedKTruncates(t *testing.T) {
+	idx, d := buildIndex(t)
+	// k larger than the collection truncates instead of failing.
+	nbrs, _, err := idx.Search(context.Background(), d.Series[0], WithK(1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,14 +116,14 @@ func TestIndexTopKValidation(t *testing.T) {
 	}
 }
 
-func TestIndexClassify(t *testing.T) {
+func TestIndexLabels(t *testing.T) {
 	idx, d := buildIndex(t)
 	// Nearest neighbours of a series are dominated by its own class in
 	// this structured workload, so classification should recover the
 	// true label for most queries.
 	correct := 0
 	for i := 0; i < d.Len(); i++ {
-		labels, err := idx.Classify(d.Series[i], 3)
+		labels, err := idx.Labels(context.Background(), d.Series[i], WithK(3))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,6 +139,95 @@ func TestIndexClassify(t *testing.T) {
 	}
 	if frac := float64(correct) / float64(d.Len()); frac < 0.8 {
 		t.Fatalf("classification recovered only %.2f of labels", frac)
+	}
+}
+
+// TestDeprecatedWrappers pins the one-release compatibility surface: the
+// deprecated TopK/TopKStats/TopKBatch/Classify/ClassifyAll/SetEarlyAbandon
+// wrappers must answer exactly like the Search calls they forward to.
+func TestDeprecatedWrappers(t *testing.T) {
+	idx, d := buildIndex(t)
+	ctx := context.Background()
+	const k = 3
+	q := d.Series[1]
+
+	want, _, err := idx.Search(ctx, q, WithK(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := idx.TopK(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotStats, stats, err := idx.TopKStats(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Candidates == 0 {
+		t.Fatalf("TopKStats lost accounting: %v", stats)
+	}
+	for i := range want {
+		if got[i] != want[i] || gotStats[i] != want[i] {
+			t.Fatalf("rank %d: TopK %+v TopKStats %+v, Search %+v", i, got[i], gotStats[i], want[i])
+		}
+	}
+
+	wantBatch, _, err := idx.SearchBatch(ctx, d.Series[:4], WithK(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBatch, _, err := idx.TopKBatch(d.Series[:4], k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantBatch {
+		for j := range wantBatch[i] {
+			if gotBatch[i][j] != wantBatch[i][j] {
+				t.Fatalf("batch %d rank %d: %+v vs %+v", i, j, gotBatch[i][j], wantBatch[i][j])
+			}
+		}
+	}
+
+	wantLabels, err := idx.Labels(ctx, q, WithK(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLabels, err := idx.Classify(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotLabels) != len(wantLabels) {
+		t.Fatalf("Classify %v vs Labels %v", gotLabels, wantLabels)
+	}
+	wantAll, _, err := idx.LabelsAll(ctx, WithK(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAll, _, err := idx.ClassifyAll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantAll {
+		if len(gotAll[i]) != len(wantAll[i]) {
+			t.Fatalf("series %d: ClassifyAll %v vs LabelsAll %v", i, gotAll[i], wantAll[i])
+		}
+	}
+
+	// SetEarlyAbandon(false) must behave like WithoutAbandon on every
+	// search: no abandonment reported, identical neighbours.
+	idx.SetEarlyAbandon(false)
+	offNbrs, offStats, err := idx.Search(ctx, q, WithK(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.SetEarlyAbandon(true)
+	if offStats.AbandonedDTW != 0 {
+		t.Fatalf("SetEarlyAbandon(false) still abandoned: %v", offStats)
+	}
+	for i := range want {
+		if offNbrs[i] != want[i] {
+			t.Fatalf("rank %d: abandonment-off %+v vs on %+v", i, offNbrs[i], want[i])
+		}
 	}
 }
 

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -179,6 +180,42 @@ func (e *Engine) CacheSize() int {
 	return len(e.cache)
 }
 
+// Evict drops the cached features of one series ID, if present. Mutable
+// indexes call it when a series leaves the collection so the cache does
+// not grow monotonically under churn.
+func (e *Engine) Evict(id string) {
+	if id == "" {
+		return
+	}
+	e.mu.Lock()
+	delete(e.cache, id)
+	e.mu.Unlock()
+}
+
+// CacheSnapshot returns a copy of the feature cache keyed by series ID,
+// for whole-index persistence. The feature slices are shared, not deep
+// copied: features are immutable once extracted.
+func (e *Engine) CacheSnapshot() map[string][]sift.Feature {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make(map[string][]sift.Feature, len(e.cache))
+	for id, feats := range e.cache {
+		out[id] = feats
+	}
+	return out
+}
+
+// RestoreCache merges a snapshot produced by CacheSnapshot into the
+// cache, overwriting existing entries. Only meaningful for engines
+// configured with the same feature options as the snapshot's source.
+func (e *Engine) RestoreCache(m map[string][]sift.Feature) {
+	e.mu.Lock()
+	for id, feats := range m {
+		e.cache[id] = feats
+	}
+	e.mu.Unlock()
+}
+
 // ClearCache drops all cached features.
 func (e *Engine) ClearCache() {
 	e.mu.Lock()
@@ -208,8 +245,20 @@ func (e *Engine) Distance(x, y series.Series) (Result, error) {
 // Abandonment assumes a non-negative point cost; when Options.ComputePath
 // is set (the path needs the full band) the budget is ignored.
 func (e *Engine) DistanceUnder(x, y series.Series, budget float64) (Result, error) {
+	return e.DistanceUnderCtx(nil, x, y, budget)
+}
+
+// DistanceUnderCtx is DistanceUnder threaded with a context: the banded
+// dynamic program polls ctx every few rows and a cancelled context stops
+// the computation mid-band with ctx.Err(). A nil ctx disables the polling
+// (retrieval hot loops pass nil from their non-cancellable entry points so
+// the DP inner loop stays identical). Like the budget, the ctx is not
+// consulted inside the path-recovering DP when Options.ComputePath is
+// set: that branch runs its band to completion, so cancellation is only
+// observed between computations.
+func (e *Engine) DistanceUnderCtx(ctx context.Context, x, y series.Series, budget float64) (Result, error) {
 	if e.opts.Band.Symmetric && canonicalLess(y, x) {
-		res, err := e.distance(y, x, budget)
+		res, err := e.distance(ctx, y, x, budget)
 		if err != nil {
 			return res, err
 		}
@@ -221,7 +270,7 @@ func (e *Engine) DistanceUnder(x, y series.Series, budget float64) (Result, erro
 		}
 		return res, nil
 	}
-	return e.distance(x, y, budget)
+	return e.distance(ctx, x, y, budget)
 }
 
 // canonicalLess is a deterministic total preorder on series used to pick
@@ -242,7 +291,7 @@ func canonicalLess(a, b series.Series) bool {
 	return false
 }
 
-func (e *Engine) distance(x, y series.Series, budget float64) (Result, error) {
+func (e *Engine) distance(ctx context.Context, x, y series.Series, budget float64) (Result, error) {
 	nx, ny := x.Len(), y.Len()
 	if nx == 0 || ny == 0 {
 		return Result{}, fmt.Errorf("core: empty series (len(x)=%d len(y)=%d)", nx, ny)
@@ -304,7 +353,7 @@ func (e *Engine) distance(x, y series.Series, budget float64) (Result, error) {
 		}
 		res.Distance, res.Path, res.CellsFilled = pr.Distance, pr.Path, pr.Cells
 	} else {
-		d, cells, abandoned, err := dtw.BandedAbandonWS(x.Values, y.Values, b, e.opts.PointDistance, budget, &ws.dp)
+		d, cells, abandoned, err := dtw.BandedAbandonCtx(ctx, x.Values, y.Values, b, e.opts.PointDistance, budget, &ws.dp)
 		if err != nil {
 			return res, fmt.Errorf("core: constrained DTW: %w", err)
 		}

@@ -1,6 +1,7 @@
 package dtw
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -159,6 +160,21 @@ func BandedWS(x, y []float64, b Band, dist series.PointDistance, ws *Workspace) 
 // distance (the default squared cost is); callers with signed custom
 // costs must pass budget = +Inf.
 func BandedAbandonWS(x, y []float64, b Band, dist series.PointDistance, budget float64, ws *Workspace) (float64, int, bool, error) {
+	return BandedAbandonCtx(nil, x, y, b, dist, budget, ws)
+}
+
+// cancelCheckRows is how often (in grid rows) BandedAbandonCtx polls the
+// context. A row is O(band width) work, so a handful of rows bounds the
+// cancellation latency to microseconds while keeping the poll off the
+// inner loop.
+const cancelCheckRows = 8
+
+// BandedAbandonCtx is BandedAbandonWS threaded with a context: every few
+// rows the dynamic program polls ctx and, once the context is cancelled,
+// stops mid-band and returns ctx.Err() (so errors.Is(err, context.Canceled)
+// and errors.Is(err, context.DeadlineExceeded) hold). A nil ctx disables
+// the polling and behaves exactly like BandedAbandonWS.
+func BandedAbandonCtx(ctx context.Context, x, y []float64, b Band, dist series.PointDistance, budget float64, ws *Workspace) (float64, int, bool, error) {
 	if err := checkInputs(x, y, b); err != nil {
 		return 0, 0, false, err
 	}
@@ -184,6 +200,11 @@ func BandedAbandonWS(x, y []float64, b Band, dist series.PointDistance, budget f
 	prevLo, prevHi := 0, -1 // previous row's interval; empty before row 0
 	cells := 0
 	for i := 0; i < n; i++ {
+		if ctx != nil && i%cancelCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, cells, false, err
+			}
+		}
 		lo, hi := b.Lo[i], b.Hi[i]
 		xi := x[i]
 		rowMin := inf

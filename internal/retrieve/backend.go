@@ -1,0 +1,212 @@
+package retrieve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"sdtw/internal/band"
+	"sdtw/internal/core"
+	"sdtw/internal/dtw"
+	"sdtw/internal/series"
+)
+
+// Result is the outcome of one backend distance computation, the
+// per-candidate accounting the cascade folds into Stats.
+type Result struct {
+	// Distance is the backend's distance — or, when Abandoned, a valid
+	// lower bound on it.
+	Distance float64
+	// Abandoned reports the computation stopped early because every
+	// continuation already exceeded the caller's budget.
+	Abandoned bool
+	// CellsFilled is the number of DTW grid cells evaluated; BandCells is
+	// the constraint band's total, so BandCells − CellsFilled is the work
+	// abandonment skipped.
+	CellsFilled, BandCells int
+	// MatchTime and DPTime are the backend's per-stage durations.
+	MatchTime, DPTime time.Duration
+}
+
+// Backend is the distance family behind an index: it owns the constraint
+// geometry (and any per-series caches) while the shared cascade in Core
+// owns candidate ordering, lower-bound pruning, the best-so-far
+// threshold, and the worker pool. Implementations must be safe for
+// concurrent Distance calls; Admit and Forget are only called under the
+// Core's write lock.
+//
+// The two in-tree implementations are the sDTW engine (salient-feature
+// banded DTW) and the Sakoe-Chiba windowed exact-DTW pipeline; the
+// interface is deliberately small so further distance/constraint families
+// (amerced DTW penalties, GPU-batched sDTW) can slot in without touching
+// the cascade.
+type Backend interface {
+	// Fingerprint identifies the backend configuration for persistence:
+	// two backends with equal fingerprints produce identical distances
+	// over identical data.
+	Fingerprint() string
+	// Admit validates a series joining the collection and warms any
+	// per-series caches (feature extraction, for the sDTW engine).
+	Admit(s series.Series) error
+	// Forget drops cached state held for a series leaving the collection.
+	Forget(s series.Series)
+	// CheckQuery validates a query against backend constraints (the
+	// windowed backend requires the indexed length).
+	CheckQuery(q series.Series) error
+	// Cascade reports whether the LB_Kim/LB_Keogh bounds are admissible
+	// lower bounds for this backend's distance. When false the Core
+	// degrades to an exact parallel scan.
+	Cascade() bool
+	// Abandonable reports whether threshold-aware early abandonment
+	// inside the dynamic program is admissible (it assumes a non-negative
+	// point cost).
+	Abandonable() bool
+	// EnvelopeRadius returns the warping radius at which an LB_Keogh
+	// envelope over a series of length m lower-bounds this backend's
+	// distance.
+	EnvelopeRadius(m int) int
+	// Distance computes the backend distance between query and candidate
+	// with threshold-aware early abandonment against budget (+Inf never
+	// abandons). A cancelled ctx stops the computation mid-band with
+	// ctx.Err().
+	Distance(ctx context.Context, q, c series.Series, budget float64) (Result, error)
+}
+
+// engineBackend serves sDTW banded distances through a shared core.Engine
+// (salient-feature caching, scratch pooling, symmetric canonicalisation).
+type engineBackend struct {
+	engine      *core.Engine
+	bandCfg     band.Config
+	fingerprint string
+	customDist  bool
+}
+
+// NewEngineBackend wraps an sDTW engine as a cascade backend. fingerprint
+// must deterministically encode every engine option that affects
+// distances (the public layer derives it from its Options). customDist
+// marks a caller-supplied point distance, which voids the admissibility
+// proofs of the lower bounds and of early abandonment.
+func NewEngineBackend(engine *core.Engine, fingerprint string, customDist bool) Backend {
+	return &engineBackend{
+		engine:      engine,
+		bandCfg:     engine.Options().Band,
+		fingerprint: fingerprint,
+		customDist:  customDist,
+	}
+}
+
+func (b *engineBackend) Fingerprint() string { return b.fingerprint }
+
+func (b *engineBackend) Admit(s series.Series) error {
+	// Pay the paper's one-time indexing cost (§3.4) up front: extract and
+	// cache the series' salient features so no query pays it.
+	_, err := b.engine.Features(s)
+	return err
+}
+
+func (b *engineBackend) Forget(s series.Series) { b.engine.Evict(s.ID) }
+
+func (b *engineBackend) CheckQuery(q series.Series) error { return nil }
+
+func (b *engineBackend) Cascade() bool     { return !b.customDist }
+func (b *engineBackend) Abandonable() bool { return !b.customDist }
+
+func (b *engineBackend) EnvelopeRadius(m int) int { return band.EnvelopeRadius(b.bandCfg, m) }
+
+func (b *engineBackend) Distance(ctx context.Context, q, c series.Series, budget float64) (Result, error) {
+	res, err := b.engine.DistanceUnderCtx(ctx, q, c, budget)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Distance:    res.Distance,
+		Abandoned:   res.Abandoned,
+		CellsFilled: res.CellsFilled,
+		BandCells:   res.BandCells,
+		MatchTime:   res.MatchTime,
+		DPTime:      res.DPTime,
+	}, nil
+}
+
+// windowedBackend serves exact (optionally Sakoe-Chiba-windowed) DTW over
+// an equal-length collection: the classical pipeline of Keogh's exact
+// indexing (the paper's reference [7]). The band is built once at exactly
+// the envelope radius, which is what keeps LB_Keogh admissible for the
+// windowed distance.
+type windowedBackend struct {
+	length    int
+	radius    int // effective: length when unconstrained
+	band      dtw.Band
+	bandCells int
+	scratch   sync.Pool // *dtw.Workspace, one per concurrent Distance
+}
+
+// NewWindowedBackend builds the windowed exact-DTW backend for series of
+// the given length. radius is the Sakoe-Chiba warping window in samples;
+// radius < 0 (or >= length) selects unconstrained DTW with full-width
+// envelopes. The effective radius is returned alongside the backend.
+func NewWindowedBackend(length, radius int) (Backend, int, error) {
+	if length <= 0 {
+		return nil, 0, fmt.Errorf("windowed backend needs a positive series length, got %d: %w", length, ErrEmptySeries)
+	}
+	if radius < 0 || radius >= length {
+		radius = length // unconstrained
+	}
+	b := &windowedBackend{length: length, radius: radius}
+	if radius < length {
+		// The band must sit at exactly the envelope radius: LB_Keogh at
+		// radius r does not lower-bound windowed DTW at radius r+1, and
+		// deriving the band from a width fraction (whose ceil rounding
+		// yields radius r+1) silently drops true nearest neighbours.
+		b.band = dtw.SakoeChibaRadius(length, length, radius)
+	} else {
+		b.band = dtw.FullBand(length, length)
+	}
+	b.bandCells = b.band.Cells()
+	b.scratch.New = func() any { return new(dtw.Workspace) }
+	return b, radius, nil
+}
+
+func (b *windowedBackend) Fingerprint() string {
+	return fmt.Sprintf("windowed/v1|len=%d|radius=%d", b.length, b.radius)
+}
+
+func (b *windowedBackend) Admit(s series.Series) error {
+	if s.Len() != b.length {
+		return fmt.Errorf("series %q has length %d, want %d (windowed search needs equal lengths): %w",
+			s.ID, s.Len(), b.length, ErrLengthMismatch)
+	}
+	return nil
+}
+
+func (b *windowedBackend) Forget(series.Series) {}
+
+func (b *windowedBackend) CheckQuery(q series.Series) error {
+	if q.Len() != b.length {
+		return fmt.Errorf("query length %d != indexed length %d: %w", q.Len(), b.length, ErrLengthMismatch)
+	}
+	return nil
+}
+
+func (b *windowedBackend) Cascade() bool     { return true }
+func (b *windowedBackend) Abandonable() bool { return true }
+
+func (b *windowedBackend) EnvelopeRadius(int) int { return b.radius }
+
+func (b *windowedBackend) Distance(ctx context.Context, q, c series.Series, budget float64) (Result, error) {
+	ws := b.scratch.Get().(*dtw.Workspace)
+	defer b.scratch.Put(ws)
+	dpStart := time.Now()
+	d, cells, abandoned, err := dtw.BandedAbandonCtx(ctx, q.Values, c.Values, b.band, nil, budget, ws)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Distance:    d,
+		Abandoned:   abandoned,
+		CellsFilled: cells,
+		BandCells:   b.bandCells,
+		DPTime:      time.Since(dpStart),
+	}, nil
+}

@@ -1,0 +1,654 @@
+// Package retrieve implements the shared lower-bound-cascaded k-NN
+// retrieval core behind the public sdtw.Index: one cascade — LB_Kim
+// candidate ordering, LB_Keogh envelope pruning against a shared
+// best-so-far threshold, and threshold-aware early-abandoning DTW fanned
+// out across a bounded worker pool — parameterised by a small Backend
+// interface supplying the actual distance family (the sDTW banded engine
+// or the Sakoe-Chiba windowed exact-DTW pipeline).
+//
+// The cascade is exact for any backend whose Cascade method reports the
+// bounds admissible: LB_Kim and LB_Keogh (at the backend's envelope
+// radius) never exceed the backend distance, and an abandoned
+// computation's partial cost is itself a lower bound above the threshold,
+// so a search returns precisely the neighbours a brute-force scan would.
+//
+// A Core is safe for concurrent use; searches run under a read lock and
+// the Add/Remove mutators take the write lock, so a mutating index keeps
+// serving queries between mutations.
+package retrieve
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdtw/internal/lower"
+	"sdtw/internal/series"
+)
+
+// Neighbor is one retrieval result.
+type Neighbor struct {
+	// Pos is the position of the neighbour in the indexed collection (as
+	// of the search; Add/Remove renumber positions).
+	Pos int
+	// Distance is the backend distance to the query.
+	Distance float64
+}
+
+// Params carries the resolved knobs of one search. The public layer
+// translates its functional options into this struct.
+type Params struct {
+	// K is the neighbour count; K <= 0 means every candidate (used by
+	// threshold-only range searches). K larger than the candidate count
+	// is truncated.
+	K int
+	// Workers overrides the core's worker-pool width when positive.
+	Workers int
+	// Exclude drops the candidate at that collection position (for
+	// leave-one-out workloads whose series may lack IDs); -1 excludes
+	// none. Candidates sharing the query's non-empty ID are always
+	// excluded.
+	Exclude int
+	// Threshold, when finite, restricts results to neighbours at distance
+	// <= Threshold and seeds the pruning threshold, so hopeless
+	// candidates are discarded even before the k-heap fills.
+	Threshold float64
+	// NoAbandon disables threshold-aware early abandonment inside the
+	// dynamic program for this search (A/B measurement; never changes
+	// results).
+	NoAbandon bool
+}
+
+// Core is the shared cascade over one collection and one backend.
+type Core struct {
+	backend Backend
+	workers int
+
+	// cascade reports whether lower-bound pruning is active; abandon
+	// whether the DP early-abandons against the best-so-far threshold.
+	// Both are off when the backend's cost assumptions don't hold.
+	cascade bool
+	abandon atomic.Bool
+
+	mu   sync.RWMutex
+	data []series.Series
+	// envelopes[i] is the LB_Keogh envelope of data[i] at the backend's
+	// admissible radius; nil when the cascade is disabled.
+	envelopes []lower.Envelope
+	// ids maps non-empty series IDs to their position, for duplicate
+	// detection and Remove.
+	ids map[string]int
+}
+
+// New builds a core over data, validating every series and warming the
+// backend's caches. workers bounds the query worker pool (<= 0 means the
+// caller should have defaulted it; it is clamped to 1). abandon enables
+// early abandonment when the backend admits it.
+func New(backend Backend, data []series.Series, workers int, abandon bool) (*Core, error) {
+	return build(backend, data, nil, workers, abandon)
+}
+
+// Restore is New for persisted indexes: envelopes are trusted from the
+// snapshot instead of recomputed. len(envelopes) must match len(data)
+// when the backend's cascade is active.
+func Restore(backend Backend, data []series.Series, envelopes []lower.Envelope, workers int, abandon bool) (*Core, error) {
+	if backend.Cascade() && len(envelopes) != len(data) {
+		return nil, fmt.Errorf("snapshot has %d envelopes for %d series: %w", len(envelopes), len(data), ErrConfigMismatch)
+	}
+	return build(backend, data, envelopes, workers, abandon)
+}
+
+func build(backend Backend, data []series.Series, envelopes []lower.Envelope, workers int, abandon bool) (*Core, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("cannot index: %w", ErrEmptyCollection)
+	}
+	// Validate the whole collection before paying any one-time costs, so
+	// structural errors (emptiness, duplicate IDs) surface first.
+	seen := make(map[string]bool, len(data))
+	for i, s := range data {
+		if len(s.Values) == 0 {
+			return nil, fmt.Errorf("series %d (%q): %w", i, s.ID, ErrEmptySeries)
+		}
+		if s.ID != "" {
+			if seen[s.ID] {
+				return nil, fmt.Errorf("%w: %q", ErrDuplicateID, s.ID)
+			}
+			seen[s.ID] = true
+		}
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	c := &Core{
+		backend: backend,
+		workers: workers,
+		cascade: backend.Cascade(),
+		data:    make([]series.Series, 0, len(data)),
+		ids:     make(map[string]int, len(data)),
+	}
+	c.abandon.Store(abandon && backend.Abandonable())
+	if c.cascade {
+		c.envelopes = make([]lower.Envelope, 0, len(data))
+	}
+	for i, s := range data {
+		var env *lower.Envelope
+		if envelopes != nil {
+			env = &envelopes[i]
+		}
+		if err := c.admitLocked(s, env, false); err != nil {
+			return nil, fmt.Errorf("series %d: %w", i, err)
+		}
+	}
+	return c, nil
+}
+
+// admitLocked validates s, warms the backend, and appends it with its
+// envelope. env non-nil short-circuits envelope computation (persistence
+// restore path). fresh drops any backend cache state already held under
+// the series' ID before warming: construction starts from a clean (or
+// snapshot-restored, trusted) backend, but by Add time a search query
+// sharing the ID may have planted its own features in the read-through
+// cache, and admitting through that stale entry would permanently serve
+// another series' features. Callers hold the write lock (or are
+// constructing).
+func (c *Core) admitLocked(s series.Series, env *lower.Envelope, fresh bool) error {
+	if len(s.Values) == 0 {
+		return fmt.Errorf("series %q: %w", s.ID, ErrEmptySeries)
+	}
+	if s.ID != "" {
+		if _, dup := c.ids[s.ID]; dup {
+			return fmt.Errorf("%w: %q", ErrDuplicateID, s.ID)
+		}
+	}
+	if fresh {
+		c.backend.Forget(s)
+	}
+	if err := c.backend.Admit(s); err != nil {
+		return err
+	}
+	if s.ID != "" {
+		c.ids[s.ID] = len(c.data)
+	}
+	c.data = append(c.data, s)
+	if c.cascade {
+		if env != nil {
+			c.envelopes = append(c.envelopes, *env)
+		} else {
+			c.envelopes = append(c.envelopes, lower.NewEnvelope(s.Values, c.backend.EnvelopeRadius(len(s.Values))))
+		}
+	}
+	return nil
+}
+
+// Add appends a series to the collection: backend caches are warmed and
+// the LB_Keogh envelope computed incrementally, under the write lock, so
+// concurrent searches see either the old or the new collection.
+func (c *Core) Add(s series.Series) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.admitLocked(s, nil, true)
+}
+
+// Remove deletes the series with the given non-empty ID, dropping its
+// envelope and any backend cache entries. Later series shift down one
+// position. Removing the last series fails: an index is never empty.
+func (c *Core) Remove(id string) error {
+	if id == "" {
+		return fmt.Errorf("Remove needs a non-empty ID")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pos, ok := c.ids[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownID, id)
+	}
+	if len(c.data) == 1 {
+		return fmt.Errorf("cannot remove the last series %q: %w", id, ErrEmptyCollection)
+	}
+	c.backend.Forget(c.data[pos])
+	c.data = append(c.data[:pos], c.data[pos+1:]...)
+	if c.cascade {
+		c.envelopes = append(c.envelopes[:pos], c.envelopes[pos+1:]...)
+	}
+	delete(c.ids, id)
+	for sid, p := range c.ids {
+		if p > pos {
+			c.ids[sid] = p - 1
+		}
+	}
+	return nil
+}
+
+// Len returns the number of indexed series.
+func (c *Core) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.data)
+}
+
+// Series returns the indexed series at position i.
+func (c *Core) Series(i int) series.Series {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.data[i]
+}
+
+// Fingerprint exposes the backend's configuration fingerprint for
+// persistence.
+func (c *Core) Fingerprint() string { return c.backend.Fingerprint() }
+
+// Snapshot returns copies of the collection and envelope slices for
+// persistence. The Series values and envelope arrays are shared (they are
+// immutable once indexed). A non-nil capture runs while the read lock is
+// held, so callers can snapshot backend-adjacent state (the engine's
+// feature cache) consistent with the collection — no Add or Remove can
+// interleave between the two captures.
+func (c *Core) Snapshot(capture func()) ([]series.Series, []lower.Envelope) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	data := make([]series.Series, len(c.data))
+	copy(data, c.data)
+	envs := make([]lower.Envelope, len(c.envelopes))
+	copy(envs, c.envelopes)
+	if capture != nil {
+		capture()
+	}
+	return data, envs
+}
+
+// SetAbandon toggles the default for threshold-aware early abandonment
+// (per-search Params.NoAbandon still wins). It is a no-op when the
+// backend's cost assumptions make abandonment inadmissible.
+func (c *Core) SetAbandon(on bool) {
+	c.abandon.Store(on && c.backend.Abandonable())
+}
+
+// candidate is one cascade work item: a collection position and its
+// LB_Kim bound.
+type candidate struct {
+	pos int
+	kim float64
+}
+
+// bestK is the best-so-far heap: a max-heap on (distance, position)
+// holding at most k neighbours, so the root is the current k-th best and
+// the pruning threshold.
+type bestK []Neighbor
+
+func (h bestK) Len() int { return len(h) }
+func (h bestK) Less(a, b int) bool {
+	if h[a].Distance != h[b].Distance {
+		return h[a].Distance > h[b].Distance
+	}
+	return h[a].Pos > h[b].Pos
+}
+func (h bestK) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *bestK) Push(x any)   { *h = append(*h, x.(Neighbor)) }
+func (h *bestK) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h bestK) worseThan(nb Neighbor) bool {
+	w := h[0]
+	return nb.Distance < w.Distance || (nb.Distance == w.Distance && nb.Pos < w.Pos)
+}
+
+// parallelFor fans fn out over [0, n) across at most workers goroutines,
+// stopping early (best effort) once stop is set or ctx is cancelled. fn
+// must be safe for concurrent calls on distinct indices. It always waits
+// for in-flight calls before returning, so no goroutines outlive it.
+func parallelFor(ctx context.Context, workers, n int, stop *atomic.Bool, fn func(i int)) {
+	cancelled := func() bool {
+		return stop.Load() || (ctx != nil && ctx.Err() != nil)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n && !cancelled(); i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || cancelled() {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// atomicThreshold shares the k-th best distance across workers. It only
+// ever decreases; a stale read yields a looser threshold, which costs a
+// bound evaluation but never correctness.
+type atomicThreshold struct{ bits atomic.Uint64 }
+
+func (t *atomicThreshold) store(v float64) { t.bits.Store(math.Float64bits(v)) }
+func (t *atomicThreshold) load() float64   { return math.Float64frombits(t.bits.Load()) }
+
+// kimCheckEvery is how often the sequential LB_Kim stage polls the
+// context on very large collections.
+const kimCheckEvery = 1024
+
+// Search runs the cascaded top-k search. Query validation (emptiness,
+// backend length constraints) happens here, uniformly for both backends;
+// K is validated by the public layer, which owns the option surface.
+func (c *Core) Search(ctx context.Context, query series.Series, p Params) ([]Neighbor, Stats, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.search(ctx, query, p)
+}
+
+// SearchWithLabels is Search returning, alongside each neighbour, the
+// class label of its series — resolved under the same read lock as the
+// search itself, so concurrent Add/Remove cannot renumber positions
+// between retrieval and label lookup.
+func (c *Core) SearchWithLabels(ctx context.Context, query series.Series, p Params) ([]Neighbor, []int, Stats, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	nbrs, stats, err := c.search(ctx, query, p)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	return nbrs, c.labelsLocked(nbrs), stats, nil
+}
+
+// SearchAllWithLabels is SearchAll with per-neighbour labels, resolved
+// under the batch's read lock (see SearchWithLabels).
+func (c *Core) SearchAllWithLabels(ctx context.Context, p Params) ([][]Neighbor, [][]int, Stats, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	nbrs, stats, err := c.batch(ctx, c.data, p, true)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	labels := make([][]int, len(nbrs))
+	for i, nb := range nbrs {
+		labels[i] = c.labelsLocked(nb)
+	}
+	return nbrs, labels, stats, nil
+}
+
+// labelsLocked maps a neighbour list to its series' class labels. Callers
+// hold (at least) the read lock.
+func (c *Core) labelsLocked(nbrs []Neighbor) []int {
+	labels := make([]int, len(nbrs))
+	for i, nb := range nbrs {
+		labels[i] = c.data[nb.Pos].Label
+	}
+	return labels
+}
+
+// search is Search under a held read lock (batch calls it directly so a
+// whole batch sees one consistent collection).
+func (c *Core) search(ctx context.Context, query series.Series, p Params) ([]Neighbor, Stats, error) {
+	var stats Stats
+	start := time.Now()
+	if len(query.Values) == 0 {
+		return nil, stats, fmt.Errorf("query: %w", ErrEmptySeries)
+	}
+	if err := c.backend.CheckQuery(query); err != nil {
+		return nil, stats, fmt.Errorf("query: %w", err)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, stats, err
+	}
+	limit := math.Inf(1)
+	if !math.IsNaN(p.Threshold) && p.Threshold < limit {
+		limit = p.Threshold
+	}
+
+	// Stage 0: LB_Kim for every candidate, cheapest first. O(1) per
+	// candidate, so this stays sequential; it also fixes the processing
+	// order that lets the k-heap threshold tighten fast.
+	boundStart := time.Now()
+	cands := make([]candidate, 0, len(c.data))
+	for i, s := range c.data {
+		if i%kimCheckEvery == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, stats, err
+			}
+		}
+		// Skip self-matches when the query is an indexed series.
+		if i == p.Exclude || (s.ID != "" && s.ID == query.ID) {
+			continue
+		}
+		stats.GridCells += len(query.Values) * len(s.Values)
+		cd := candidate{pos: i}
+		if c.cascade {
+			kim, err := lower.Kim(query.Values, s.Values, nil)
+			if err != nil {
+				return nil, stats, fmt.Errorf("LB_Kim to %q: %w", s.ID, err)
+			}
+			cd.kim = kim
+		}
+		cands = append(cands, cd)
+	}
+	stats.Candidates = len(cands)
+	stats.BoundTime += time.Since(boundStart)
+	if c.cascade {
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].kim != cands[b].kim {
+				return cands[a].kim < cands[b].kim
+			}
+			return cands[a].pos < cands[b].pos
+		})
+	}
+	k := p.K
+	if k <= 0 || k > len(cands) {
+		k = len(cands)
+	}
+	if k == 0 {
+		stats.WallTime = time.Since(start)
+		return nil, stats, nil
+	}
+
+	// Stages 1-3, fanned out: LB_Kim check, LB_Keogh check, full DTW.
+	// Per-candidate accounting uses atomic counters so the fast prune
+	// path never touches the heap mutex. The pruning threshold is the
+	// tighter of the k-th best distance and the caller's range limit.
+	best := make(bestK, 0, k+1)
+	var mu sync.Mutex // guards best and firstErr
+	var firstErr error
+	var stop atomic.Bool
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	var threshold atomicThreshold
+	threshold.store(limit)
+	abandon := c.abandon.Load() && !p.NoAbandon
+	var prunedKim, prunedKeogh, evaluated, abandoned, cells, cellsSaved atomic.Int64
+	var boundNS, matchNS, dpNS atomic.Int64
+	workers := c.workers
+	if p.Workers > 0 {
+		workers = p.Workers
+	}
+	parallelFor(ctx, workers, len(cands), &stop, func(n int) {
+		cd := cands[n]
+		s := c.data[cd.pos]
+		if c.cascade {
+			if cd.kim > threshold.load() {
+				prunedKim.Add(1)
+				return
+			}
+			if env := c.envelopes[cd.pos]; len(env.Upper) == len(query.Values) {
+				kgStart := time.Now()
+				kg, err := lower.Keogh(query.Values, env, nil)
+				boundNS.Add(int64(time.Since(kgStart)))
+				if err != nil {
+					fail(fmt.Errorf("LB_Keogh to %q: %w", s.ID, err))
+					return
+				}
+				if kg > threshold.load() {
+					prunedKeogh.Add(1)
+					return
+				}
+			}
+		}
+		// Stage 3: the dynamic program itself, early-abandoning against
+		// the shared threshold. The threshold only ever decreases, so a
+		// stale read yields a looser budget — extra rows filled, never a
+		// wrong result. Abandonment is strict (> budget), so a candidate
+		// tying the k-th distance is always evaluated fully.
+		budget := math.Inf(1)
+		if abandon {
+			budget = threshold.load()
+		}
+		res, err := c.backend.Distance(ctx, query, s, budget)
+		if err != nil {
+			fail(fmt.Errorf("distance to %q: %w", s.ID, err))
+			return
+		}
+		evaluated.Add(1)
+		cells.Add(int64(res.CellsFilled))
+		matchNS.Add(int64(res.MatchTime))
+		dpNS.Add(int64(res.DPTime))
+		if res.Abandoned {
+			// The partial cost already exceeds the pruning threshold (and
+			// the threshold can only have tightened since), so the
+			// candidate cannot enter the heap.
+			abandoned.Add(1)
+			cellsSaved.Add(int64(res.BandCells - res.CellsFilled))
+			return
+		}
+		if res.Distance > limit {
+			// Outside the caller's range limit; not a result.
+			return
+		}
+
+		nb := Neighbor{Pos: cd.pos, Distance: res.Distance}
+		mu.Lock()
+		if len(best) < k {
+			heap.Push(&best, nb)
+		} else if best.worseThan(nb) {
+			best[0] = nb
+			heap.Fix(&best, 0)
+		}
+		if len(best) == k && best[0].Distance < threshold.load() {
+			threshold.store(best[0].Distance)
+		}
+		mu.Unlock()
+	})
+	stats.PrunedKim = int(prunedKim.Load())
+	stats.PrunedKeogh = int(prunedKeogh.Load())
+	stats.Evaluated = int(evaluated.Load())
+	stats.AbandonedDTW = int(abandoned.Load())
+	stats.CellsSaved = int(cellsSaved.Load())
+	stats.Cells = int(cells.Load())
+	stats.BoundTime += time.Duration(boundNS.Load())
+	stats.MatchTime = time.Duration(matchNS.Load())
+	stats.DPTime = time.Duration(dpNS.Load())
+	stats.WallTime = time.Since(start)
+	// A cancelled context outranks the per-candidate errors it provoked:
+	// the caller asked the search to stop, and that is the answer.
+	if err := ctxErr(ctx); err != nil {
+		return nil, stats, err
+	}
+	if firstErr != nil {
+		return nil, stats, firstErr
+	}
+
+	out := []Neighbor(best)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Distance != out[b].Distance {
+			return out[a].Distance < out[b].Distance
+		}
+		return out[a].Pos < out[b].Pos
+	})
+	stats.WallTime = time.Since(start)
+	return out, stats, nil
+}
+
+// SearchBatch answers one search per entry of queries, parallelising
+// across queries and dividing the remaining worker budget inside each
+// query's cascade, so the pool stays bounded at the core's worker count.
+// With excludeSelf set, queries must be the indexed collection itself and
+// query n additionally excludes position n — leave-one-out even when
+// series lack the IDs the usual self-match skip keys on. The returned
+// stats aggregate every query; WallTime is the batch's elapsed time.
+func (c *Core) SearchBatch(ctx context.Context, queries []series.Series, p Params, excludeSelf bool) ([][]Neighbor, Stats, error) {
+	if len(queries) == 0 {
+		return nil, Stats{}, fmt.Errorf("batch needs at least one query: %w", ErrEmptyCollection)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.batch(ctx, queries, p, excludeSelf)
+}
+
+// batch is SearchBatch under a held read lock. With excludeSelf set the
+// queries are the collection itself and query n additionally excludes
+// position n — the leave-one-out self-batch — under one read lock so the
+// whole workload sees a single consistent collection state.
+func (c *Core) batch(ctx context.Context, queries []series.Series, p Params, excludeSelf bool) ([][]Neighbor, Stats, error) {
+	var stats Stats
+	start := time.Now()
+	out := make([][]Neighbor, len(queries))
+	// Divide the pool across queries: small batches still use every
+	// worker inside each query, large batches parallelise across queries
+	// with sequential cascades. Ceiling division may oversubscribe by a
+	// few goroutines but never leaves workers idle on mid-size batches.
+	workers := c.workers
+	if p.Workers > 0 {
+		workers = p.Workers
+	}
+	perQuery := (workers + len(queries) - 1) / len(queries)
+	if perQuery < 1 {
+		perQuery = 1
+	}
+	var mu sync.Mutex // guards stats and firstErr; out slots are disjoint
+	var firstErr error
+	var stop atomic.Bool
+	parallelFor(ctx, workers, len(queries), &stop, func(n int) {
+		qp := p
+		qp.Workers = perQuery
+		// A caller-supplied exclusion applies to every query of the
+		// batch; the leave-one-out self-batch overrides it per query.
+		if excludeSelf {
+			qp.Exclude = n
+		}
+		nbrs, qs, err := c.search(ctx, queries[n], qp)
+		mu.Lock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("query %d (%q): %w", n, queries[n].ID, err)
+		}
+		out[n] = nbrs
+		stats.Merge(qs)
+		mu.Unlock()
+		if err != nil {
+			stop.Store(true)
+		}
+	})
+	stats.WallTime = time.Since(start)
+	if err := ctxErr(ctx); err != nil {
+		return nil, stats, err
+	}
+	if firstErr != nil {
+		return nil, stats, firstErr
+	}
+	return out, stats, nil
+}
+
+// ctxErr is ctx.Err() tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

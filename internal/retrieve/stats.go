@@ -1,0 +1,92 @@
+package retrieve
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats accounts for the work one search (or a batch of searches) did
+// and, more importantly, avoided: how far each candidate got through the
+// lower-bound cascade, how many DTW grid cells were filled, and where the
+// time went. It is the superset of the per-backend stats the pre-unified
+// indexes reported (QueryStats and BoundStats) and is shared by both
+// backends, so dashboards compare sDTW and windowed retrieval on the same
+// axes.
+type Stats struct {
+	// Candidates is the collection size examined (after self-exclusion).
+	Candidates int
+	// PrunedKim and PrunedKeogh count candidates discarded by each bound
+	// before any DTW grid work.
+	PrunedKim, PrunedKeogh int
+	// Evaluated counts candidates that required a DTW computation
+	// (including ones abandoned partway through).
+	Evaluated int
+	// AbandonedDTW counts evaluated candidates whose DTW computation was
+	// abandoned early once its partial cost — itself a valid lower bound —
+	// exceeded the best-so-far threshold. Abandoned candidates are
+	// included in Evaluated.
+	AbandonedDTW int
+	// CellsSaved counts the band cells early abandonment skipped on
+	// abandoned candidates.
+	CellsSaved int
+	// Cells is the number of DTW grid cells actually filled.
+	Cells int
+	// GridCells is the total N·M over every candidate — the grids a
+	// brute-force scan would confront — so CellsGain reflects the combined
+	// effect of the cascade and the band.
+	GridCells int
+	// BoundTime is the time spent computing LB_Kim and LB_Keogh bounds.
+	BoundTime time.Duration
+	// MatchTime and DPTime are the summed backend stage durations of the
+	// evaluated candidates (the paper's tasks b and c).
+	MatchTime, DPTime time.Duration
+	// WallTime is the elapsed time of the whole search.
+	WallTime time.Duration
+}
+
+// PruneRate is the fraction of candidates discarded without DTW work.
+func (s Stats) PruneRate() float64 {
+	if s.Candidates == 0 {
+		return 0
+	}
+	return float64(s.PrunedKim+s.PrunedKeogh) / float64(s.Candidates)
+}
+
+// AbandonRate is the fraction of evaluated candidates whose DTW
+// computation was abandoned before filling the whole band.
+func (s Stats) AbandonRate() float64 {
+	if s.Evaluated == 0 {
+		return 0
+	}
+	return float64(s.AbandonedDTW) / float64(s.Evaluated)
+}
+
+// CellsGain is the machine-independent pruning gain 1 − Cells/GridCells.
+func (s Stats) CellsGain() float64 {
+	if s.GridCells == 0 {
+		return 0
+	}
+	return 1 - float64(s.Cells)/float64(s.GridCells)
+}
+
+// Merge folds another stats record into s (batch aggregation). WallTime
+// is deliberately not summed: batches report their own elapsed time.
+func (s *Stats) Merge(o Stats) {
+	s.Candidates += o.Candidates
+	s.PrunedKim += o.PrunedKim
+	s.PrunedKeogh += o.PrunedKeogh
+	s.Evaluated += o.Evaluated
+	s.AbandonedDTW += o.AbandonedDTW
+	s.CellsSaved += o.CellsSaved
+	s.Cells += o.Cells
+	s.GridCells += o.GridCells
+	s.BoundTime += o.BoundTime
+	s.MatchTime += o.MatchTime
+	s.DPTime += o.DPTime
+}
+
+// String implements fmt.Stringer for terse logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("candidates=%d kim=%d keogh=%d evaluated=%d abandoned=%d prune=%.2f cellsgain=%.2f cellssaved=%d",
+		s.Candidates, s.PrunedKim, s.PrunedKeogh, s.Evaluated, s.AbandonedDTW, s.PruneRate(), s.CellsGain(), s.CellsSaved)
+}

@@ -57,7 +57,7 @@ type CombinedResult struct {
 // multi-resolution refinement radius (< 0 means 1).
 func CombinedDistance(x, y []float64, radius int, opts Options) (CombinedResult, error) {
 	if len(x) == 0 || len(y) == 0 {
-		return CombinedResult{}, fmt.Errorf("sdtw: empty input (len(x)=%d len(y)=%d)", len(x), len(y))
+		return CombinedResult{}, fmt.Errorf("sdtw: empty input (len(x)=%d len(y)=%d): %w", len(x), len(y), ErrEmptySeries)
 	}
 	copts := opts.toCore()
 	eng := core.NewEngine(copts)

@@ -1,0 +1,171 @@
+package sdtw
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"sdtw/internal/lower"
+	"sdtw/internal/retrieve"
+	"sdtw/internal/sift"
+)
+
+// indexSnapshot is the on-wire form of a whole index: the collection, the
+// precomputed one-time costs (salient features and LB_Keogh envelopes),
+// and the configuration fingerprint that guards against loading the
+// snapshot under options that would change its answers.
+type indexSnapshot struct {
+	// Version guards against decoding snapshots written by incompatible
+	// layouts.
+	Version int
+	// Kind is "engine" (sDTW) or "windowed".
+	Kind string
+	// Fingerprint is the backend configuration fingerprint the snapshot
+	// was written under.
+	Fingerprint string
+	// Length and Radius reconstruct the windowed backend (engine options
+	// are not serialisable — they hold functions — so engine snapshots
+	// take them from the LoadIndex caller and verify the fingerprint).
+	Length, Radius int
+	Series         []Series
+	Envelopes      []lower.Envelope
+	// Features is the engine's salient-feature cache; nil for windowed
+	// snapshots.
+	Features map[string][]sift.Feature
+}
+
+const indexSnapshotVersion = 1
+
+const (
+	snapshotKindEngine   = "engine"
+	snapshotKindWindowed = "windowed"
+)
+
+// Save serialises the whole index (gob): the collection, the LB_Keogh
+// envelopes, the salient-feature cache (engine backend), and a
+// configuration fingerprint. The one-time indexing costs (§3.4) are paid
+// once, persisted, and shipped alongside the data; LoadIndex (or
+// LoadWindowedIndex) restores the index without re-extracting anything.
+//
+// Indexes with a custom PointDistance serialise with the function's
+// presence recorded but not its behaviour — functions cannot be encoded —
+// so such snapshots must be loaded under the same function to yield the
+// same distances. With Options.DisableCache the engine holds no feature
+// cache to persist: the snapshot carries series and envelopes only, and
+// the restored index re-extracts features lazily per comparison, exactly
+// as the original did.
+func (ix *Index) Save(w io.Writer) error {
+	// The feature cache is captured inside the same lock acquisition as
+	// the collection snapshot: a Remove+Add reusing a series ID between
+	// the two captures would otherwise pair the old series' values with
+	// the new series' features in the snapshot.
+	var features map[string][]sift.Feature
+	capture := func() {}
+	if ix.engine != nil {
+		capture = func() { features = ix.engine.inner.CacheSnapshot() }
+	}
+	data, envs := ix.core.Snapshot(capture)
+	snap := indexSnapshot{
+		Version:   indexSnapshotVersion,
+		Series:    data,
+		Envelopes: envs,
+	}
+	// The fingerprint is the backend's own — the single source of truth —
+	// so Save and the Load-side check can never drift apart.
+	snap.Fingerprint = ix.core.Fingerprint()
+	if ix.engine != nil {
+		snap.Kind = snapshotKindEngine
+		// Keep only the features of the saved series: the cache also
+		// holds query-series features, which would bloat the snapshot
+		// and plant entries for series the collection does not contain.
+		// Every saved series has its features cached already (Admit
+		// warms under the write lock before the series becomes visible),
+		// so the filtered map is complete.
+		snap.Features = make(map[string][]sift.Feature, len(data))
+		for _, s := range data {
+			if feats, ok := features[s.ID]; ok {
+				snap.Features[s.ID] = feats
+			}
+		}
+	} else {
+		snap.Kind = snapshotKindWindowed
+		snap.Length = data[0].Len()
+		snap.Radius = ix.radius
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("sdtw: encoding index snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadIndex restores an engine-backed index written by Save. opts must
+// describe the same engine configuration the snapshot was written under:
+// a differing fingerprint reports ErrConfigMismatch rather than silently
+// serving distances the persisted features and envelopes are wrong for.
+// Windowed snapshots are refused too (use LoadWindowedIndex — their
+// configuration travels inside the snapshot).
+func LoadIndex(r io.Reader, opts Options) (*Index, error) {
+	snap, err := decodeSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Kind != snapshotKindEngine {
+		return nil, fmt.Errorf("sdtw: snapshot holds a %s index, want %s (use LoadWindowedIndex): %w",
+			snap.Kind, snapshotKindEngine, ErrConfigMismatch)
+	}
+	if fp := engineFingerprint(opts); fp != snap.Fingerprint {
+		return nil, fmt.Errorf("sdtw: snapshot written under %q, loading under %q: %w",
+			snap.Fingerprint, fp, ErrConfigMismatch)
+	}
+	engine := NewEngine(opts)
+	engine.inner.RestoreCache(snap.Features)
+	backend := retrieve.NewEngineBackend(engine.inner, engineFingerprint(opts), opts.PointDistance != nil)
+	core, err := retrieve.Restore(backend, snap.Series, snap.Envelopes, indexWorkers(opts.Workers), !opts.DisableAbandon)
+	if err != nil {
+		return nil, fmt.Errorf("sdtw: %w", err)
+	}
+	return &Index{core: core, engine: engine, radius: -1}, nil
+}
+
+// LoadWindowedIndex restores a windowed index written by Save. The
+// windowed configuration (length and radius) is fully serialisable, so it
+// travels inside the snapshot and needs no caller-side options.
+func LoadWindowedIndex(r io.Reader) (*Index, error) {
+	snap, err := decodeSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Kind != snapshotKindWindowed {
+		return nil, fmt.Errorf("sdtw: snapshot holds a %s index, want %s (use LoadIndex): %w",
+			snap.Kind, snapshotKindWindowed, ErrConfigMismatch)
+	}
+	backend, eff, err := retrieve.NewWindowedBackend(snap.Length, snap.Radius)
+	if err != nil {
+		return nil, fmt.Errorf("sdtw: %w", err)
+	}
+	// Rebuilding the backend from the snapshot's own parameters must
+	// reproduce the fingerprint it was written under; a mismatch means
+	// the fingerprint format was revved (or the snapshot edited) and the
+	// persisted envelopes cannot be trusted.
+	if fp := backend.Fingerprint(); fp != snap.Fingerprint {
+		return nil, fmt.Errorf("sdtw: snapshot written under %q, rebuilt backend is %q: %w",
+			snap.Fingerprint, fp, ErrConfigMismatch)
+	}
+	core, err := retrieve.Restore(backend, snap.Series, snap.Envelopes, indexWorkers(0), true)
+	if err != nil {
+		return nil, fmt.Errorf("sdtw: %w", err)
+	}
+	return &Index{core: core, radius: eff}, nil
+}
+
+func decodeSnapshot(r io.Reader) (indexSnapshot, error) {
+	var snap indexSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("sdtw: decoding index snapshot: %w", err)
+	}
+	if snap.Version != indexSnapshotVersion {
+		return snap, fmt.Errorf("sdtw: index snapshot version %d, want %d: %w",
+			snap.Version, indexSnapshotVersion, ErrConfigMismatch)
+	}
+	return snap, nil
+}

@@ -2,6 +2,7 @@ package sdtw
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
@@ -47,6 +48,136 @@ func TestSaveLoadFeaturesRoundTrip(t *testing.T) {
 	}
 	if len(feats) != len(wantFeats) {
 		t.Fatalf("restored %d features, want %d", len(feats), len(wantFeats))
+	}
+}
+
+// TestIndexSaveLoadRoundTrip: a persisted engine-backed index restores
+// without re-extracting anything and answers bit-identically, and keeps
+// its mutability (Add after load works).
+func TestIndexSaveLoadRoundTrip(t *testing.T) {
+	d := TraceDataset(DatasetConfig{Seed: 63, SeriesPerClass: 4})
+	opts := DefaultOptions()
+	ix, err := NewIndex(d.Series[:d.Len()-1], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := d.Series[0]
+	want, _, err := ix.Search(ctx, q, WithK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadIndex(bytes.NewReader(buf.Bytes()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ix.Len() {
+		t.Fatalf("restored %d series, want %d", back.Len(), ix.Len())
+	}
+	got, _, err := back.Search(ctx, q, WithK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: restored %+v, original %+v", i, got[i], want[i])
+		}
+	}
+	// The restored feature cache must actually serve extraction.
+	res, err := back.Engine().DistanceSeries(d.Series[0], d.Series[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExtractTime.Milliseconds() > 10 {
+		t.Fatalf("restored cache missed: extract time %v", res.ExtractTime)
+	}
+	// The restored index stays mutable.
+	if err := back.Add(d.Series[d.Len()-1]); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ix.Len()+1 {
+		t.Fatalf("post-load Add did not grow the index: %d", back.Len())
+	}
+}
+
+// TestLoadIndexRefusesMismatchedOptions: a snapshot written under one
+// engine configuration must not load under another — the persisted
+// features and envelopes would silently produce wrong distances.
+func TestLoadIndexRefusesMismatchedOptions(t *testing.T) {
+	d := GunDataset(DatasetConfig{Seed: 64, SeriesPerClass: 2})
+	ix, err := NewIndex(d.Series, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mismatches := []Options{
+		{Strategy: FixedCoreFixedWidth, WidthFrac: 0.10},
+		{Strategy: AdaptiveCoreAdaptiveWidth, Symmetric: true},
+		{Strategy: AdaptiveCoreAdaptiveWidth, DescriptorBins: 8},
+	}
+	for _, opts := range mismatches {
+		if _, err := LoadIndex(bytes.NewReader(buf.Bytes()), opts); !IsErr(err, ErrConfigMismatch) {
+			t.Fatalf("options %+v: got %v, want ErrConfigMismatch", opts, err)
+		}
+	}
+	// The windowed loader refuses engine snapshots outright.
+	if _, err := LoadWindowedIndex(bytes.NewReader(buf.Bytes())); !IsErr(err, ErrConfigMismatch) {
+		t.Fatalf("LoadWindowedIndex on engine snapshot: got %v, want ErrConfigMismatch", err)
+	}
+}
+
+// TestWindowedIndexSaveLoadRoundTrip: the windowed config travels inside
+// the snapshot, so loading needs no options and refuses LoadIndex.
+func TestWindowedIndexSaveLoadRoundTrip(t *testing.T) {
+	d := TraceDataset(DatasetConfig{Seed: 65, SeriesPerClass: 3})
+	ix, err := NewWindowedIndex(d.Series, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	want, _, err := ix.Search(ctx, d.Series[0], WithK(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndex(bytes.NewReader(buf.Bytes()), DefaultOptions()); !IsErr(err, ErrConfigMismatch) {
+		t.Fatalf("LoadIndex on windowed snapshot: got %v, want ErrConfigMismatch", err)
+	}
+	back, err := LoadWindowedIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Radius() != ix.Radius() {
+		t.Fatalf("restored radius %d, want %d", back.Radius(), ix.Radius())
+	}
+	got, _, err := back.Search(ctx, d.Series[0], WithK(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: restored %+v, original %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLoadIndexRejectsGarbage(t *testing.T) {
+	if _, err := LoadIndex(bytes.NewReader([]byte("not a gob stream")), DefaultOptions()); err == nil {
+		t.Fatal("garbage index snapshot accepted")
+	}
+	if _, err := LoadWindowedIndex(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage windowed snapshot accepted")
 	}
 }
 

@@ -10,18 +10,25 @@
 //   - Engine for repeated comparisons with feature caching and full
 //     per-stage accounting;
 //   - Index for retrieval and k-nearest-neighbour classification over a
-//     collection of series.
+//     mutable collection of series, with pluggable distance backends:
+//     NewIndex serves the sDTW banded distance, NewWindowedIndex serves
+//     exact (optionally Sakoe-Chiba-windowed) DTW, and both answer
+//     through the same Search(ctx, query, ...SearchOption) surface.
 //
-// Index queries run a lower-bound cascade (Keogh's exact-indexing
+// Index searches run a shared lower-bound cascade (Keogh's exact-indexing
 // pipeline, the paper's reference [7]): candidates are ordered by the
 // cheap LB_Kim bound and discarded against a shared best-so-far threshold
 // — first by LB_Kim, then by LB_Keogh on envelopes precomputed at
 // indexing time — before any DTW grid work, with the survivors fanned out
 // across a bounded worker pool running early-abandoning DTW against the
-// same threshold. The cascade is exact for the engine's banded distance,
-// and every query reports a QueryStats record (per-stage prune counts,
-// grid cells filled and saved, per-stage times). TopKBatch and
-// ClassifyAll run whole-dataset workloads through the same path.
+// same threshold. The cascade is exact for the backend's distance, every
+// search reports a SearchStats record (per-stage prune counts, grid cells
+// filled and saved, per-stage times), and a cancelled context stops the
+// search mid-band. SearchBatch and LabelsAll run whole-dataset workloads
+// through the same path; Add and Remove mutate the collection in place;
+// Save and LoadIndex persist the whole index including its one-time
+// costs. Validation failures wrap the package's sentinel errors
+// (ErrEmptySeries, ErrBadK, ...) for errors.Is.
 //
 // The heavy lifting lives in internal packages: dtw (the dynamic program
 // and band-constrained variants), scalespace and sift (1-D scale-invariant
@@ -283,7 +290,7 @@ func Distance(x, y []float64, opts Options) (Result, error) {
 // of x is compared against widthFrac of y's points around the diagonal.
 func SakoeChibaDTW(x, y []float64, widthFrac float64) (float64, error) {
 	if len(x) == 0 || len(y) == 0 {
-		return 0, fmt.Errorf("sdtw: empty input (len(x)=%d len(y)=%d)", len(x), len(y))
+		return 0, fmt.Errorf("sdtw: empty input (len(x)=%d len(y)=%d): %w", len(x), len(y), ErrEmptySeries)
 	}
 	b := dtw.SakoeChiba(len(x), len(y), widthFrac)
 	d, _, err := dtw.Banded(x, y, b, nil)

@@ -1,0 +1,211 @@
+package sdtw
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// IsErr is a terse errors.Is for test assertions.
+func IsErr(err, target error) bool { return errors.Is(err, target) }
+
+// searchIndexes builds one index per backend over the same equal-length
+// workload, so validation and option tests cover both through the one
+// Search surface.
+func searchIndexes(t *testing.T) (map[string]*Index, *Dataset) {
+	t.Helper()
+	d := TraceDataset(DatasetConfig{Seed: 13, SeriesPerClass: 4})
+	engine, err := NewIndex(d.Series, Options{Strategy: FixedCoreFixedWidth, WidthFrac: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	windowed, err := NewWindowedIndex(d.Series, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Index{"engine": engine, "windowed": windowed}, d
+}
+
+// TestSearchValidationTable is the uniform-validation property: every
+// boundary of the option surface reports the same sentinel error on both
+// backends.
+func TestSearchValidationTable(t *testing.T) {
+	indexes, d := searchIndexes(t)
+	ctx := context.Background()
+	for name, ix := range indexes {
+		cases := []struct {
+			name    string
+			query   Series
+			opts    []SearchOption
+			wantErr error // nil means success
+			wantLen int
+		}{
+			{"k=0", d.Series[0], []SearchOption{WithK(0)}, ErrBadK, 0},
+			{"k=-3", d.Series[0], []SearchOption{WithK(-3)}, ErrBadK, 0},
+			{"empty query", NewSeries("q", 0, nil), []SearchOption{WithK(3)}, ErrEmptySeries, 0},
+			{"empty query values", Series{ID: "q", Values: []float64{}}, []SearchOption{WithK(3)}, ErrEmptySeries, 0},
+			{"NaN threshold", d.Series[0], []SearchOption{WithThreshold(math.NaN())}, errors.New("any"), 0},
+			{"k=1", d.Series[0], []SearchOption{WithK(1)}, nil, 1},
+			{"default k", d.Series[0], nil, nil, 1},
+			{"oversized k", d.Series[0], []SearchOption{WithK(10_000)}, nil, d.Len() - 1},
+		}
+		for _, tc := range cases {
+			nbrs, _, err := ix.Search(ctx, tc.query, tc.opts...)
+			switch {
+			case tc.wantErr == nil:
+				if err != nil {
+					t.Fatalf("%s/%s: unexpected error %v", name, tc.name, err)
+				}
+				if len(nbrs) != tc.wantLen {
+					t.Fatalf("%s/%s: %d neighbours, want %d", name, tc.name, len(nbrs), tc.wantLen)
+				}
+			case tc.wantErr.Error() == "any":
+				if err == nil {
+					t.Fatalf("%s/%s: bad input accepted", name, tc.name)
+				}
+			default:
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("%s/%s: got %v, want %v", name, tc.name, err, tc.wantErr)
+				}
+			}
+		}
+	}
+	// The windowed backend additionally rejects wrong-length queries.
+	short := NewSeries("short", 0, make([]float64, 7))
+	if _, _, err := indexes["windowed"].Search(ctx, short, WithK(1)); !IsErr(err, ErrLengthMismatch) {
+		t.Fatalf("windowed wrong-length query: got %v, want ErrLengthMismatch", err)
+	}
+	// Batches validate the same way and reject empty query lists.
+	for name, ix := range indexes {
+		if _, _, err := ix.SearchBatch(ctx, nil, WithK(1)); !IsErr(err, ErrEmptyCollection) {
+			t.Fatalf("%s: empty batch: got %v, want ErrEmptyCollection", name, err)
+		}
+		if _, _, err := ix.SearchBatch(ctx, d.Series[:2], WithK(0)); !IsErr(err, ErrBadK) {
+			t.Fatalf("%s: batch k=0: got %v, want ErrBadK", name, err)
+		}
+	}
+}
+
+// TestSearchThreshold checks WithThreshold semantics on both backends:
+// alone it returns every neighbour within the threshold; with WithK it
+// returns the k nearest within it; and it never changes which distances
+// are reported, only which candidates survive.
+func TestSearchThreshold(t *testing.T) {
+	indexes, d := searchIndexes(t)
+	ctx := context.Background()
+	for name, ix := range indexes {
+		q := d.Series[0]
+		full, _, err := ix.Search(ctx, q, WithK(ix.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cut halfway through the ranked list.
+		cut := full[len(full)/2].Distance
+		within, _, err := ix.Search(ctx, q, WithThreshold(cut))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []Neighbor
+		for _, nb := range full {
+			if nb.Distance <= cut {
+				want = append(want, nb)
+			}
+		}
+		if len(within) != len(want) {
+			t.Fatalf("%s: threshold %g returned %d neighbours, want %d", name, cut, len(within), len(want))
+		}
+		for i := range want {
+			if within[i] != want[i] {
+				t.Fatalf("%s: rank %d: %+v, want %+v", name, i, within[i], want[i])
+			}
+		}
+		// WithK on top truncates the same list.
+		topWithin, _, err := ix.Search(ctx, q, WithThreshold(cut), WithK(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(topWithin) != 2 || topWithin[0] != want[0] || topWithin[1] != want[1] {
+			t.Fatalf("%s: WithK+WithThreshold = %+v, want prefix of %+v", name, topWithin, want[:2])
+		}
+		// A threshold below every distance returns nothing, without error.
+		none, _, err := ix.Search(ctx, q, WithThreshold(-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(none) != 0 {
+			t.Fatalf("%s: negative threshold returned %+v", name, none)
+		}
+	}
+}
+
+// TestSearchWithExclude checks positional exclusion for ID-less
+// leave-one-out workloads.
+func TestSearchWithExclude(t *testing.T) {
+	data := []Series{
+		NewSeries("", 0, []float64{0, 1, 2, 3, 2, 1, 0, 1}),
+		NewSeries("", 1, []float64{0, 1, 2, 3, 2, 1, 0, 2}),
+		NewSeries("", 2, []float64{5, 4, 3, 2, 3, 4, 5, 4}),
+	}
+	ix, err := NewIndex(data, Options{Strategy: FullGrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without exclusion, querying series 0 finds itself at distance 0.
+	nbrs, _, err := ix.Search(context.Background(), data[0], WithK(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nbrs[0].Pos != 0 || nbrs[0].Distance != 0 {
+		t.Fatalf("expected self-match, got %+v", nbrs[0])
+	}
+	// WithExclude(0) removes it from the candidate set.
+	nbrs, stats, err := ix.Search(context.Background(), data[0], WithK(1), WithExclude(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nbrs[0].Pos != 1 {
+		t.Fatalf("excluded search returned pos %d, want 1", nbrs[0].Pos)
+	}
+	if stats.Candidates != 2 {
+		t.Fatalf("candidates = %d after exclusion, want 2", stats.Candidates)
+	}
+	// The exclusion applies to every query of a batch, too.
+	batch, bstats, err := ix.SearchBatch(context.Background(), data[:2], WithK(1), WithExclude(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bstats.Candidates != 4 {
+		t.Fatalf("batch candidates = %d after exclusion, want 4", bstats.Candidates)
+	}
+	for qi, nb := range batch {
+		if nb[0].Pos == 0 {
+			t.Fatalf("batch query %d returned the excluded position: %+v", qi, nb[0])
+		}
+	}
+}
+
+// TestSearchWithWorkers checks worker-count overrides change scheduling
+// only: a sequential search returns bit-identical neighbours to the
+// default parallel one.
+func TestSearchWithWorkers(t *testing.T) {
+	indexes, d := searchIndexes(t)
+	ctx := context.Background()
+	for name, ix := range indexes {
+		for _, q := range []Series{d.Series[0], d.Series[d.Len()-1]} {
+			par, _, err := ix.Search(ctx, q, WithK(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, _, err := ix.Search(ctx, q, WithK(4), WithWorkers(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range par {
+				if par[i] != seq[i] {
+					t.Fatalf("%s: rank %d: parallel %+v vs sequential %+v", name, i, par[i], seq[i])
+				}
+			}
+		}
+	}
+}
