@@ -14,8 +14,8 @@ import (
 
 // TestTopKAbandonInvariance is the tentpole property: early abandonment
 // must never change retrieval results, only skip grid work. Across every
-// band strategy and both equal- and unequal-length collections, TopK and
-// ClassifyAll with abandonment enabled are bit-identical to the same
+// band strategy and both equal- and unequal-length collections, Search
+// and LabelsAll with abandonment enabled are bit-identical to the same
 // queries with abandonment disabled.
 func TestTopKAbandonInvariance(t *testing.T) {
 	collections := map[string][]Series{
@@ -240,7 +240,7 @@ func TestWindowedIndexAbandonInvariance(t *testing.T) {
 // its DP band via SakoeChiba(len, len, (2r+1)/len), whose ceil rounding
 // yields band radius r+1, while the LB_Keogh envelopes were built at
 // radius r — and LB_Keogh at radius r does not lower-bound windowed DTW
-// at radius r+1, so TopK could falsely dismiss the true nearest
+// at radius r+1, so a top-k search could falsely dismiss the true nearest
 // neighbour. The crafted workload: the query's spike aligns a candidate's
 // spike two samples away — reachable at band radius 2, invisible to
 // radius-1 envelopes — so the old pipeline prunes the true neighbour on

@@ -391,6 +391,55 @@ func BenchmarkSubsequenceSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkMonitorPush measures the streaming monitor's per-point cost —
+// the acceptance gate is zero allocations per pushed point after warm-up
+// (O(|q|) state, no per-point growth).
+func BenchmarkMonitorPush(b *testing.B) {
+	query, stream := streamWorkload(b, "Gun", 4, 10_000)
+	m, err := NewMonitor([]Series{NewSeries("q", 0, query)}, Options{}) // 150-point query
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, v := range stream[:512] { // warm-up before measuring
+		if _, err := m.Push(ctx, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Push(ctx, stream[i%len(stream)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := m.Stats()
+	b.ReportMetric(float64(st.Cells)/float64(st.Points), "cells/point")
+}
+
+// BenchmarkMonitorPushBatch measures the batched streaming path with
+// multi-query fan-out across the worker pool.
+func BenchmarkMonitorPushBatch(b *testing.B) {
+	d, err := datasets.ByName("Trace", datasets.Config{Seed: benchSeed, SeriesPerClass: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, stream := streamWorkload(b, "Trace", 2, 1<<15)
+	m, err := NewMonitor(d.Series[:4], Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		off := (i * 4096) % (len(stream) - 4096)
+		if _, err := m.PushBatch(ctx, stream[off:off+4096]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkLearnedBaseline trains the R-K style learned band and
 // classifies a holdout, the §1 training-dependent alternative.
 func BenchmarkLearnedBaseline(b *testing.B) {
@@ -518,7 +567,7 @@ func BenchmarkIndexTopKCascade(b *testing.B) {
 			b.ReportAllocs()
 			// Aggregate over every iteration so the reported metrics do
 			// not depend on which query b.N happens to end on.
-			var stats QueryStats
+			var stats SearchStats
 			for i := 0; i < b.N; i++ {
 				_, s, err := ix.Search(context.Background(), d.Series[i%d.Len()], WithK(5))
 				if err != nil {
@@ -545,7 +594,7 @@ func BenchmarkIndexTopKBatch(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
-	var stats QueryStats
+	var stats SearchStats
 	for i := 0; i < b.N; i++ {
 		_, s, err := ix.SearchBatch(context.Background(), d.Series, WithK(5))
 		if err != nil {

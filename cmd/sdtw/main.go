@@ -10,19 +10,41 @@
 //	sdtw -file data.txt -features 0               # salient features of row 0
 //
 // Strategies: dtw (full grid), fc,fw; fc,aw; ac,fw; ac,aw; ac2,aw; itakura.
+//
+// The monitor subcommand streams whitespace-separated values from a file
+// or stdin through the Monitor API and reports subsequence matches of the
+// query rows as they are confirmed:
+//
+//	sdtw monitor -queries data.txt -rows 0,1 -threshold 12.5 < stream.txt
+//	sdtwgen ... | sdtw monitor -queries data.txt -stream -
+//	sdtw monitor -queries data.txt -stream stream.txt   # best match only
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"sdtw"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "monitor" {
+		if err := runMonitor(os.Args[2:], os.Stdin, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	runClassic()
+}
+
+func runClassic() {
 	var (
 		file      = flag.String("file", "", "UCR-format input file (required)")
 		i         = flag.Int("i", 0, "index of the first series")
@@ -168,6 +190,142 @@ func printFeatures(data *sdtw.Dataset, idx int, opts sdtw.Options) error {
 		fmt.Printf("%6d %8.2f %7d %8.1f %+10.4f %10.4f\n", f.X, f.Sigma, f.Octave, f.Scope, f.Response, f.Amplitude)
 	}
 	return nil
+}
+
+// runMonitor is the monitor subcommand: it builds a streaming Monitor
+// over the selected query rows and pushes the stream through it in
+// batches, printing matches as they are confirmed and a work summary at
+// end-of-stream.
+func runMonitor(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("monitor", flag.ContinueOnError)
+	var (
+		queryFile = fs.String("queries", "", "UCR-format file holding the query patterns (required)")
+		rows      = fs.String("rows", "0", "comma-separated row indices of the queries to monitor")
+		stream    = fs.String("stream", "-", "stream source: a file of whitespace-separated values, or - for stdin")
+		threshold = fs.Float64("threshold", 0, "emit every non-overlapping match at distance <= threshold (0 means report only the best match at end-of-stream)")
+		gap       = fs.Int("gap", 0, "minimum stream points between an emitted match's end and the next match's start")
+		workers   = fs.Int("workers", 0, "worker pool width for multi-query fan-out (0 = GOMAXPROCS)")
+		batch     = fs.Int("batch", 256, "points per PushBatch call")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *queryFile == "" {
+		return fmt.Errorf("monitor: -queries is required")
+	}
+	if *batch < 1 {
+		return fmt.Errorf("monitor: -batch must be >= 1, got %d", *batch)
+	}
+	f, err := os.Open(*queryFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	data, err := sdtw.ReadUCR(f, *queryFile)
+	if err != nil {
+		return err
+	}
+	var queries []sdtw.Series
+	for _, field := range strings.Split(*rows, ",") {
+		idx, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			return fmt.Errorf("monitor: bad -rows entry %q: %w", field, err)
+		}
+		if err := checkIndex(data, idx); err != nil {
+			return err
+		}
+		queries = append(queries, data.Series[idx])
+	}
+
+	mopts := []sdtw.MonitorOption{sdtw.WithMonitorWorkers(*workers), sdtw.WithMinGap(*gap)}
+	if *threshold > 0 {
+		mopts = append(mopts, sdtw.WithMatchThreshold(*threshold))
+	}
+	mon, err := sdtw.NewMonitor(queries, sdtw.Options{}, mopts...)
+	if err != nil {
+		return err
+	}
+
+	var src io.Reader = stdin
+	if *stream != "-" {
+		sf, err := os.Open(*stream)
+		if err != nil {
+			return err
+		}
+		defer sf.Close()
+		src = sf
+	}
+
+	ctx := context.Background()
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	sc.Split(bufio.ScanWords)
+	buf := make([]float64, 0, *batch)
+	push := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		matches, err := mon.PushBatch(ctx, buf)
+		if err != nil {
+			return err
+		}
+		printMatches(stdout, matches)
+		buf = buf[:0]
+		return nil
+	}
+	for sc.Scan() {
+		v, err := strconv.ParseFloat(sc.Text(), 64)
+		if err != nil {
+			return fmt.Errorf("monitor: bad stream value %q: %w", sc.Text(), err)
+		}
+		if buf = append(buf, v); len(buf) == *batch {
+			if err := push(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("monitor: reading stream: %w", err)
+	}
+	if err := push(); err != nil {
+		return err
+	}
+	final, err := mon.Flush()
+	if err != nil {
+		return err
+	}
+	if *threshold <= 0 && len(final) > 0 {
+		fmt.Fprintln(stdout, "best matches at end-of-stream:")
+	}
+	printMatches(stdout, final)
+
+	st := mon.Stats()
+	cellsPerPoint := 0.0
+	if st.Points > 0 {
+		cellsPerPoint = float64(st.Cells) / float64(st.Points)
+	}
+	fmt.Fprintf(stdout, "stream done: %d points, %d matches, %.0f DP cells/point, %v in Push\n",
+		st.Points, st.Matches, cellsPerPoint, st.PushTime.Round(time.Microsecond))
+	for _, q := range st.PerQuery {
+		fmt.Fprintf(stdout, "  query %-16s matches=%d cells=%d time=%v\n",
+			label(q.QueryID), q.Matches, q.Cells, q.Time.Round(time.Microsecond))
+	}
+	return nil
+}
+
+// printMatches renders emitted matches one per line, in stream order.
+func printMatches(w io.Writer, matches []sdtw.Match) {
+	for _, m := range matches {
+		fmt.Fprintf(w, "match query=%s [%d,%d] distance=%g\n", label(m.QueryID), m.Start, m.End, m.Distance)
+	}
+}
+
+// label makes empty query IDs visible in output.
+func label(id string) string {
+	if id == "" {
+		return "(unnamed)"
+	}
+	return id
 }
 
 func fatal(err error) {

@@ -6,10 +6,12 @@
 //	sdtwbench -exp all                 # every table and figure, full scale
 //	sdtwbench -exp fig13 -scale small  # one experiment, reduced workload
 //	sdtwbench -exp fig18 -dataset Gun  # restrict figures to one data set
+//	sdtwbench -exp stream -scale small # streaming subsequence monitor throughput
 //	sdtwbench -exp bands               # ASCII rendering of the band shapes
 //
 // Experiments: table1, table2, fig13, fig14, fig15, fig16, fig17, fig18,
-// bands, all. Scales: full (paper sizes), medium, small.
+// noise, invariance, baseline, extras, retrieval, stream, bands, all.
+// Scales: full (paper sizes), medium, small.
 package main
 
 import (
@@ -27,11 +29,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: table1, table2, fig13, fig14, fig15, fig16, fig17, fig18, noise, invariance, baseline, extras, retrieval, bands, all")
-		scale   = flag.String("scale", "full", "workload scale: full, medium, small")
-		dataset = flag.String("dataset", "", "restrict per-dataset figures to one data set (Gun, Trace, 50Words)")
-		seed    = flag.Int64("seed", 42, "workload generator seed")
-		jsonOut = flag.String("json", "BENCH_retrieval.json", "path for the machine-readable retrieval results (empty disables)")
+		exp       = flag.String("exp", "all", "experiment to run: table1, table2, fig13, fig14, fig15, fig16, fig17, fig18, noise, invariance, baseline, extras, retrieval, stream, bands, all")
+		scale     = flag.String("scale", "full", "workload scale: full, medium, small")
+		dataset   = flag.String("dataset", "", "restrict per-dataset figures to one data set (Gun, Trace, 50Words)")
+		seed      = flag.Int64("seed", 42, "workload generator seed")
+		jsonOut   = flag.String("json", "BENCH_retrieval.json", "path for the machine-readable retrieval results (empty disables)")
+		streamOut = flag.String("streamjson", "BENCH_stream.json", "path for the machine-readable streaming-monitor results (empty disables)")
 	)
 	flag.Parse()
 
@@ -213,6 +216,28 @@ func main() {
 			fmt.Printf("machine-readable results written to %s\n\n", *jsonOut)
 		}
 	}
+	if want("stream") {
+		ran = true
+		var entries []streamEntry
+		for _, name := range names {
+			name := name
+			run("Streaming subsequence monitor (SPRING) on "+name, func() error {
+				out, rows, err := runStream(name, sc, *seed)
+				if err != nil {
+					return err
+				}
+				entries = append(entries, rows...)
+				fmt.Print(out)
+				return nil
+			})
+		}
+		if *streamOut != "" {
+			if err := writeStreamJSON(*streamOut, entries); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("machine-readable results written to %s\n\n", *streamOut)
+		}
+	}
 	if want("bands") {
 		ran = true
 		run("Band shapes (Fig 2/10)", func() error {
@@ -317,6 +342,177 @@ func runRetrieval(name string, sc experiments.Scale, seed int64) (string, []retr
 			WallMS:       float64(stats.WallTime.Microseconds()) / 1000,
 		})
 	}
+	return sb.String(), entries, nil
+}
+
+// streamEntry is one row of the machine-readable streaming results: per
+// dataset and monitor mode, the stream throughput, the DP work per point
+// and the match emission latency — the numbers CI tracks across PRs.
+type streamEntry struct {
+	Dataset       string  `json:"dataset"`
+	Mode          string  `json:"mode"`
+	Queries       int     `json:"queries"`
+	QueryLen      int     `json:"query_len"`
+	Points        int     `json:"points"`
+	Matches       int64   `json:"matches"`
+	WallMS        float64 `json:"wall_ms"`
+	PointsPerSec  float64 `json:"points_per_sec"`
+	CellsPerPoint float64 `json:"cells_per_point"`
+	// AvgLatencyPoints is the mean number of stream points between a
+	// match's end and the point whose arrival confirmed it (SPRING's
+	// report delay); -1 when the mode emits only at Flush.
+	AvgLatencyPoints float64 `json:"avg_match_latency_points"`
+}
+
+// writeStreamJSON persists the streaming entries for machines (CI trend
+// lines) next to the human-readable table on stdout.
+func writeStreamJSON(path string, entries []streamEntry) error {
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding stream results: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing stream results: %w", err)
+	}
+	return nil
+}
+
+// streamPoints is the stream length per workload scale.
+func streamPoints(sc experiments.Scale) int {
+	switch sc {
+	case experiments.Small:
+		return 10_000
+	case experiments.Medium:
+		return 50_000
+	default:
+		return 200_000
+	}
+}
+
+// runStream exercises the streaming Monitor on one workload: a stream
+// concatenated from the data set's series, watched (a) for one query in
+// best-only mode pushed point-by-point, (b) for one query with a
+// calibrated emission threshold (match latency is measurable there), and
+// (c) for four queries fanned out across the worker pool in one batch.
+func runStream(name string, sc experiments.Scale, seed int64) (string, []streamEntry, error) {
+	d, err := experiments.LoadDataset(name, sc, seed)
+	if err != nil {
+		return "", nil, err
+	}
+	points := streamPoints(sc)
+	query := d.Series[0]
+	stream := make([]float64, 0, points)
+	for i := 1; len(stream) < points; i = i%(d.Len()-1) + 1 {
+		stream = append(stream, d.Series[i].Values...)
+	}
+	stream = stream[:points]
+	ctx := context.Background()
+
+	var sb strings.Builder
+	var entries []streamEntry
+	fmt.Fprintf(&sb, "%s: %d-point stream, query length %d\n", d.Name, points, query.Len())
+	fmt.Fprintf(&sb, "%-12s %8s %9s %8s %13s %12s %9s %12s\n",
+		"mode", "queries", "points", "matches", "points/sec", "cells/point", "latency", "wall")
+
+	record := func(mode string, queries int, matches int64, wall time.Duration, st sdtw.MonitorStats, latency float64) {
+		e := streamEntry{
+			Dataset:          d.Name,
+			Mode:             mode,
+			Queries:          queries,
+			QueryLen:         query.Len(),
+			Points:           points,
+			Matches:          matches,
+			WallMS:           float64(wall.Microseconds()) / 1000,
+			PointsPerSec:     float64(points) / wall.Seconds(),
+			CellsPerPoint:    float64(st.Cells) / float64(st.Points),
+			AvgLatencyPoints: latency,
+		}
+		entries = append(entries, e)
+		lat := "-"
+		if latency >= 0 {
+			lat = fmt.Sprintf("%.1f", latency)
+		}
+		fmt.Fprintf(&sb, "%-12s %8d %9d %8d %13.0f %12.1f %9s %12v\n",
+			mode, queries, points, matches, e.PointsPerSec, e.CellsPerPoint, lat, wall.Round(time.Millisecond))
+	}
+
+	// (a) Best-only, point-by-point: the pure per-point hot path.
+	mon, err := sdtw.NewMonitor([]sdtw.Series{query}, sdtw.Options{})
+	if err != nil {
+		return "", nil, err
+	}
+	start := time.Now()
+	for _, v := range stream {
+		if _, err := mon.Push(ctx, v); err != nil {
+			return "", nil, err
+		}
+	}
+	best, err := mon.Flush()
+	if err != nil {
+		return "", nil, err
+	}
+	record("best-only", 1, int64(len(best)), time.Since(start), mon.Stats(), -1)
+	if len(best) != 1 {
+		return "", nil, fmt.Errorf("best-only monitor on %s reported %d matches, want 1", d.Name, len(best))
+	}
+
+	// (b) Thresholded emission at 2x the best distance, point-by-point so
+	// the report delay is measured exactly.
+	mon, err = sdtw.NewMonitor([]sdtw.Series{query}, sdtw.Options{},
+		sdtw.WithMatchThreshold(2*best[0].Distance), sdtw.WithMinGap(query.Len()/2))
+	if err != nil {
+		return "", nil, err
+	}
+	var matches int64
+	var latencySum float64
+	start = time.Now()
+	for t, v := range stream {
+		out, err := mon.Push(ctx, v)
+		if err != nil {
+			return "", nil, err
+		}
+		for _, m := range out {
+			matches++
+			latencySum += float64(t - m.End)
+		}
+	}
+	final, err := mon.Flush()
+	if err != nil {
+		return "", nil, err
+	}
+	matches += int64(len(final)) // end-of-stream confirmations have no delay
+	latency := -1.0
+	if matches > 0 {
+		latency = latencySum / float64(matches)
+	}
+	record("threshold", 1, matches, time.Since(start), mon.Stats(), latency)
+
+	// (c) Multi-query fan-out, batched.
+	nq := 4
+	if nq > d.Len() {
+		nq = d.Len()
+	}
+	mon, err = sdtw.NewMonitor(d.Series[:nq], sdtw.Options{})
+	if err != nil {
+		return "", nil, err
+	}
+	start = time.Now()
+	const batch = 4096
+	for off := 0; off < len(stream); off += batch {
+		end := off + batch
+		if end > len(stream) {
+			end = len(stream)
+		}
+		if _, err := mon.PushBatch(ctx, stream[off:end]); err != nil {
+			return "", nil, err
+		}
+	}
+	multi, err := mon.Flush()
+	if err != nil {
+		return "", nil, err
+	}
+	record("multi-query", nq, int64(len(multi)), time.Since(start), mon.Stats(), -1)
+
 	return sb.String(), entries, nil
 }
 

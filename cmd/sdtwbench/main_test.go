@@ -36,6 +36,83 @@ func TestRunRetrieval(t *testing.T) {
 	}
 }
 
+func TestRunStream(t *testing.T) {
+	out, entries, err := runStream("Gun", experiments.Small, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"best-only", "threshold", "multi-query", "points/sec", "cells/point"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stream report missing %q:\n%s", want, out)
+		}
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d machine-readable entries, want one per mode", len(entries))
+	}
+	for _, e := range entries {
+		if e.Dataset != "Gun" || e.Mode == "" || e.Points != streamPoints(experiments.Small) {
+			t.Fatalf("malformed entry: %+v", e)
+		}
+		if e.PointsPerSec <= 0 || e.CellsPerPoint < float64(e.QueryLen) {
+			t.Fatalf("implausible throughput accounting: %+v", e)
+		}
+	}
+	// The thresholded mode must actually emit matches (the threshold is
+	// calibrated off the best distance) and report a finite latency.
+	var thresholded *streamEntry
+	for i := range entries {
+		if entries[i].Mode == "threshold" {
+			thresholded = &entries[i]
+		}
+	}
+	if thresholded == nil || thresholded.Matches == 0 || thresholded.AvgLatencyPoints < 0 {
+		t.Fatalf("thresholded mode emitted nothing measurable: %+v", thresholded)
+	}
+	if _, _, err := runStream("bogus", experiments.Small, 42); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+// TestRunStreamFullScale runs the long streaming experiment (200k points
+// per dataset); like the retrieval reproduction suite it is skipped
+// under -short.
+func TestRunStreamFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale stream experiment skipped in -short mode")
+	}
+	for _, name := range []string{"Gun", "Trace"} {
+		_, entries, err := runStream(name, experiments.Full, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.Points != streamPoints(experiments.Full) || e.PointsPerSec <= 0 {
+				t.Fatalf("%s: malformed full-scale entry: %+v", name, e)
+			}
+		}
+	}
+}
+
+func TestWriteStreamJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_stream.json")
+	entries := []streamEntry{{Dataset: "Gun", Mode: "threshold", Queries: 1, QueryLen: 150,
+		Points: 10000, Matches: 3, WallMS: 12.5, PointsPerSec: 8e5, CellsPerPoint: 150, AvgLatencyPoints: 40}}
+	if err := writeStreamJSON(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []streamEntry
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != entries[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
 func TestWriteRetrievalJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_retrieval.json")
 	entries := []retrievalEntry{{Dataset: "Trace", Algorithm: "ac,aw", Candidates: 10, Evaluated: 4, AbandonedDTW: 2}}

@@ -1,11 +1,15 @@
 package sdtw
 
-import "sdtw/internal/retrieve"
+import (
+	"errors"
+
+	"sdtw/internal/retrieve"
+)
 
 // Sentinel errors of the query surface. Every validation failure across
-// NewIndex, NewWindowedIndex, Search, Add, Remove, Cluster and the
-// one-shot helpers wraps one of these, so callers branch with errors.Is
-// instead of matching message strings:
+// NewIndex, NewWindowedIndex, Search, NewMonitor, Push, Add, Remove,
+// Cluster and the one-shot helpers wraps one of these, so callers branch
+// with errors.Is instead of matching message strings:
 //
 //	if _, _, err := ix.Search(ctx, q, sdtw.WithK(k)); errors.Is(err, sdtw.ErrBadK) { ... }
 var (
@@ -27,4 +31,8 @@ var (
 	ErrDuplicateID = retrieve.ErrDuplicateID
 	// ErrUnknownID reports a Remove of an ID not in the collection.
 	ErrUnknownID = retrieve.ErrUnknownID
+	// ErrMonitorClosed reports a Push, PushBatch or Flush on a Monitor
+	// that was already flushed — or whose state was abandoned after a
+	// mid-batch cancellation.
+	ErrMonitorClosed = errors.New("monitor closed")
 )

@@ -61,6 +61,33 @@ func ExampleSubsequence() {
 	// Output: match [3,5] distance 0.0
 }
 
+// A Monitor watches an unbounded stream for a pattern with O(|pattern|)
+// state and O(|pattern|) work per point, reporting each non-overlapping
+// occurrence as soon as it is provably final.
+func ExampleMonitor() {
+	pattern := sdtw.NewSeries("pulse", 0, []float64{0, 2, 0})
+	mon, err := sdtw.NewMonitor([]sdtw.Series{pattern}, sdtw.Options{}, sdtw.WithMatchThreshold(0.5))
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+	for _, v := range []float64{5, 5, 0, 2, 0, 5, 5, 0, 2, 0, 5} {
+		matches, err := mon.Push(ctx, v)
+		if err != nil {
+			panic(err)
+		}
+		for _, m := range matches {
+			fmt.Printf("%s at [%d,%d] distance %.1f\n", m.QueryID, m.Start, m.End, m.Distance)
+		}
+	}
+	if _, err := mon.Flush(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// pulse at [2,4] distance 0.0
+	// pulse at [7,9] distance 0.0
+}
+
 // PAA reduces a series by window averaging, the coarsening step of the
 // multi-resolution DTW family.
 func ExamplePAA() {

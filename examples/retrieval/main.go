@@ -7,7 +7,7 @@
 // candidates ordered by the cheap LB_Kim bound are discarded against the
 // best-so-far k-th distance — first by LB_Kim, then by envelope LB_Keogh
 // — and only the survivors reach the sDTW pipeline, fanned out across a
-// worker pool. The QueryStats record reports how far each candidate got.
+// worker pool. The SearchStats record reports how far each candidate got.
 //
 // Run with:
 //

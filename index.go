@@ -49,17 +49,6 @@ type Neighbor = retrieve.Neighbor
 // accounting, and per-stage timings. It is shared by both backends.
 type SearchStats = retrieve.Stats
 
-// QueryStats is the pre-unification name of SearchStats.
-//
-// Deprecated: use SearchStats.
-type QueryStats = SearchStats
-
-// BoundStats is the pre-unification name of the windowed index's stats;
-// both backends now report the unified SearchStats.
-//
-// Deprecated: use SearchStats.
-type BoundStats = SearchStats
-
 // NewIndex builds an index over data using the sDTW engine configured by
 // opts. Every series must be non-empty; series IDs must be unique when
 // non-empty (they key the feature cache and Remove). Construction
@@ -362,48 +351,3 @@ func vote(nbLabels []int) []int {
 	sort.Ints(labels)
 	return labels
 }
-
-// TopK returns the k indexed series nearest to the query, ascending.
-//
-// Deprecated: use Search(ctx, query, WithK(k)).
-func (ix *Index) TopK(query Series, k int) ([]Neighbor, error) {
-	nbrs, _, err := ix.Search(context.Background(), query, WithK(k))
-	return nbrs, err
-}
-
-// TopKStats is TopK with the cascade's work accounting.
-//
-// Deprecated: use Search(ctx, query, WithK(k)).
-func (ix *Index) TopKStats(query Series, k int) ([]Neighbor, QueryStats, error) {
-	return ix.Search(context.Background(), query, WithK(k))
-}
-
-// TopKBatch answers one top-k query per entry of queries.
-//
-// Deprecated: use SearchBatch(ctx, queries, WithK(k)).
-func (ix *Index) TopKBatch(queries []Series, k int) ([][]Neighbor, QueryStats, error) {
-	return ix.SearchBatch(context.Background(), queries, WithK(k))
-}
-
-// Classify attaches class labels to the query by k-nearest-neighbour
-// majority vote.
-//
-// Deprecated: use Labels(ctx, query, WithK(k)).
-func (ix *Index) Classify(query Series, k int) ([]int, error) {
-	return ix.Labels(context.Background(), query, WithK(k))
-}
-
-// ClassifyAll classifies every indexed series against the rest of the
-// collection, leave-one-out.
-//
-// Deprecated: use LabelsAll(ctx, WithK(k)).
-func (ix *Index) ClassifyAll(k int) ([][]int, QueryStats, error) {
-	return ix.LabelsAll(context.Background(), WithK(k))
-}
-
-// SetEarlyAbandon toggles the index-wide default for early-abandoning
-// DTW. Abandonment never changes results, only the grid work spent
-// refuting hopeless candidates.
-//
-// Deprecated: use the per-search WithoutAbandon option.
-func (ix *Index) SetEarlyAbandon(on bool) { ix.core.SetAbandon(on) }

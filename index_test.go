@@ -142,95 +142,6 @@ func TestIndexLabels(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappers pins the one-release compatibility surface: the
-// deprecated TopK/TopKStats/TopKBatch/Classify/ClassifyAll/SetEarlyAbandon
-// wrappers must answer exactly like the Search calls they forward to.
-func TestDeprecatedWrappers(t *testing.T) {
-	idx, d := buildIndex(t)
-	ctx := context.Background()
-	const k = 3
-	q := d.Series[1]
-
-	want, _, err := idx.Search(ctx, q, WithK(k))
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, err := idx.TopK(q, k)
-	if err != nil {
-		t.Fatal(err)
-	}
-	gotStats, stats, err := idx.TopKStats(q, k)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if stats.Candidates == 0 {
-		t.Fatalf("TopKStats lost accounting: %v", stats)
-	}
-	for i := range want {
-		if got[i] != want[i] || gotStats[i] != want[i] {
-			t.Fatalf("rank %d: TopK %+v TopKStats %+v, Search %+v", i, got[i], gotStats[i], want[i])
-		}
-	}
-
-	wantBatch, _, err := idx.SearchBatch(ctx, d.Series[:4], WithK(k))
-	if err != nil {
-		t.Fatal(err)
-	}
-	gotBatch, _, err := idx.TopKBatch(d.Series[:4], k)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range wantBatch {
-		for j := range wantBatch[i] {
-			if gotBatch[i][j] != wantBatch[i][j] {
-				t.Fatalf("batch %d rank %d: %+v vs %+v", i, j, gotBatch[i][j], wantBatch[i][j])
-			}
-		}
-	}
-
-	wantLabels, err := idx.Labels(ctx, q, WithK(k))
-	if err != nil {
-		t.Fatal(err)
-	}
-	gotLabels, err := idx.Classify(q, k)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(gotLabels) != len(wantLabels) {
-		t.Fatalf("Classify %v vs Labels %v", gotLabels, wantLabels)
-	}
-	wantAll, _, err := idx.LabelsAll(ctx, WithK(k))
-	if err != nil {
-		t.Fatal(err)
-	}
-	gotAll, _, err := idx.ClassifyAll(k)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range wantAll {
-		if len(gotAll[i]) != len(wantAll[i]) {
-			t.Fatalf("series %d: ClassifyAll %v vs LabelsAll %v", i, gotAll[i], wantAll[i])
-		}
-	}
-
-	// SetEarlyAbandon(false) must behave like WithoutAbandon on every
-	// search: no abandonment reported, identical neighbours.
-	idx.SetEarlyAbandon(false)
-	offNbrs, offStats, err := idx.Search(ctx, q, WithK(k))
-	if err != nil {
-		t.Fatal(err)
-	}
-	idx.SetEarlyAbandon(true)
-	if offStats.AbandonedDTW != 0 {
-		t.Fatalf("SetEarlyAbandon(false) still abandoned: %v", offStats)
-	}
-	for i := range want {
-		if offNbrs[i] != want[i] {
-			t.Fatalf("rank %d: abandonment-off %+v vs on %+v", i, offNbrs[i], want[i])
-		}
-	}
-}
-
 func TestUCRRoundTripThroughPublicAPI(t *testing.T) {
 	d := GunDataset(DatasetConfig{Seed: 8, SeriesPerClass: 2})
 	var buf bytes.Buffer

@@ -363,6 +363,22 @@ func (e *Engine) distance(ctx context.Context, x, y series.Series, budget float6
 	return res, nil
 }
 
+// Subsequence finds the contiguous region of stream whose DTW distance
+// to query is minimal (open-begin, open-end alignment), using the
+// engine's configured point distance and its pooled DP workspaces so
+// repeated calls allocate nothing in steady state. The subsequence DP
+// runs the full O(|query|·|stream|) recurrence — the locally relevant
+// constraint band does not apply to open-begin alignments.
+func (e *Engine) Subsequence(query, stream []float64) (dtw.SubsequenceMatch, error) {
+	ws := e.scratch.Get().(*workspace)
+	defer e.scratch.Put(ws)
+	m, err := dtw.SubsequenceWS(query, stream, e.opts.PointDistance, &ws.dp)
+	if err != nil {
+		return m, fmt.Errorf("core: subsequence: %w", err)
+	}
+	return m, nil
+}
+
 // Align exposes the feature alignment between x and y (the matched pairs
 // and interval partition) without running the dynamic program, for
 // visualisation and diagnostics.

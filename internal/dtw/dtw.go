@@ -66,7 +66,7 @@ func (p Path) Cost(x, y []float64, dist series.PointDistance) float64 {
 // squared point distance.
 func Distance(x, y []float64, dist series.PointDistance) (float64, error) {
 	if len(x) == 0 || len(y) == 0 {
-		return 0, fmt.Errorf("dtw: empty input (len(x)=%d len(y)=%d)", len(x), len(y))
+		return 0, fmt.Errorf("dtw: empty input (len(x)=%d len(y)=%d): %w", len(x), len(y), series.ErrEmptySeries)
 	}
 	if dist == nil {
 		dist = series.SquaredDistance
@@ -107,16 +107,18 @@ type PathResult struct {
 // warp path by backtracking over the full grid (O(NM) memory).
 func DistanceWithPath(x, y []float64, dist series.PointDistance) (PathResult, error) {
 	if len(x) == 0 || len(y) == 0 {
-		return PathResult{}, fmt.Errorf("dtw: empty input (len(x)=%d len(y)=%d)", len(x), len(y))
+		return PathResult{}, fmt.Errorf("dtw: empty input (len(x)=%d len(y)=%d): %w", len(x), len(y), series.ErrEmptySeries)
 	}
 	return BandedWithPath(x, y, FullBand(len(x), len(y)), dist)
 }
 
-// Workspace holds reusable row buffers for repeated banded computations,
-// letting hot loops avoid per-call allocation. The zero value is ready to
-// use; a Workspace must not be shared between concurrent computations.
+// Workspace holds reusable row buffers for repeated banded and
+// subsequence computations, letting hot loops avoid per-call allocation.
+// The zero value is ready to use; a Workspace must not be shared between
+// concurrent computations.
 type Workspace struct {
-	prev, curr []float64
+	prev, curr           []float64
+	prevStart, currStart []int
 }
 
 func (w *Workspace) rows(width int) (prev, curr []float64) {
@@ -125,6 +127,16 @@ func (w *Workspace) rows(width int) (prev, curr []float64) {
 		w.curr = make([]float64, width)
 	}
 	return w.prev[:width], w.curr[:width]
+}
+
+// startRows returns the start-pointer companions to rows, used by the
+// subsequence DP to recover where each path entered row 0.
+func (w *Workspace) startRows(width int) (prev, curr []int) {
+	if cap(w.prevStart) < width {
+		w.prevStart = make([]int, width)
+		w.currStart = make([]int, width)
+	}
+	return w.prevStart[:width], w.currStart[:width]
 }
 
 // Banded computes the DTW distance constrained to band using rolling rows.
@@ -333,13 +345,13 @@ func BandedWithPath(x, y []float64, b Band, dist series.PointDistance) (PathResu
 
 func checkInputs(x, y []float64, b Band) error {
 	if len(x) == 0 || len(y) == 0 {
-		return fmt.Errorf("dtw: empty input (len(x)=%d len(y)=%d)", len(x), len(y))
+		return fmt.Errorf("dtw: empty input (len(x)=%d len(y)=%d): %w", len(x), len(y), series.ErrEmptySeries)
 	}
 	if len(b.Lo) != len(x) {
-		return fmt.Errorf("dtw: band has %d rows, series has %d points", len(b.Lo), len(x))
+		return fmt.Errorf("dtw: band has %d rows, series has %d points: %w", len(b.Lo), len(x), series.ErrLengthMismatch)
 	}
 	if b.M != len(y) {
-		return fmt.Errorf("dtw: band constrains %d columns, series has %d points", b.M, len(y))
+		return fmt.Errorf("dtw: band constrains %d columns, series has %d points: %w", b.M, len(y), series.ErrLengthMismatch)
 	}
 	return b.Validate()
 }

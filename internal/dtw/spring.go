@@ -1,0 +1,219 @@
+package dtw
+
+import (
+	"fmt"
+	"math"
+
+	"sdtw/internal/series"
+)
+
+// Spring is the incremental, streaming formulation of the open-begin /
+// open-end subsequence DTW that Subsequence computes offline — the SPRING
+// algorithm of Sakurai, Faloutsos and Yamamuro (ICDE 2007), adapted to
+// this package's conventions. It holds O(|q|) state per query (one DP
+// column plus its star-padding start pointers), consumes one stream point
+// per Append in O(|q|) time, and never looks at past stream values again:
+// the stream may be unbounded.
+//
+// Two reporting modes coexist:
+//
+//   - the running global best (Best), which — as long as no thresholded
+//     match has been emitted — after t points is bit-identical to
+//     Subsequence(q, stream[:t]): same Start, End and Distance, same
+//     tie-breaking, because both run the very same recurrence with the
+//     same comparison order;
+//   - thresholded emission (Append's return), the SPRING semantics: once a
+//     region's distance drops to Threshold or below, the match is reported
+//     as soon as no still-open warp path could improve or overlap it, and
+//     overlapping state is invalidated so reported matches never overlap.
+//     MinGap additionally keeps the next match's start at least MinGap+1
+//     points past the previous match's end.
+//
+// A Spring is not safe for concurrent use.
+type Spring struct {
+	q         []float64
+	dist      series.PointDistance
+	threshold float64
+	minGap    int
+
+	// d[i] is the cost of the cheapest warp path consuming q[0..i] and
+	// ending at the newest stream point; s[i] is the stream position where
+	// that path entered row 0 (the "star padding" start pointer).
+	d []float64
+	s []int
+	t int // stream points consumed so far
+
+	best    SubsequenceMatch
+	hasBest bool
+
+	// Captured-but-unconfirmed thresholded match (SPRING's d_min, t_s, t_e).
+	dmin   float64
+	ts, te int
+	// nextStart is the earliest stream position a path may begin at after
+	// an emitted match (non-overlap plus the MinGap separation).
+	nextStart int
+
+	cells int64
+}
+
+// SpringConfig parameterises a Spring.
+type SpringConfig struct {
+	// Dist is the element cost; nil means squared difference. Emission
+	// and the lower-bound reasoning assume a non-negative cost.
+	Dist series.PointDistance
+	// Threshold enables SPRING match emission: a region whose subsequence
+	// DTW distance is <= Threshold is reported once confirmed. +Inf (or
+	// NaN) disables emission; Best still tracks the global optimum.
+	Threshold float64
+	// MinGap is the minimum number of stream points between an emitted
+	// match's end and the next match's start.
+	MinGap int
+}
+
+// NewSpring builds the streaming state for one query.
+func NewSpring(q []float64, cfg SpringConfig) (*Spring, error) {
+	if len(q) == 0 {
+		return nil, fmt.Errorf("dtw: empty query: %w", series.ErrEmptySeries)
+	}
+	if cfg.MinGap < 0 {
+		return nil, fmt.Errorf("dtw: negative match gap %d", cfg.MinGap)
+	}
+	dist := cfg.Dist
+	if dist == nil {
+		dist = series.SquaredDistance
+	}
+	threshold := cfg.Threshold
+	if math.IsNaN(threshold) {
+		threshold = math.Inf(1)
+	}
+	sp := &Spring{
+		q:         q,
+		dist:      dist,
+		threshold: threshold,
+		minGap:    cfg.MinGap,
+		d:         make([]float64, len(q)),
+		s:         make([]int, len(q)),
+		best:      SubsequenceMatch{Distance: math.Inf(1)},
+		dmin:      math.Inf(1),
+	}
+	for i := range sp.d {
+		sp.d[i] = math.Inf(1)
+	}
+	return sp, nil
+}
+
+// Append consumes the next stream point, advancing every DP cell once
+// (O(|q|) work, no allocation). In thresholded mode it returns a match
+// and true when the SPRING report condition confirms one; matches are
+// emitted in stream order and never overlap.
+func (sp *Spring) Append(v float64) (SubsequenceMatch, bool) {
+	n := len(sp.q)
+	d, s, dist := sp.d, sp.s, sp.dist
+	t := sp.t
+	inf := math.Inf(1)
+
+	// Row 0: the path may begin at the current point for free — unless the
+	// point falls inside the non-overlap / MinGap window of an emitted
+	// match, in which case no new path may start here.
+	diagD, diagS := d[0], s[0]
+	if t < sp.nextStart {
+		d[0], s[0] = inf, t
+	} else {
+		d[0], s[0] = dist(sp.q[0], v), t
+	}
+	// Rows 1..n-1 mirror the offline DP cell for cell. The comparison
+	// order (vertical, then diagonal, then horizontal, each on strict <)
+	// matches Subsequence exactly, so values AND start-pointer tie-breaks
+	// are bit-identical to the offline grid.
+	for i := 1; i < n; i++ {
+		best, from := d[i-1], s[i-1] // vertical: advance q only (this column)
+		if diagD < best {            // diagonal (previous column)
+			best, from = diagD, diagS
+		}
+		if d[i] < best { // horizontal: advance stream only (previous column)
+			best, from = d[i], s[i]
+		}
+		diagD, diagS = d[i], s[i]
+		if math.IsInf(best, 1) {
+			d[i], s[i] = inf, t
+			continue
+		}
+		d[i], s[i] = best+dist(sp.q[i], v), from
+	}
+	sp.cells += int64(n)
+	sp.t = t + 1
+
+	// Global best, the offline-equivalent answer: strict < keeps the
+	// earliest end on ties, exactly like Subsequence's final argmin scan.
+	if d[n-1] < sp.best.Distance {
+		sp.best = SubsequenceMatch{Start: s[n-1], End: t, Distance: d[n-1]}
+		sp.hasBest = true
+	}
+
+	if math.IsInf(sp.threshold, 1) {
+		return SubsequenceMatch{}, false
+	}
+
+	// SPRING report condition: the captured optimum is final once every
+	// still-open path either cannot beat it or starts after its end.
+	var out SubsequenceMatch
+	emitted := false
+	if !math.IsInf(sp.dmin, 1) {
+		report := true
+		for i := 0; i < n; i++ {
+			if d[i] < sp.dmin && s[i] <= sp.te {
+				report = false
+				break
+			}
+		}
+		if report {
+			out = SubsequenceMatch{Start: sp.ts, End: sp.te, Distance: sp.dmin}
+			emitted = true
+			sp.emitReset()
+		}
+	}
+	// Capture (or improve) the pending match from the current column.
+	if last := d[n-1]; last <= sp.threshold && last < sp.dmin {
+		sp.dmin, sp.ts, sp.te = last, s[n-1], t
+	}
+	return out, emitted
+}
+
+// emitReset clears the captured match and invalidates every open path
+// that overlaps it (or starts inside the MinGap window), enforcing
+// non-overlapping emission.
+func (sp *Spring) emitReset() {
+	sp.nextStart = sp.te + 1 + sp.minGap
+	sp.dmin = math.Inf(1)
+	inf := math.Inf(1)
+	for i, start := range sp.s {
+		if start < sp.nextStart {
+			sp.d[i] = inf
+		}
+	}
+}
+
+// Flush confirms the pending thresholded match, if any — at end-of-stream
+// nothing can improve or extend it. It returns false in best-only mode or
+// when no region ever dropped to the threshold since the last emission.
+func (sp *Spring) Flush() (SubsequenceMatch, bool) {
+	if math.IsInf(sp.dmin, 1) {
+		return SubsequenceMatch{}, false
+	}
+	out := SubsequenceMatch{Start: sp.ts, End: sp.te, Distance: sp.dmin}
+	sp.emitReset()
+	return out, true
+}
+
+// Best returns the global best match over everything consumed so far,
+// and false if no point has been consumed. With emission disabled
+// (Threshold = +Inf) it is bit-identical to the offline Subsequence over
+// the same points; with emission enabled, invalidation after each report
+// restricts the optimum to paths that do not overlap emitted matches.
+func (sp *Spring) Best() (SubsequenceMatch, bool) { return sp.best, sp.hasBest }
+
+// Points returns the number of stream points consumed.
+func (sp *Spring) Points() int { return sp.t }
+
+// Cells returns the total DP cells filled (|q| per Append).
+func (sp *Spring) Cells() int64 { return sp.cells }

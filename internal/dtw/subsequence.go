@@ -25,20 +25,29 @@ type SubsequenceMatch struct {
 //
 // The dynamic program runs in O(|q|·|s|) time and O(|s|) space, tracking
 // for every cell the position on s where its path entered row 0 so the
-// match's start point is recovered without storing the full grid.
+// match's start point is recovered without storing the full grid. For the
+// incremental, point-at-a-time formulation of the same recurrence see
+// Spring.
 func Subsequence(q, s []float64, dist series.PointDistance) (SubsequenceMatch, error) {
+	return SubsequenceWS(q, s, dist, nil)
+}
+
+// SubsequenceWS is Subsequence with an optional caller-provided workspace
+// for allocation-free repeated computation.
+func SubsequenceWS(q, s []float64, dist series.PointDistance, ws *Workspace) (SubsequenceMatch, error) {
 	if len(q) == 0 || len(s) == 0 {
-		return SubsequenceMatch{}, fmt.Errorf("dtw: empty input (len(q)=%d len(s)=%d)", len(q), len(s))
+		return SubsequenceMatch{}, fmt.Errorf("dtw: empty input (len(q)=%d len(s)=%d): %w", len(q), len(s), series.ErrEmptySeries)
 	}
 	if dist == nil {
 		dist = series.SquaredDistance
 	}
 	n, m := len(q), len(s)
 	inf := math.Inf(1)
-	prev := make([]float64, m)
-	curr := make([]float64, m)
-	prevStart := make([]int, m)
-	currStart := make([]int, m)
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	prev, curr := ws.rows(m)
+	prevStart, currStart := ws.startRows(m)
 
 	// Row 0: the path may begin at any column of s for free.
 	for j := 0; j < m; j++ {

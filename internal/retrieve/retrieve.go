@@ -261,13 +261,6 @@ func (c *Core) Snapshot(capture func()) ([]series.Series, []lower.Envelope) {
 	return data, envs
 }
 
-// SetAbandon toggles the default for threshold-aware early abandonment
-// (per-search Params.NoAbandon still wins). It is a no-op when the
-// backend's cost assumptions make abandonment inadmissible.
-func (c *Core) SetAbandon(on bool) {
-	c.abandon.Store(on && c.backend.Abandonable())
-}
-
 // candidate is one cascade work item: a collection position and its
 // LB_Kim bound.
 type candidate struct {

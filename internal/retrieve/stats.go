@@ -9,9 +9,8 @@ import (
 // and, more importantly, avoided: how far each candidate got through the
 // lower-bound cascade, how many DTW grid cells were filled, and where the
 // time went. It is the superset of the per-backend stats the pre-unified
-// indexes reported (QueryStats and BoundStats) and is shared by both
-// backends, so dashboards compare sDTW and windowed retrieval on the same
-// axes.
+// indexes reported and is shared by both backends, so dashboards compare
+// sDTW and windowed retrieval on the same axes.
 type Stats struct {
 	// Candidates is the collection size examined (after self-exclusion).
 	Candidates int

@@ -8,7 +8,6 @@
 package series
 
 import (
-	"errors"
 	"fmt"
 	"math"
 )
@@ -51,7 +50,7 @@ func (s Series) String() string {
 // ingestion points should validate first.
 func (s Series) Validate() error {
 	if len(s.Values) == 0 {
-		return errors.New("series: empty series")
+		return fmt.Errorf("series: %w", ErrEmptySeries)
 	}
 	for i, v := range s.Values {
 		if math.IsNaN(v) {

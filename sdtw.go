@@ -4,16 +4,23 @@
 // Distances using Locally Relevant Constraints based on Salient Feature
 // Alignments", VLDB 2012.
 //
-// The package offers three levels of API:
+// The package offers four levels of API:
 //
-//   - one-shot helpers (DTW, DTWPath, Distance) for ad-hoc comparisons;
+//   - one-shot helpers (DTW, DTWPath, Distance, Subsequence) for ad-hoc
+//     comparisons;
 //   - Engine for repeated comparisons with feature caching and full
 //     per-stage accounting;
 //   - Index for retrieval and k-nearest-neighbour classification over a
 //     mutable collection of series, with pluggable distance backends:
 //     NewIndex serves the sDTW banded distance, NewWindowedIndex serves
 //     exact (optionally Sakoe-Chiba-windowed) DTW, and both answer
-//     through the same Search(ctx, query, ...SearchOption) surface.
+//     through the same Search(ctx, query, ...SearchOption) surface;
+//   - Monitor for streaming subsequence matching: NewMonitor watches an
+//     unbounded stream for occurrences of a set of query patterns via
+//     SPRING-style incremental subsequence DTW — O(|query|) state and
+//     O(|query|) work per pushed point — answering through
+//     Push(ctx, value) / PushBatch / Flush with MonitorOptions
+//     mirroring the Search idiom.
 //
 // Index searches run a shared lower-bound cascade (Keogh's exact-indexing
 // pipeline, the paper's reference [7]): candidates are ordered by the
@@ -38,8 +45,10 @@
 package sdtw
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
 
 	"sdtw/internal/band"
 	"sdtw/internal/core"
@@ -238,6 +247,15 @@ func (e *Engine) Features(s Series) ([]Feature, error) {
 	return e.inner.Features(s)
 }
 
+// Subsequence finds the contiguous region of stream whose DTW distance to
+// query is minimal (open-begin, open-end alignment) under the engine's
+// point distance, reusing the engine's pooled DP workspaces so repeated
+// calls allocate nothing in steady state. For push-based matching over an
+// unbounded stream use a Monitor instead.
+func (e *Engine) Subsequence(query, stream []float64) (SubsequenceMatch, error) {
+	return e.inner.Subsequence(query, stream)
+}
+
 // Alignment reports the matched salient feature pairs and the
 // corresponding scope boundaries between x and y.
 type Alignment struct {
@@ -309,10 +327,37 @@ type SubsequenceMatch = dtw.SubsequenceMatch
 
 // Subsequence finds the contiguous region of stream whose DTW distance to
 // query is minimal (open-begin, open-end alignment): the query must be
-// fully consumed, the stream may be entered and left anywhere. Runs in
-// O(|query|·|stream|) time and O(|stream|) space.
+// fully consumed, the stream may be entered and left anywhere. It is a
+// thin wrapper over the streaming Monitor — the whole stream is pushed in
+// one batch and the monitor's best-only Flush is the answer, bit-identical
+// to the classical offline O(|query|·|stream|) dynamic program.
+//
+// Deprecated: use Monitor, which serves the same one-shot result through
+// Flush and additionally handles unbounded streams, multiple queries,
+// thresholded non-overlapping match emission, and cancellation.
 func Subsequence(query, stream []float64) (SubsequenceMatch, error) {
-	return dtw.Subsequence(query, stream, nil)
+	if len(stream) == 0 {
+		return SubsequenceMatch{}, fmt.Errorf("sdtw: Subsequence: empty stream: %w", ErrEmptySeries)
+	}
+	m, err := NewMonitor([]Series{{Values: query}}, Options{})
+	if err != nil {
+		return SubsequenceMatch{}, fmt.Errorf("sdtw: Subsequence: %w", err)
+	}
+	if _, err := m.PushBatch(context.Background(), stream); err != nil {
+		return SubsequenceMatch{}, fmt.Errorf("sdtw: Subsequence: %w", err)
+	}
+	matches, err := m.Flush()
+	if err != nil {
+		return SubsequenceMatch{}, fmt.Errorf("sdtw: Subsequence: %w", err)
+	}
+	if len(matches) == 0 {
+		// Only reachable when every column's distance is NaN (a NaN query
+		// or stream): no region ever compares below +Inf. The historical
+		// DP returned position 0 with the NaN cost; keep that shape.
+		return SubsequenceMatch{Distance: math.NaN()}, nil
+	}
+	best := matches[0]
+	return SubsequenceMatch{Start: best.Start, End: best.End, Distance: best.Distance}, nil
 }
 
 // SaveFeatures serialises the engine's salient-feature cache (gob
