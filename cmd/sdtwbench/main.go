@@ -7,11 +7,13 @@
 //	sdtwbench -exp fig13 -scale small  # one experiment, reduced workload
 //	sdtwbench -exp fig18 -dataset Gun  # restrict figures to one data set
 //	sdtwbench -exp stream -scale small # streaming subsequence monitor throughput
+//	sdtwbench -exp kernel -short       # specialized-vs-generic kernel A/B smoke
 //	sdtwbench -exp bands               # ASCII rendering of the band shapes
 //
 // Experiments: table1, table2, fig13, fig14, fig15, fig16, fig17, fig18,
-// noise, invariance, baseline, extras, retrieval, stream, bands, all.
-// Scales: full (paper sizes), medium, small.
+// noise, invariance, baseline, extras, retrieval, stream, kernel, bands,
+// all. Scales: full (paper sizes), medium, small; -short forces the small
+// scale and trims measurement budgets for CI smoke lanes.
 package main
 
 import (
@@ -29,15 +31,21 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run: table1, table2, fig13, fig14, fig15, fig16, fig17, fig18, noise, invariance, baseline, extras, retrieval, stream, bands, all")
+		exp       = flag.String("exp", "all", "experiment to run: table1, table2, fig13, fig14, fig15, fig16, fig17, fig18, noise, invariance, baseline, extras, retrieval, stream, kernel, bands, all")
 		scale     = flag.String("scale", "full", "workload scale: full, medium, small")
+		short     = flag.Bool("short", false, "CI smoke mode: force the small scale and trim measurement budgets")
 		dataset   = flag.String("dataset", "", "restrict per-dataset figures to one data set (Gun, Trace, 50Words)")
 		seed      = flag.Int64("seed", 42, "workload generator seed")
 		jsonOut   = flag.String("json", "BENCH_retrieval.json", "path for the machine-readable retrieval results (empty disables)")
 		streamOut = flag.String("streamjson", "BENCH_stream.json", "path for the machine-readable streaming-monitor results (empty disables)")
+		kernelOut = flag.String("kerneljson", "BENCH_kernel.json", "path for the machine-readable kernel A/B results (empty disables)")
+		kernelMin = flag.Float64("kernelmin", 0, "fail if any specialized/generic kernel throughput ratio drops below this floor (0 disables)")
 	)
 	flag.Parse()
 
+	if *short {
+		*scale = "small"
+	}
 	sc, err := parseScale(*scale)
 	if err != nil {
 		fatal(err)
@@ -236,6 +244,39 @@ func main() {
 				fatal(err)
 			}
 			fmt.Printf("machine-readable results written to %s\n\n", *streamOut)
+		}
+	}
+	if want("kernel") {
+		ran = true
+		budget := 300 * time.Millisecond
+		if *short {
+			budget = 60 * time.Millisecond
+		}
+		kernelNames := []string{"Gun", "Trace"}
+		if *dataset != "" {
+			kernelNames = []string{*dataset}
+		}
+		var entries []kernelEntry
+		for _, name := range kernelNames {
+			name := name
+			run("Kernel A/B: monomorphized vs generic hot loops on "+name, func() error {
+				out, rows, err := runKernel(name, sc, *seed, budget)
+				if err != nil {
+					return err
+				}
+				entries = append(entries, rows...)
+				fmt.Print(out)
+				return nil
+			})
+		}
+		if *kernelOut != "" {
+			if err := writeKernelJSON(*kernelOut, entries); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("machine-readable results written to %s\n\n", *kernelOut)
+		}
+		if err := checkKernelFloor(entries, *kernelMin); err != nil {
+			fatal(err)
 		}
 	}
 	if want("bands") {

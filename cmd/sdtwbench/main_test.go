@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"sdtw/internal/experiments"
 )
@@ -90,6 +91,77 @@ func TestRunStreamFullScale(t *testing.T) {
 				t.Fatalf("%s: malformed full-scale entry: %+v", name, e)
 			}
 		}
+	}
+}
+
+func TestRunKernel(t *testing.T) {
+	out, entries, err := runKernel("Gun", experiments.Small, 42, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dp", "keogh", "spring", "engine", "search", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("kernel report missing %q:\n%s", want, out)
+		}
+	}
+	components := map[string]bool{}
+	for _, e := range entries {
+		if e.Dataset != "Gun" || e.Unit == "" {
+			t.Fatalf("malformed entry: %+v", e)
+		}
+		if e.Generic <= 0 || e.Specialized <= 0 {
+			t.Fatalf("non-positive throughput: %+v", e)
+		}
+		if got := e.Specialized / e.Generic; got != e.Speedup {
+			t.Fatalf("speedup %v inconsistent with throughputs: %+v", got, e)
+		}
+		components[e.Component] = true
+	}
+	for _, want := range []string{"dp", "keogh", "spring", "engine", "search"} {
+		if !components[want] {
+			t.Fatalf("kernel entries missing component %q: %+v", want, entries)
+		}
+	}
+	if _, _, err := runKernel("bogus", experiments.Small, 42, time.Millisecond); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestCheckKernelFloor(t *testing.T) {
+	entries := []kernelEntry{
+		{Component: "dp", Unit: "cells/sec", Dataset: "Gun", Speedup: 2.0},
+		{Component: "keogh", Unit: "elems/sec", Dataset: "Gun", Speedup: 0.9},    // thin margin: not gated
+		{Component: "search", Unit: "queries/sec", Dataset: "Gun", Speedup: 0.5}, // composite: not gated
+	}
+	if err := checkKernelFloor(entries, 1.0); err != nil {
+		t.Fatalf("only cells/sec kernel components may be gated: %v", err)
+	}
+	entries[0].Speedup = 0.9
+	if err := checkKernelFloor(entries, 1.0); err == nil {
+		t.Fatal("a pure-kernel ratio below the floor must fail")
+	}
+	if err := checkKernelFloor(entries, 0); err != nil {
+		t.Fatalf("floor 0 must disable the gate: %v", err)
+	}
+}
+
+func TestWriteKernelJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_kernel.json")
+	entries := []kernelEntry{{Dataset: "Gun", Component: "dp", Unit: "cells/sec",
+		Generic: 1e8, Specialized: 3e8, Speedup: 3}}
+	if err := writeKernelJSON(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []kernelEntry
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != entries[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
 	}
 }
 

@@ -41,6 +41,13 @@ type Options struct {
 	// negative disables the floor.
 	MinPairs int
 	// PointDistance is the element cost; nil means squared distance.
+	//
+	// The default cost is the fast path throughout the pipeline: a nil
+	// value (or series.SquaredDistance itself) dispatches every dynamic
+	// program to monomorphized, branch-free kernels with the cost
+	// inlined (internal/dtw/kernel.go), bit-identical to the generic
+	// path. Any other function — including a closure wrapping the
+	// squared cost — runs the generic per-cell indirect-call path.
 	PointDistance series.PointDistance
 	// ComputePath, when true, makes Distance also recover the warp path
 	// (costs O(band cells) extra memory).

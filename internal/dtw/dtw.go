@@ -63,10 +63,14 @@ func (p Path) Cost(x, y []float64, dist series.PointDistance) float64 {
 
 // Distance computes the exact DTW distance between x and y with the full
 // O(NM) grid using two rolling rows (O(M) memory). dist nil defaults to
-// squared point distance.
+// squared point distance, dispatching to the monomorphized kernel (see
+// kernel.go).
 func Distance(x, y []float64, dist series.PointDistance) (float64, error) {
 	if len(x) == 0 || len(y) == 0 {
 		return 0, fmt.Errorf("dtw: empty input (len(x)=%d len(y)=%d): %w", len(x), len(y), series.ErrEmptySeries)
+	}
+	if useSquaredKernel(dist) {
+		return distanceSquared(x, y), nil
 	}
 	if dist == nil {
 		dist = series.SquaredDistance
@@ -190,6 +194,9 @@ func BandedAbandonCtx(ctx context.Context, x, y []float64, b Band, dist series.P
 	if err := checkInputs(x, y, b); err != nil {
 		return 0, 0, false, err
 	}
+	if useSquaredKernel(dist) {
+		return bandedAbandonSquared(ctx, x, y, b, budget, ws)
+	}
 	if dist == nil {
 		dist = series.SquaredDistance
 	}
@@ -256,30 +263,39 @@ func BandedAbandonCtx(ctx context.Context, x, y []float64, b Band, dist series.P
 		}
 	}
 	if m-1 < prevLo || m-1 > prevHi {
-		return 0, cells, false, fmt.Errorf("dtw: band admits no warp path (band not normalized?)")
+		return 0, cells, false, errNoWarpPath()
 	}
 	d := prev[m-1-prevLo]
 	if math.IsInf(d, 1) {
-		return 0, cells, false, fmt.Errorf("dtw: band admits no warp path (band not normalized?)")
+		return 0, cells, false, errNoWarpPath()
 	}
 	return d, cells, false, nil
 }
 
+// errNoWarpPath is the shared constrained-grid infeasibility error of the
+// generic and monomorphized dynamic programs.
+func errNoWarpPath() error {
+	return fmt.Errorf("dtw: band admits no warp path (band not normalized?)")
+}
+
 // BandedWithPath computes the band-constrained DTW distance and recovers
 // the optimal warp path within the band. Memory is proportional to the
-// band's cell count, not N*M.
+// band's cell count, not N*M: all rows live in one flat backing array
+// (one allocation, not one per row — pinned by a regression test).
 func BandedWithPath(x, y []float64, b Band, dist series.PointDistance) (PathResult, error) {
 	if err := checkInputs(x, y, b); err != nil {
 		return PathResult{}, err
 	}
-	if dist == nil {
-		dist = series.SquaredDistance
-	}
 	n, m := len(x), len(y)
 	inf := math.Inf(1)
-	// Band-compact storage: row i stores cells Lo[i]..Hi[i].
-	rows := make([][]float64, n)
-	cells := 0
+	// Band-compact storage: row i occupies flat[off[i]:off[i+1]], holding
+	// cells Lo[i]..Hi[i].
+	off := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		off[i+1] = off[i] + b.Hi[i] - b.Lo[i] + 1
+	}
+	flat := make([]float64, off[n])
+	cells := off[n]
 	at := func(i, j int) float64 {
 		if i < 0 || j < 0 || i >= n {
 			if i == -1 && j == -1 {
@@ -290,32 +306,44 @@ func BandedWithPath(x, y []float64, b Band, dist series.PointDistance) (PathResu
 		if j < b.Lo[i] || j > b.Hi[i] {
 			return inf
 		}
-		return rows[i][j-b.Lo[i]]
+		return flat[off[i]+j-b.Lo[i]]
 	}
-	for i := 0; i < n; i++ {
-		lo, hi := b.Lo[i], b.Hi[i]
-		rows[i] = make([]float64, hi-lo+1)
-		xi := x[i]
-		for j := lo; j <= hi; j++ {
-			var best float64
-			if i == 0 && j == 0 {
-				best = 0
+	if useSquaredKernel(dist) {
+		for i := 0; i < n; i++ {
+			row := flat[off[i]:off[i+1]]
+			if i == 0 {
+				fillRow0SquaredNoMin(x[0], y, b.Lo[0], b.Hi[0], row)
 			} else {
-				best = at(i-1, j-1)
-				if v := at(i-1, j); v < best {
-					best = v
-				}
-				if v := at(i, j-1); v < best {
-					best = v
-				}
+				fillRowSquaredNoMin(x[i], y, b.Lo[i], b.Hi[i], flat[off[i-1]:off[i]], b.Lo[i-1], b.Hi[i-1], row)
 			}
-			rows[i][j-lo] = best + dist(xi, y[j])
-			cells++
+		}
+	} else {
+		if dist == nil {
+			dist = series.SquaredDistance
+		}
+		for i := 0; i < n; i++ {
+			lo, hi := b.Lo[i], b.Hi[i]
+			xi := x[i]
+			for j := lo; j <= hi; j++ {
+				var best float64
+				if i == 0 && j == 0 {
+					best = 0
+				} else {
+					best = at(i-1, j-1)
+					if v := at(i-1, j); v < best {
+						best = v
+					}
+					if v := at(i, j-1); v < best {
+						best = v
+					}
+				}
+				flat[off[i]+j-lo] = best + dist(xi, y[j])
+			}
 		}
 	}
 	d := at(n-1, m-1)
 	if math.IsInf(d, 1) {
-		return PathResult{Cells: cells}, fmt.Errorf("dtw: band admits no warp path (band not normalized?)")
+		return PathResult{Cells: cells}, errNoWarpPath()
 	}
 	// Backtrack: at each cell pick the predecessor with the minimal
 	// accumulated cost, preferring the diagonal on ties (shortest path).

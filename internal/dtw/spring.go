@@ -35,6 +35,10 @@ type Spring struct {
 	dist      series.PointDistance
 	threshold float64
 	minGap    int
+	// squared marks the default cost, routing Append through the
+	// monomorphized per-point update (see kernel.go); captured once at
+	// construction so the per-point hot path pays no dispatch check.
+	squared bool
 
 	// d[i] is the cost of the cheapest warp path consuming q[0..i] and
 	// ending at the newest stream point; s[i] is the stream position where
@@ -79,6 +83,7 @@ func NewSpring(q []float64, cfg SpringConfig) (*Spring, error) {
 		return nil, fmt.Errorf("dtw: negative match gap %d", cfg.MinGap)
 	}
 	dist := cfg.Dist
+	squared := useSquaredKernel(dist)
 	if dist == nil {
 		dist = series.SquaredDistance
 	}
@@ -89,6 +94,7 @@ func NewSpring(q []float64, cfg SpringConfig) (*Spring, error) {
 	sp := &Spring{
 		q:         q,
 		dist:      dist,
+		squared:   squared,
 		threshold: threshold,
 		minGap:    cfg.MinGap,
 		d:         make([]float64, len(q)),
@@ -108,37 +114,12 @@ func NewSpring(q []float64, cfg SpringConfig) (*Spring, error) {
 // emitted in stream order and never overlap.
 func (sp *Spring) Append(v float64) (SubsequenceMatch, bool) {
 	n := len(sp.q)
-	d, s, dist := sp.d, sp.s, sp.dist
+	d, s := sp.d, sp.s
 	t := sp.t
-	inf := math.Inf(1)
-
-	// Row 0: the path may begin at the current point for free — unless the
-	// point falls inside the non-overlap / MinGap window of an emitted
-	// match, in which case no new path may start here.
-	diagD, diagS := d[0], s[0]
-	if t < sp.nextStart {
-		d[0], s[0] = inf, t
+	if sp.squared {
+		sp.advanceSquared(v)
 	} else {
-		d[0], s[0] = dist(sp.q[0], v), t
-	}
-	// Rows 1..n-1 mirror the offline DP cell for cell. The comparison
-	// order (vertical, then diagonal, then horizontal, each on strict <)
-	// matches Subsequence exactly, so values AND start-pointer tie-breaks
-	// are bit-identical to the offline grid.
-	for i := 1; i < n; i++ {
-		best, from := d[i-1], s[i-1] // vertical: advance q only (this column)
-		if diagD < best {            // diagonal (previous column)
-			best, from = diagD, diagS
-		}
-		if d[i] < best { // horizontal: advance stream only (previous column)
-			best, from = d[i], s[i]
-		}
-		diagD, diagS = d[i], s[i]
-		if math.IsInf(best, 1) {
-			d[i], s[i] = inf, t
-			continue
-		}
-		d[i], s[i] = best+dist(sp.q[i], v), from
+		sp.advanceGeneric(v)
 	}
 	sp.cells += int64(n)
 	sp.t = t + 1
@@ -177,6 +158,90 @@ func (sp *Spring) Append(v float64) (SubsequenceMatch, bool) {
 		sp.dmin, sp.ts, sp.te = last, s[n-1], t
 	}
 	return out, emitted
+}
+
+// advanceGeneric advances every DP cell by one stream point through the
+// configured point-distance function.
+//
+// Row 0: the path may begin at the current point for free — unless the
+// point falls inside the non-overlap / MinGap window of an emitted match,
+// in which case no new path may start here. Rows 1..n-1 mirror the
+// offline DP cell for cell: the comparison order (vertical, then
+// diagonal, then horizontal, each on strict <) matches Subsequence
+// exactly, so values AND start-pointer tie-breaks are bit-identical to
+// the offline grid.
+func (sp *Spring) advanceGeneric(v float64) {
+	n := len(sp.q)
+	d, s, dist := sp.d, sp.s, sp.dist
+	t := sp.t
+	inf := math.Inf(1)
+
+	diagD, diagS := d[0], s[0]
+	if t < sp.nextStart {
+		d[0], s[0] = inf, t
+	} else {
+		d[0], s[0] = dist(sp.q[0], v), t
+	}
+	for i := 1; i < n; i++ {
+		best, from := d[i-1], s[i-1] // vertical: advance q only (this column)
+		if diagD < best {            // diagonal (previous column)
+			best, from = diagD, diagS
+		}
+		if d[i] < best { // horizontal: advance stream only (previous column)
+			best, from = d[i], s[i]
+		}
+		diagD, diagS = d[i], s[i]
+		if math.IsInf(best, 1) {
+			d[i], s[i] = inf, t
+			continue
+		}
+		d[i], s[i] = best+dist(sp.q[i], v), from
+	}
+}
+
+// advanceSquared is advanceGeneric monomorphized for the default squared
+// cost: identical recurrence and comparison order, with the cost inlined,
+// the state slices re-sliced to the query length so the compiler drops
+// the per-cell bounds checks, and the just-written cell below (the
+// vertical predecessor) carried in registers instead of re-loaded.
+// Differential tests pin bit-identity.
+func (sp *Spring) advanceSquared(v float64) {
+	q := sp.q
+	n := len(q)
+	d := sp.d[:n]
+	s := sp.s[:n]
+	t := sp.t
+	inf := math.Inf(1)
+
+	diagD, diagS := d[0], s[0]
+	var belowD float64
+	var belowS int
+	if t < sp.nextStart {
+		belowD, belowS = inf, t
+	} else {
+		belowD, belowS = sq(q[0], v), t
+	}
+	d[0], s[0] = belowD, belowS
+	for i := 1; i < n; i++ {
+		best, from := belowD, belowS // vertical
+		if diagD < best {            // diagonal
+			best, from = diagD, diagS
+		}
+		if d[i] < best { // horizontal
+			best, from = d[i], s[i]
+		}
+		diagD, diagS = d[i], s[i]
+		if math.IsInf(best, 1) {
+			best, from = inf, t
+			d[i], s[i] = inf, t
+			belowD, belowS = best, from
+			continue
+		}
+		dd := q[i] - v
+		best = best + float64(dd*dd)
+		d[i], s[i] = best, from
+		belowD, belowS = best, from
+	}
 }
 
 // emitReset clears the captured match and invalidates every open path

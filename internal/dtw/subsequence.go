@@ -38,14 +38,17 @@ func SubsequenceWS(q, s []float64, dist series.PointDistance, ws *Workspace) (Su
 	if len(q) == 0 || len(s) == 0 {
 		return SubsequenceMatch{}, fmt.Errorf("dtw: empty input (len(q)=%d len(s)=%d): %w", len(q), len(s), series.ErrEmptySeries)
 	}
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	if useSquaredKernel(dist) {
+		return subsequenceSquared(q, s, ws), nil
+	}
 	if dist == nil {
 		dist = series.SquaredDistance
 	}
 	n, m := len(q), len(s)
 	inf := math.Inf(1)
-	if ws == nil {
-		ws = &Workspace{}
-	}
 	prev, curr := ws.rows(m)
 	prevStart, currStart := ws.startRows(m)
 

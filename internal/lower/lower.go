@@ -35,6 +35,12 @@ func Kim(x, y []float64, dist series.PointDistance) (float64, error) {
 	if len(x) == 0 || len(y) == 0 {
 		return 0, fmt.Errorf("lower: empty input (len(x)=%d len(y)=%d)", len(x), len(y))
 	}
+	if useSquaredKernel(dist) {
+		if len(x) == 1 && len(y) == 1 {
+			return sq(x[0], y[0]), nil
+		}
+		return sq(x[0], y[0]) + sq(x[len(x)-1], y[len(y)-1]), nil
+	}
 	if dist == nil {
 		dist = series.SquaredDistance
 	}
@@ -58,46 +64,78 @@ type Envelope struct {
 
 // NewEnvelope computes the envelope of v for a warping radius r (>= 0)
 // using Lemire's streaming min/max (two monotonic deques, O(n)).
+//
+// A build allocates exactly twice regardless of n and r: one flat backing
+// for both output arrays and one for both index deques. The deques are
+// rings addressed by head/tail counters — pops move an index instead of
+// re-slicing, so the backing never re-grows mid-stream (the window
+// [i-r, i+r] bounds the live indices by min(2r+2, n)).
 func NewEnvelope(v []float64, r int) Envelope {
 	n := len(v)
 	if r < 0 {
 		r = 0
 	}
-	env := Envelope{Upper: make([]float64, n), Lower: make([]float64, n), Radius: r}
+	env := Envelope{Radius: r}
+	out := make([]float64, 2*n)
+	env.Upper, env.Lower = out[:n:n], out[n:]
 	if n == 0 {
 		return env
 	}
-	// Window for position i is [i-r, i+r]. Maintain index deques whose
-	// front always holds the max (resp. min) of the current window.
-	maxDq := make([]int, 0, 2*r+2)
-	minDq := make([]int, 0, 2*r+2)
-	push := func(j int) {
-		for len(maxDq) > 0 && v[maxDq[len(maxDq)-1]] <= v[j] {
-			maxDq = maxDq[:len(maxDq)-1]
-		}
-		maxDq = append(maxDq, j)
-		for len(minDq) > 0 && v[minDq[len(minDq)-1]] >= v[j] {
-			minDq = minDq[:len(minDq)-1]
-		}
-		minDq = append(minDq, j)
+	// Ring capacity: the deques hold at most min(2r+2, n) live indices
+	// (2r+1 in a full window, plus the element being pushed before the
+	// lazy head pop). Power-of-two capacity so the wrap is a mask.
+	size := 2*r + 2
+	if size > n {
+		size = n
 	}
-	// Prime the first window [0, r].
-	for j := 0; j <= r && j < n; j++ {
-		push(j)
+	ringCap := 1
+	for ringCap < size {
+		ringCap <<= 1
 	}
-	for i := 0; i < n; i++ {
-		if i+r < n && i > 0 {
-			push(i + r)
+	mask := ringCap - 1
+	dq := make([]int, 2*ringCap)
+	maxQ, minQ := dq[:ringCap:ringCap], dq[ringCap:]
+	var maxH, maxT, minH, minT int // deques occupy [head, tail)
+
+	emit := 0 // next position whose window is complete
+	for j := 0; j < n; j++ {
+		// Push j: drop dominated indices from the tails, then append.
+		for maxT > maxH && v[maxQ[(maxT-1)&mask]] <= v[j] {
+			maxT--
 		}
+		maxQ[maxT&mask] = j
+		maxT++
+		for minT > minH && v[minQ[(minT-1)&mask]] >= v[j] {
+			minT--
+		}
+		minQ[minT&mask] = j
+		minT++
+		if j < r {
+			continue // window [i-r, i+r] for i = j-r not complete yet
+		}
+		i := j - r
 		lo := i - r
-		for len(maxDq) > 0 && maxDq[0] < lo {
-			maxDq = maxDq[1:]
+		for maxQ[maxH&mask] < lo {
+			maxH++
 		}
-		for len(minDq) > 0 && minDq[0] < lo {
-			minDq = minDq[1:]
+		for minQ[minH&mask] < lo {
+			minH++
 		}
-		env.Upper[i] = v[maxDq[0]]
-		env.Lower[i] = v[minDq[0]]
+		env.Upper[i] = v[maxQ[maxH&mask]]
+		env.Lower[i] = v[minQ[minH&mask]]
+		emit = i + 1
+	}
+	// Trailing positions whose window is truncated by the end of v.
+	for i := emit; i < n; i++ {
+		lo := i - r
+		for maxQ[maxH&mask] < lo {
+			maxH++
+		}
+		for minQ[minH&mask] < lo {
+			minH++
+		}
+		env.Upper[i] = v[maxQ[maxH&mask]]
+		env.Lower[i] = v[minQ[minH&mask]]
 	}
 	return env
 }
@@ -109,22 +147,38 @@ func NewEnvelope(v []float64, r int) Envelope {
 // Σ (q_i − U_i)² for q_i above the upper envelope plus (q_i − L_i)² below
 // the lower envelope.
 func Keogh(q []float64, env Envelope, dist series.PointDistance) (float64, error) {
+	sum, _, err := KeoghUnder(q, env, math.Inf(1), dist)
+	return sum, err
+}
+
+// KeoghUnder is Keogh with early abandonment against a pruning threshold:
+// every partial sum of envelope deviations is itself a valid (and
+// non-decreasing) lower bound, so summation stops the moment the partial
+// sum exceeds threshold (exclusive) and the partial sum is returned with
+// abandoned=true — it already proves the candidate prunable at that
+// threshold. A threshold of +Inf (or NaN) never abandons and returns the
+// exact LB_Keogh value, bit for bit the same as Keogh. Retrieval cascades
+// pass their best-so-far k-th distance, so hopeless candidates stop after
+// a few elements instead of summing the whole series.
+//
+// Abandonment is only meaningful for non-negative point costs (the
+// default squared cost is); signed custom costs must pass +Inf.
+func KeoghUnder(q []float64, env Envelope, threshold float64, dist series.PointDistance) (float64, bool, error) {
 	if len(q) != len(env.Upper) {
-		return 0, fmt.Errorf("lower: query length %d != envelope length %d", len(q), len(env.Upper))
+		return 0, false, fmt.Errorf("lower: query length %d != envelope length %d", len(q), len(env.Upper))
+	}
+	if math.IsNaN(threshold) {
+		threshold = math.Inf(1)
+	}
+	if useSquaredKernel(dist) {
+		sum, abandoned := keoghSquaredUnder(q, env.Upper, env.Lower, threshold)
+		return sum, abandoned, nil
 	}
 	if dist == nil {
 		dist = series.SquaredDistance
 	}
-	sum := 0.0
-	for i, v := range q {
-		switch {
-		case v > env.Upper[i]:
-			sum += dist(v, env.Upper[i])
-		case v < env.Lower[i]:
-			sum += dist(v, env.Lower[i])
-		}
-	}
-	return sum, nil
+	sum, abandoned := keoghGenericUnder(q, env, threshold, dist)
+	return sum, abandoned, nil
 }
 
 // KeoghPair computes LB_Keogh directly from two equal-length series and a
@@ -140,7 +194,9 @@ func KeoghPair(q, c []float64, r int, dist series.PointDistance) (float64, error
 // Cascade evaluates the bound cascade (Kim, then Keogh) against a pruning
 // threshold and reports whether the candidate can be skipped. A negative
 // threshold disables pruning (Skip always false). The returned bound is
-// the tightest one computed.
+// the tightest one computed; when the Keogh stage abandons early, that is
+// the partial Keogh sum — already above the threshold, so the skip
+// decision is identical to the full evaluation's.
 func Cascade(q []float64, c []float64, env Envelope, threshold float64, dist series.PointDistance) (bound float64, skip bool, err error) {
 	kim, err := Kim(q, c, dist)
 	if err != nil {
@@ -150,14 +206,18 @@ func Cascade(q []float64, c []float64, env Envelope, threshold float64, dist ser
 		return kim, true, nil
 	}
 	if len(q) == len(env.Upper) {
-		keogh, err := Keogh(q, env, dist)
+		budget := math.Inf(1)
+		if threshold >= 0 {
+			budget = threshold
+		}
+		keogh, abandoned, err := KeoghUnder(q, env, budget, dist)
 		if err != nil {
 			return kim, false, err
 		}
 		if keogh > kim {
 			kim = keogh
 		}
-		if threshold >= 0 && kim > threshold {
+		if abandoned || (threshold >= 0 && kim > threshold) {
 			return kim, true, nil
 		}
 	}

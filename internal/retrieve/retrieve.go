@@ -482,14 +482,26 @@ func (c *Core) search(ctx context.Context, query series.Series, p Params) ([]Nei
 				return
 			}
 			if env := c.envelopes[cd.pos]; len(env.Upper) == len(query.Values) {
+				// The active threshold rides into the bound itself: the
+				// partial Keogh sum is a valid lower bound, so summation
+				// abandons the moment it proves the candidate prunable.
+				// Abandonment implies the partial sum exceeded a threshold
+				// no looser than the current one (it only tightens), so
+				// the skip decision matches the full evaluation's. The
+				// A/B switch that disables DP abandonment disables this
+				// too, so the baseline leg measures full bound evaluation.
+				kgBudget := math.Inf(1)
+				if abandon {
+					kgBudget = threshold.load()
+				}
 				kgStart := time.Now()
-				kg, err := lower.Keogh(query.Values, env, nil)
+				kg, kgAbandoned, err := lower.KeoghUnder(query.Values, env, kgBudget, nil)
 				boundNS.Add(int64(time.Since(kgStart)))
 				if err != nil {
 					fail(fmt.Errorf("LB_Keogh to %q: %w", s.ID, err))
 					return
 				}
-				if kg > threshold.load() {
+				if kgAbandoned || kg > threshold.load() {
 					prunedKeogh.Add(1)
 					return
 				}

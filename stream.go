@@ -122,7 +122,10 @@ type monitorQuery struct {
 //
 // Push and PushBatch consume stream points and return the matches they
 // confirmed; Flush ends the stream, reporting each query's pending (or,
-// in best-only mode, global best) match and closing the monitor. A
+// in best-only mode, global best) match and closing the monitor. With
+// the default point distance the per-point recurrence runs the
+// monomorphized squared-cost kernel (see the README's Performance
+// section); a custom Options.PointDistance selects the generic path. A
 // Monitor is safe for concurrent use in the sense that Stats may be read
 // while another goroutine pushes; pushing itself must come from one
 // goroutine at a time (calls are serialised by an internal lock, but the
