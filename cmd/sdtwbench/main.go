@@ -8,11 +8,12 @@
 //	sdtwbench -exp fig18 -dataset Gun  # restrict figures to one data set
 //	sdtwbench -exp stream -scale small # streaming subsequence monitor throughput
 //	sdtwbench -exp kernel -short       # specialized-vs-generic kernel A/B smoke
+//	sdtwbench -exp serve -short        # sharded HTTP search service latency/QPS
 //	sdtwbench -exp bands               # ASCII rendering of the band shapes
 //
 // Experiments: table1, table2, fig13, fig14, fig15, fig16, fig17, fig18,
-// noise, invariance, baseline, extras, retrieval, stream, kernel, bands,
-// all. Scales: full (paper sizes), medium, small; -short forces the small
+// noise, invariance, baseline, extras, retrieval, stream, kernel, serve,
+// bands, all. Scales: full (paper sizes), medium, small; -short forces the small
 // scale and trims measurement budgets for CI smoke lanes.
 package main
 
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run: table1, table2, fig13, fig14, fig15, fig16, fig17, fig18, noise, invariance, baseline, extras, retrieval, stream, kernel, bands, all")
+		exp       = flag.String("exp", "all", "experiment to run: table1, table2, fig13, fig14, fig15, fig16, fig17, fig18, noise, invariance, baseline, extras, retrieval, stream, kernel, serve, bands, all")
 		scale     = flag.String("scale", "full", "workload scale: full, medium, small")
 		short     = flag.Bool("short", false, "CI smoke mode: force the small scale and trim measurement budgets")
 		dataset   = flag.String("dataset", "", "restrict per-dataset figures to one data set (Gun, Trace, 50Words)")
@@ -40,6 +41,11 @@ func main() {
 		streamOut = flag.String("streamjson", "BENCH_stream.json", "path for the machine-readable streaming-monitor results (empty disables)")
 		kernelOut = flag.String("kerneljson", "BENCH_kernel.json", "path for the machine-readable kernel A/B results (empty disables)")
 		kernelMin = flag.Float64("kernelmin", 0, "fail if any specialized/generic kernel throughput ratio drops below this floor (0 disables)")
+
+		serveOut      = flag.String("servejson", "BENCH_serve.json", "path for the machine-readable serving results (empty disables)")
+		serveShards   = flag.Int("serveshards", 4, "shard count for the serving benchmark")
+		serveBaseline = flag.String("servebaseline", "", "committed BENCH_serve.json to gate p99 latency against (empty disables)")
+		serveRegress  = flag.Float64("servemaxregress", 0, "fail if any p99 exceeds its baseline by more than this factor, e.g. 1.2 (0 disables)")
 	)
 	flag.Parse()
 
@@ -276,6 +282,35 @@ func main() {
 			fmt.Printf("machine-readable results written to %s\n\n", *kernelOut)
 		}
 		if err := checkKernelFloor(entries, *kernelMin); err != nil {
+			fatal(err)
+		}
+	}
+	if want("serve") {
+		ran = true
+		serveNames := []string{"Trace"}
+		if *dataset != "" {
+			serveNames = []string{*dataset}
+		}
+		var entries []serveEntry
+		for _, name := range serveNames {
+			name := name
+			run("Sharded HTTP search service (sdtwd path) on "+name, func() error {
+				out, rows, err := runServe(name, sc, *seed, *serveShards)
+				if err != nil {
+					return err
+				}
+				entries = append(entries, rows...)
+				fmt.Print(out)
+				return nil
+			})
+		}
+		if *serveOut != "" {
+			if err := writeServeJSON(*serveOut, entries); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("machine-readable results written to %s\n\n", *serveOut)
+		}
+		if err := checkServeBaseline(entries, *serveBaseline, *serveRegress); err != nil {
 			fatal(err)
 		}
 	}

@@ -1,0 +1,279 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdtw"
+	"sdtw/internal/experiments"
+	"sdtw/internal/serve"
+)
+
+// serveEntry is one row of the machine-readable serving results: per
+// collection size and client concurrency, the end-to-end HTTP search
+// latency distribution and throughput of the sharded service — the
+// numbers the bench-serve CI lane gates against a committed baseline.
+type serveEntry struct {
+	Dataset     string  `json:"dataset"`
+	Series      int     `json:"series"`
+	Length      int     `json:"length"`
+	Shards      int     `json:"shards"`
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	Rejected    int64   `json:"rejected"`
+	QPS         float64 `json:"qps"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+}
+
+// writeServeJSON persists the serving entries for machines (the CI
+// regression gate) next to the human-readable table on stdout.
+func writeServeJSON(path string, entries []serveEntry) error {
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding serve results: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing serve results: %w", err)
+	}
+	return nil
+}
+
+// serveRequests is the per-combination request budget per workload scale.
+func serveRequests(sc experiments.Scale) int {
+	switch sc {
+	case experiments.Small:
+		return 400
+	case experiments.Medium:
+		return 600
+	default:
+		return 2400
+	}
+}
+
+// runServe benchmarks the sdtwd serving path end to end: a sharded index
+// behind the real HTTP handler stack (serve.Server in an in-process
+// httptest server), swept across collection sizes and client
+// concurrency. Every request is a k=5 search over real HTTP with JSON in
+// both directions, so the numbers include routing, admission and
+// serialisation — what a client of cmd/sdtwd actually observes.
+func runServe(name string, sc experiments.Scale, seed int64, shards int) (string, []serveEntry, error) {
+	d, err := experiments.LoadDataset(name, sc, seed)
+	if err != nil {
+		return "", nil, err
+	}
+	requests := serveRequests(sc)
+	sizes := []int{d.Len(), 4 * d.Len()}
+	concurrencies := []int{1, 4, 16}
+
+	var sb strings.Builder
+	var entries []serveEntry
+	fmt.Fprintf(&sb, "%s: sharded HTTP search service, %d shards, k=5, %d requests per point\n",
+		d.Name, shards, requests)
+	fmt.Fprintf(&sb, "%-8s %8s %13s %10s %10s %10s %10s\n",
+		"series", "clients", "requests", "qps", "p50", "p99", "rejected")
+
+	for _, size := range sizes {
+		// Replicate the dataset up to the target collection size; copies
+		// get fresh IDs so hash routing spreads them across shards.
+		collection := make([]sdtw.Series, 0, size)
+		for i := 0; len(collection) < size; i++ {
+			s := d.Series[i%d.Len()]
+			if i >= d.Len() {
+				s = sdtw.NewSeries(fmt.Sprintf("%s#rep%d", s.ID, i/d.Len()), s.Label, s.Values)
+			}
+			collection = append(collection, s)
+		}
+		ix, err := sdtw.NewShardedIndex(collection, shards, sdtw.Options{
+			Strategy:  sdtw.FixedCoreFixedWidth,
+			WidthFrac: 0.10,
+		})
+		if err != nil {
+			return "", nil, fmt.Errorf("sharding %d series of %s: %w", size, d.Name, err)
+		}
+		srv := serve.New(ix, serve.Config{MaxQueue: 64})
+		ts := httptest.NewServer(srv.Handler())
+
+		for _, conc := range concurrencies {
+			// Best of three trials: the minimum p99 estimates the service's
+			// own tail, shedding scheduler and GC stalls of the harness
+			// host that would otherwise flake the CI gate.
+			var e serveEntry
+			for trial := 0; trial < 3; trial++ {
+				lat, rejected, wall, err := sweepServe(ts, d, requests, conc)
+				if err != nil {
+					ts.Close()
+					return "", nil, fmt.Errorf("sweeping %s at %d series, %d clients: %w", d.Name, size, conc, err)
+				}
+				t := serveEntry{
+					Dataset:     d.Name,
+					Series:      size,
+					Length:      d.Length,
+					Shards:      shards,
+					Concurrency: conc,
+					Requests:    requests,
+					Rejected:    rejected,
+					QPS:         float64(len(lat)) / wall.Seconds(),
+					P50MS:       percentileMS(lat, 0.50),
+					P99MS:       percentileMS(lat, 0.99),
+				}
+				if trial == 0 || t.P99MS < e.P99MS {
+					e = t
+				}
+			}
+			entries = append(entries, e)
+			fmt.Fprintf(&sb, "%-8d %8d %13d %10.0f %9.2fms %9.2fms %10d\n",
+				size, conc, requests, e.QPS, e.P50MS, e.P99MS, e.Rejected)
+		}
+		ts.Close()
+	}
+	return sb.String(), entries, nil
+}
+
+// sweepServe fires the request budget at the test server from conc
+// client goroutines, each with one outstanding k=5 search, and returns
+// the per-request latencies, the 429 count, and the elapsed wall time.
+func sweepServe(ts *httptest.Server, d *sdtw.Dataset, requests, conc int) ([]time.Duration, int64, time.Duration, error) {
+	bodies := make([][]byte, d.Len())
+	for i, s := range d.Series {
+		b, err := json.Marshal(serve.SearchRequest{ID: s.ID, Values: s.Values, K: 5})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		bodies[i] = b
+	}
+	// Warm up connections, caches and the scheduler outside the measured
+	// window: cold-start outliers otherwise dominate the p99 at small
+	// request budgets.
+	client := ts.Client()
+	for i := 0; i < 2*conc+10; i++ {
+		resp, err := client.Post(ts.URL+"/v1/search", "application/json", bytes.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		_ = resp.Body.Close()
+	}
+	var next atomic.Int64
+	var rejected atomic.Int64
+	lats := make([][]time.Duration, conc)
+	errs := make([]error, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+"/v1/search", "application/json", bytes.NewReader(bodies[i%len(bodies)]))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				_ = resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					lats[w] = append(lats[w], time.Since(t0))
+				case http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					errs[w] = fmt.Errorf("search returned status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return nil, 0, 0, fmt.Errorf("every request was rejected")
+	}
+	return all, rejected.Load(), wall, nil
+}
+
+// percentileMS returns the q-quantile of lats in milliseconds (nearest
+// rank).
+func percentileMS(lats []time.Duration, q float64) float64 {
+	sorted := make([]time.Duration, len(lats))
+	copy(sorted, lats)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i].Microseconds()) / 1000
+}
+
+// serveP99GraceMS is the absolute slack added on top of the relative
+// regression budget. Host scheduling stalls are a few milliseconds
+// regardless of the workload, so the smallest sweep points (p99 of a few
+// ms) would flake on a pure ratio; a real regression still trips the
+// gate at the larger points, whose p99 is tens of milliseconds.
+const serveP99GraceMS = 5.0
+
+// checkServeBaseline compares the run against a committed baseline:
+// entries are matched by (dataset, series, shards, concurrency) and the
+// check fails if any p99 exceeds baseline*maxFactor + serveP99GraceMS
+// (maxFactor 1.2 = a 20% regression budget). Unmatched entries are
+// skipped, so workload evolution does not break the gate; maxFactor 0
+// disables it.
+func checkServeBaseline(entries []serveEntry, baselinePath string, maxFactor float64) error {
+	if baselinePath == "" || maxFactor <= 0 {
+		return nil
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading serve baseline: %w", err)
+	}
+	var baseline []serveEntry
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("decoding serve baseline %s: %w", baselinePath, err)
+	}
+	type key struct {
+		dataset              string
+		series, shards, conc int
+	}
+	base := make(map[key]serveEntry, len(baseline))
+	for _, b := range baseline {
+		base[key{b.Dataset, b.Series, b.Shards, b.Concurrency}] = b
+	}
+	matched := 0
+	for _, e := range entries {
+		b, ok := base[key{e.Dataset, e.Series, e.Shards, e.Concurrency}]
+		if !ok {
+			continue
+		}
+		matched++
+		if allowed := b.P99MS*maxFactor + serveP99GraceMS; e.P99MS > allowed {
+			return fmt.Errorf("serve p99 regression: %s %d series, %d clients: %.2fms > %.2fms (baseline %.2fms x %.2f + %.0fms grace)",
+				e.Dataset, e.Series, e.Concurrency, e.P99MS, allowed, b.P99MS, maxFactor, serveP99GraceMS)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("serve baseline %s matched no entries of this run", baselinePath)
+	}
+	fmt.Printf("serve p99 within %.0f%% of baseline on %d matched points\n\n", 100*(maxFactor-1), matched)
+	return nil
+}

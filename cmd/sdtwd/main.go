@@ -1,0 +1,103 @@
+// Command sdtwd serves sDTW similarity search over HTTP: an N-way
+// sharded index behind JSON endpoints, with bounded-admission
+// backpressure and graceful drain on SIGTERM.
+//
+//	sdtwd -addr :8080 -shards 4                 # empty engine-backed index
+//	sdtwd -load idx.gob                         # serve a saved sharded index
+//	sdtwd -load widx.gob -backend windowed      # saved windowed sharded index
+//
+// Endpoints:
+//
+//	POST /v1/search   body {"values":[...], "k":5}           → top-k hits + cascade stats
+//	POST /v1/add      body {"id":"s-1","label":0,"values":[...]}
+//	POST /v1/remove   body {"id":"s-1"}
+//	GET  /v1/stats    collection, shard balance, admission counters
+//	GET  /healthz     200, or 503 once draining
+//
+// On SIGTERM or SIGINT the listener closes, /healthz flips to 503, and
+// in-flight searches run to completion; after -drain-timeout any still
+// running are cancelled through the DP's cancellation checks.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sdtw"
+	"sdtw/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		shards       = flag.Int("shards", 4, "shard count for a fresh index (ignored with -load)")
+		workers      = flag.Int("workers", 0, "DP worker budget per search (0 = GOMAXPROCS)")
+		backend      = flag.String("backend", "engine", "index backend: engine | windowed")
+		load         = flag.String("load", "", "serve a sharded index snapshot (ShardedIndex.Save format)")
+		maxInflight  = flag.Int("max-inflight", 0, "max concurrent searches (0 = GOMAXPROCS)")
+		maxQueue     = flag.Int("max-queue", 0, "max searches queued for a slot before 429 (0 = 4x max-inflight)")
+		defaultK     = flag.Int("default-k", 1, "k when a search request sets neither k nor threshold")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight searches")
+	)
+	flag.Parse()
+
+	ix, err := buildIndex(*backend, *load, *shards, *workers)
+	if err != nil {
+		log.Fatalf("sdtwd: %v", err)
+	}
+	srv := serve.New(ix, serve.Config{
+		MaxInflight: *maxInflight,
+		MaxQueue:    *maxQueue,
+		DefaultK:    *defaultK,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx, *addr, *drainTimeout, ready) }()
+	log.Printf("sdtwd: serving %d series across %d shards on %s (backend=%s)",
+		ix.Len(), ix.Shards(), <-ready, *backend)
+
+	<-ctx.Done()
+	stop() // a second signal now kills the process the default way
+	log.Printf("sdtwd: draining (timeout %s)", *drainTimeout)
+	if err := <-done; err != nil {
+		log.Fatalf("sdtwd: drain incomplete: %v", err)
+	}
+	log.Printf("sdtwd: drained cleanly")
+}
+
+func buildIndex(backend, load string, shards, workers int) (*sdtw.ShardedIndex, error) {
+	opts := sdtw.DefaultOptions()
+	opts.Workers = workers
+	if load == "" {
+		if backend == "windowed" {
+			return nil, fmt.Errorf("-backend windowed needs -load: the series length fixes the window geometry")
+		}
+		if backend != "engine" {
+			return nil, fmt.Errorf("unknown -backend %q (want engine or windowed)", backend)
+		}
+		return sdtw.NewShardedIndex(nil, shards, opts)
+	}
+	f, err := os.Open(load)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch backend {
+	case "engine":
+		return sdtw.LoadShardedIndex(f, opts)
+	case "windowed":
+		return sdtw.LoadShardedWindowedIndex(f)
+	default:
+		return nil, fmt.Errorf("unknown -backend %q (want engine or windowed)", backend)
+	}
+}

@@ -242,13 +242,16 @@ func resolveSearch(opts []SearchOption) (retrieve.Params, error) {
 			k = 1
 		}
 	}
-	return retrieve.Params{
-		K:         k,
-		Workers:   cfg.workers,
-		Exclude:   cfg.exclude,
-		Threshold: cfg.threshold,
-		NoAbandon: cfg.noAbandon,
-	}, nil
+	// Start from DefaultParams so the zero-value traps (Exclude: 0,
+	// Threshold: 0) cannot resurface if fields are added.
+	p := retrieve.DefaultParams()
+	p.K = k
+	p.Workers = cfg.workers
+	p.Exclude = cfg.exclude
+	p.Threshold = cfg.threshold
+	p.ThresholdSet = cfg.thresholdSet
+	p.NoAbandon = cfg.noAbandon
+	return p, nil
 }
 
 // Search returns the query's nearest indexed series under the index's

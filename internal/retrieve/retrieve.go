@@ -42,6 +42,11 @@ type Neighbor struct {
 
 // Params carries the resolved knobs of one search. The public layer
 // translates its functional options into this struct.
+//
+// The zero value is usable but two fields have surprising zeroes —
+// Exclude: 0 names collection position 0, and Threshold: 0 is a real
+// range limit only when ThresholdSet says so. Start from DefaultParams
+// instead of a struct literal.
 type Params struct {
 	// K is the neighbour count; K <= 0 means every candidate (used by
 	// threshold-only range searches). K larger than the candidate count
@@ -57,11 +62,50 @@ type Params struct {
 	// Threshold, when finite, restricts results to neighbours at distance
 	// <= Threshold and seeds the pruning threshold, so hopeless
 	// candidates are discarded even before the k-heap fills.
+	//
+	// Threshold == 0 is honoured as a real limit only when ThresholdSet
+	// is true; otherwise it means "no limit", so a zero-value Params does
+	// not silently return empty results.
 	Threshold float64
+	// ThresholdSet marks Threshold as deliberately chosen, letting an
+	// explicit 0 (exact-match range search) survive the zero-value guard.
+	ThresholdSet bool
 	// NoAbandon disables threshold-aware early abandonment inside the
 	// dynamic program for this search (A/B measurement; never changes
 	// results).
 	NoAbandon bool
+	// Shared, when non-nil, replaces the search's private best-so-far
+	// threshold, so pruning compounds across concurrent searches over
+	// disjoint collection shards: each shard's k-th best tightens the
+	// others' budgets exactly as workers tighten each other's inside one
+	// search. Admissible because any k fully-evaluated distances bound
+	// the global k-th best from above.
+	Shared *SharedThreshold
+}
+
+// DefaultParams returns the safe starting point for a Params value:
+// single nearest neighbour, no positional exclusion (Exclude −1), no
+// range limit (Threshold +Inf). The public option layer and the serving
+// layer both start here, so the zero-value traps (Exclude: 0 excluding
+// position 0, Threshold: 0 emptying results) cannot arise by omission.
+func DefaultParams() Params {
+	return Params{K: 1, Exclude: -1, Threshold: math.Inf(1)}
+}
+
+// EffectiveThreshold resolves the range limit a search runs under: the
+// Threshold when deliberately set (ThresholdSet) or — for callers that
+// predate ThresholdSet — any non-zero, non-NaN value; +Inf otherwise.
+func (p Params) EffectiveThreshold() float64 {
+	if p.ThresholdSet {
+		if math.IsNaN(p.Threshold) {
+			return math.Inf(1)
+		}
+		return p.Threshold
+	}
+	if p.Threshold != 0 && !math.IsNaN(p.Threshold) {
+		return p.Threshold
+	}
+	return math.Inf(1)
 }
 
 // Core is the shared cascade over one collection and one backend.
@@ -224,6 +268,86 @@ func (c *Core) Remove(id string) error {
 	return nil
 }
 
+// copyLocked returns a new Core over the same backend with the
+// collection state duplicated. Slices are copied at exact length so a
+// subsequent append reallocates instead of scribbling on the receiver's
+// backing arrays. Callers hold (at least) the read lock.
+func (c *Core) copyLocked() *Core {
+	nc := &Core{
+		backend: c.backend,
+		workers: c.workers,
+		cascade: c.cascade,
+		data:    make([]series.Series, len(c.data)),
+		ids:     make(map[string]int, len(c.ids)+1),
+	}
+	nc.abandon.Store(c.abandon.Load())
+	copy(nc.data, c.data)
+	if c.cascade {
+		nc.envelopes = make([]lower.Envelope, len(c.envelopes))
+		copy(nc.envelopes, c.envelopes)
+	}
+	for id, pos := range c.ids {
+		nc.ids[id] = pos
+	}
+	return nc
+}
+
+// CloneAdd returns a copy of the core with s admitted; the receiver is
+// unchanged and keeps serving. This is the copy-on-write seam the
+// sharded serving layer builds its snapshots from: readers holding the
+// old core never contend with the write, they simply keep seeing the old
+// collection. The backend is shared, so its per-series caches carry
+// over; the new series' one-time costs (feature extraction, envelope)
+// are paid here.
+func (c *Core) CloneAdd(s series.Series) (*Core, error) {
+	c.mu.RLock()
+	nc := c.copyLocked()
+	c.mu.RUnlock()
+	// nc is unpublished: no lock needed, but admitLocked's contract holds
+	// (no concurrent access).
+	if err := nc.admitLocked(s, nil, true); err != nil {
+		return nil, err
+	}
+	return nc, nil
+}
+
+// CloneRemove returns a copy of the core with the series of the given
+// non-empty ID removed, along with the position it occupied (so callers
+// maintaining position-parallel state can renumber the same way). The
+// receiver is unchanged; like Remove, removing the last series fails.
+// The shared backend forgets the series' cached state — in-flight
+// searches on the old core may re-derive it on demand, which costs work,
+// never correctness.
+func (c *Core) CloneRemove(id string) (*Core, int, error) {
+	if id == "" {
+		return nil, -1, fmt.Errorf("Remove needs a non-empty ID")
+	}
+	c.mu.RLock()
+	pos, ok := c.ids[id]
+	if !ok {
+		c.mu.RUnlock()
+		return nil, -1, fmt.Errorf("%w: %q", ErrUnknownID, id)
+	}
+	if len(c.data) == 1 {
+		c.mu.RUnlock()
+		return nil, -1, fmt.Errorf("cannot remove the last series %q: %w", id, ErrEmptyCollection)
+	}
+	nc := c.copyLocked()
+	c.mu.RUnlock()
+	nc.backend.Forget(nc.data[pos])
+	nc.data = append(nc.data[:pos], nc.data[pos+1:]...)
+	if nc.cascade {
+		nc.envelopes = append(nc.envelopes[:pos], nc.envelopes[pos+1:]...)
+	}
+	delete(nc.ids, id)
+	for sid, p := range nc.ids {
+		if p > pos {
+			nc.ids[sid] = p - 1
+		}
+	}
+	return nc, pos, nil
+}
+
 // Len returns the number of indexed series.
 func (c *Core) Len() int {
 	c.mu.RLock()
@@ -323,13 +447,40 @@ func parallelFor(ctx context.Context, workers, n int, stop *atomic.Bool, fn func
 	wg.Wait()
 }
 
-// atomicThreshold shares the k-th best distance across workers. It only
-// ever decreases; a stale read yields a looser threshold, which costs a
-// bound evaluation but never correctness.
-type atomicThreshold struct{ bits atomic.Uint64 }
+// SharedThreshold shares a best-so-far pruning threshold across workers —
+// and, through Params.Shared, across concurrent searches over disjoint
+// shards of one collection. It is monotone: Tighten only ever lowers it,
+// so a stale read yields a looser threshold, which costs a bound
+// evaluation but never correctness.
+type SharedThreshold struct{ bits atomic.Uint64 }
 
-func (t *atomicThreshold) store(v float64) { t.bits.Store(math.Float64bits(v)) }
-func (t *atomicThreshold) load() float64   { return math.Float64frombits(t.bits.Load()) }
+// NewSharedThreshold returns a threshold seeded at limit (+Inf for an
+// unbounded top-k).
+func NewSharedThreshold(limit float64) *SharedThreshold {
+	t := &SharedThreshold{}
+	t.bits.Store(math.Float64bits(limit))
+	return t
+}
+
+// Load returns the current threshold.
+func (t *SharedThreshold) Load() float64 { return math.Float64frombits(t.bits.Load()) }
+
+// Tighten lowers the threshold to v if v is smaller; larger values are
+// ignored, keeping the threshold monotone under concurrent updates.
+func (t *SharedThreshold) Tighten(v float64) {
+	nb := math.Float64bits(v)
+	for {
+		ob := t.bits.Load()
+		// Positive float64s order like their bit patterns; both v and the
+		// stored value are non-negative distances (or +Inf).
+		if math.Float64frombits(ob) <= v {
+			return
+		}
+		if t.bits.CompareAndSwap(ob, nb) {
+			return
+		}
+	}
+}
 
 // kimCheckEvery is how often the sequential LB_Kim stage polls the
 // context on very large collections.
@@ -398,10 +549,7 @@ func (c *Core) search(ctx context.Context, query series.Series, p Params) ([]Nei
 	if err := ctxErr(ctx); err != nil {
 		return nil, stats, err
 	}
-	limit := math.Inf(1)
-	if !math.IsNaN(p.Threshold) && p.Threshold < limit {
-		limit = p.Threshold
-	}
+	limit := p.EffectiveThreshold()
 
 	// Stage 0: LB_Kim for every candidate, cheapest first. O(1) per
 	// candidate, so this stays sequential; it also fixes the processing
@@ -447,6 +595,18 @@ func (c *Core) search(ctx context.Context, query series.Series, p Params) ([]Nei
 		stats.WallTime = time.Since(start)
 		return nil, stats, nil
 	}
+	// tightenAt is the heap occupancy at which the k-th best becomes an
+	// admissible pruning threshold. Private search: the (possibly
+	// truncated) heap capacity — by the time the heap is that full, its
+	// root bounds everything still wanted. Shared search: strictly the
+	// requested K — this shard may hold fewer than K candidates, and
+	// tightening the siblings' shared budget with fewer than K real
+	// distances would prune their true neighbours (and K <= 0 — a range
+	// search — must never tighten past the caller's limit at all).
+	tightenAt := k
+	if p.Shared != nil {
+		tightenAt = p.K // <= 0 or > len(cands): never reached
+	}
 
 	// Stages 1-3, fanned out: LB_Kim check, LB_Keogh check, full DTW.
 	// Per-candidate accounting uses atomic counters so the fast prune
@@ -464,8 +624,15 @@ func (c *Core) search(ctx context.Context, query series.Series, p Params) ([]Nei
 		mu.Unlock()
 		stop.Store(true)
 	}
-	var threshold atomicThreshold
-	threshold.store(limit)
+	// The pruning threshold is private to this search unless the caller
+	// supplied a shared one (sharded serving), in which case every
+	// concurrent shard search reads and tightens the same value.
+	threshold := p.Shared
+	if threshold == nil {
+		threshold = NewSharedThreshold(limit)
+	} else {
+		threshold.Tighten(limit)
+	}
 	abandon := c.abandon.Load() && !p.NoAbandon
 	var prunedKim, prunedKeogh, evaluated, abandoned, cells, cellsSaved atomic.Int64
 	var boundNS, matchNS, dpNS atomic.Int64
@@ -477,7 +644,7 @@ func (c *Core) search(ctx context.Context, query series.Series, p Params) ([]Nei
 		cd := cands[n]
 		s := c.data[cd.pos]
 		if c.cascade {
-			if cd.kim > threshold.load() {
+			if cd.kim > threshold.Load() {
 				prunedKim.Add(1)
 				return
 			}
@@ -492,7 +659,7 @@ func (c *Core) search(ctx context.Context, query series.Series, p Params) ([]Nei
 				// too, so the baseline leg measures full bound evaluation.
 				kgBudget := math.Inf(1)
 				if abandon {
-					kgBudget = threshold.load()
+					kgBudget = threshold.Load()
 				}
 				kgStart := time.Now()
 				kg, kgAbandoned, err := lower.KeoghUnder(query.Values, env, kgBudget, nil)
@@ -501,7 +668,7 @@ func (c *Core) search(ctx context.Context, query series.Series, p Params) ([]Nei
 					fail(fmt.Errorf("LB_Keogh to %q: %w", s.ID, err))
 					return
 				}
-				if kgAbandoned || kg > threshold.load() {
+				if kgAbandoned || kg > threshold.Load() {
 					prunedKeogh.Add(1)
 					return
 				}
@@ -514,7 +681,7 @@ func (c *Core) search(ctx context.Context, query series.Series, p Params) ([]Nei
 		// tying the k-th distance is always evaluated fully.
 		budget := math.Inf(1)
 		if abandon {
-			budget = threshold.load()
+			budget = threshold.Load()
 		}
 		res, err := c.backend.Distance(ctx, query, s, budget)
 		if err != nil {
@@ -546,8 +713,12 @@ func (c *Core) search(ctx context.Context, query series.Series, p Params) ([]Nei
 			best[0] = nb
 			heap.Fix(&best, 0)
 		}
-		if len(best) == k && best[0].Distance < threshold.load() {
-			threshold.store(best[0].Distance)
+		if tightenAt > 0 && len(best) == tightenAt {
+			// tightenAt fully-evaluated distances bound the k-th best from
+			// above — for this collection, and (when tightenAt is the full
+			// requested K) for any union of shards, so a shared threshold
+			// tightens admissibly across shards too.
+			threshold.Tighten(best[0].Distance)
 		}
 		mu.Unlock()
 	})
@@ -613,10 +784,7 @@ func (c *Core) batch(ctx context.Context, queries []series.Series, p Params, exc
 	if p.Workers > 0 {
 		workers = p.Workers
 	}
-	perQuery := (workers + len(queries) - 1) / len(queries)
-	if perQuery < 1 {
-		perQuery = 1
-	}
+	perQuery := perQueryWorkers(workers, len(queries))
 	var mu sync.Mutex // guards stats and firstErr; out slots are disjoint
 	var firstErr error
 	var stop atomic.Bool
@@ -648,6 +816,21 @@ func (c *Core) batch(ctx context.Context, queries []series.Series, p Params, exc
 		return nil, stats, firstErr
 	}
 	return out, stats, nil
+}
+
+// perQueryWorkers divides a worker budget across queries by ceiling
+// division, clamped to at least 1: small batches still use every worker
+// inside each query, large batches parallelise across queries with
+// sequential cascades.
+func perQueryWorkers(workers, queries int) int {
+	if queries <= 0 {
+		return 1
+	}
+	per := (workers + queries - 1) / queries
+	if per < 1 {
+		per = 1
+	}
+	return per
 }
 
 // ctxErr is ctx.Err() tolerating a nil context.

@@ -1,0 +1,424 @@
+// Package serve implements the HTTP (JSON) surface of the sdtwd search
+// service: search/add/remove/stats endpoints over a sharded index,
+// request admission with bounded in-flight searches and a bounded wait
+// queue (429 on overload), and graceful drain — in-flight searches run
+// to completion while the health check flips unhealthy, with a hard
+// deadline that cancels the remaining dynamic programs through the
+// cancellation already threaded into the DP.
+//
+// The package is separate from cmd/sdtwd so the benchmark harness and
+// the drain tests can run the exact serving path in-process.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"sdtw"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// MaxInflight bounds the searches executing concurrently; further
+	// searches wait in the admission queue. <= 0 means GOMAXPROCS.
+	MaxInflight int
+	// MaxQueue bounds the searches waiting for an in-flight slot; beyond
+	// it the server answers 429 immediately (backpressure, not
+	// buffering). <= 0 means 4×MaxInflight.
+	MaxQueue int
+	// DefaultK answers search requests that set neither k nor threshold.
+	// <= 0 means 1.
+	DefaultK int
+}
+
+// Server is the HTTP serving layer over one sharded index. Create with
+// New, mount Handler, and on shutdown call StartDrain before
+// http.Server.Shutdown (and CancelInflight once the drain deadline
+// expires).
+type Server struct {
+	ix  *sdtw.ShardedIndex
+	cfg Config
+
+	// sem holds one token per in-flight search; waiting counts searches
+	// queued for a token. Mutations are not admission-controlled: they
+	// are cheap relative to searches and arrive at control-plane rates.
+	sem     chan struct{}
+	waiting atomic.Int64
+
+	// base is cancelled by CancelInflight to stop still-running dynamic
+	// programs at the drain deadline.
+	base     context.Context
+	cancel   context.CancelFunc
+	draining atomic.Bool
+
+	searches, adds, removes, rejected atomic.Int64
+}
+
+// New builds a server over ix.
+func New(ix *sdtw.ShardedIndex, cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxInflight
+	}
+	if cfg.DefaultK <= 0 {
+		cfg.DefaultK = 1
+	}
+	base, cancel := context.WithCancel(context.Background())
+	return &Server{
+		ix:     ix,
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.MaxInflight),
+		base:   base,
+		cancel: cancel,
+	}
+}
+
+// Handler returns the service's routes:
+//
+//	POST /v1/search   {"values":[...], "id":"", "k":5, "threshold":1.5, "workers":0}
+//	POST /v1/add      {"id":"s-1", "label":0, "values":[...]}
+//	POST /v1/remove   {"id":"s-1"}
+//	GET  /v1/stats
+//	GET  /healthz
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("POST /v1/add", s.handleAdd)
+	mux.HandleFunc("POST /v1/remove", s.handleRemove)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// StartDrain flips the health check unhealthy so load balancers steer
+// new traffic away; already-admitted work keeps running. Call before
+// http.Server.Shutdown.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// CancelInflight cancels every in-flight search's dynamic programs — the
+// hard stop after the drain deadline. The server stays cancelled; it is
+// meant to exit next.
+func (s *Server) CancelInflight() { s.cancel() }
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// SearchRequest is the /v1/search body.
+type SearchRequest struct {
+	// ID optionally names the query; an indexed series sharing it is
+	// excluded from the results (self-exclusion).
+	ID string `json:"id,omitempty"`
+	// Values is the query series.
+	Values []float64 `json:"values"`
+	// K requests the k nearest neighbours. 0 with no threshold means the
+	// server's default; 0 with a threshold means every neighbour within
+	// it (range search).
+	K int `json:"k,omitempty"`
+	// Threshold restricts results to distances <= it (and seeds the
+	// pruning cascade). Absent means no limit; an explicit 0 is honoured
+	// (exact matches only).
+	Threshold *float64 `json:"threshold,omitempty"`
+	// Workers overrides the per-search worker budget when positive.
+	Workers int `json:"workers,omitempty"`
+}
+
+// HitJSON is one result of a search response.
+type HitJSON struct {
+	ID       string  `json:"id"`
+	Label    int     `json:"label"`
+	Distance float64 `json:"distance"`
+}
+
+// SearchStatsJSON is the cascade accounting of one search response.
+type SearchStatsJSON struct {
+	Candidates   int     `json:"candidates"`
+	PrunedKim    int     `json:"pruned_kim"`
+	PrunedKeogh  int     `json:"pruned_keogh"`
+	Evaluated    int     `json:"evaluated"`
+	AbandonedDTW int     `json:"abandoned_dtw"`
+	PruneRate    float64 `json:"prune_rate"`
+	WallMS       float64 `json:"wall_ms"`
+}
+
+// SearchResponse is the /v1/search reply.
+type SearchResponse struct {
+	Hits  []HitJSON       `json:"hits"`
+	Stats SearchStatsJSON `json:"stats"`
+}
+
+// AddRequest is the /v1/add body.
+type AddRequest struct {
+	ID     string    `json:"id"`
+	Label  int       `json:"label,omitempty"`
+	Values []float64 `json:"values"`
+}
+
+// RemoveRequest is the /v1/remove body.
+type RemoveRequest struct {
+	ID string `json:"id"`
+}
+
+// MutateResponse is the /v1/add and /v1/remove reply.
+type MutateResponse struct {
+	OK     bool `json:"ok"`
+	Series int  `json:"series"`
+}
+
+// StatsResponse is the /v1/stats reply.
+type StatsResponse struct {
+	Series     int    `json:"series"`
+	Shards     int    `json:"shards"`
+	ShardSizes []int  `json:"shard_sizes"`
+	Inflight   int    `json:"inflight"`
+	Queued     int64  `json:"queued"`
+	Searches   int64  `json:"searches"`
+	Adds       int64  `json:"adds"`
+	Removes    int64  `json:"removes"`
+	Rejected   int64  `json:"rejected"`
+	Draining   bool   `json:"draining"`
+	Radius     int    `json:"radius"`
+	Backend    string `json:"backend"`
+}
+
+// errorResponse is every error reply: {"error": "..."}.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// statusFor maps the library's sentinel errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, sdtw.ErrUnknownID):
+		return http.StatusNotFound
+	case errors.Is(err, sdtw.ErrDuplicateID):
+		return http.StatusConflict
+	case errors.Is(err, sdtw.ErrNoID),
+		errors.Is(err, sdtw.ErrEmptySeries),
+		errors.Is(err, sdtw.ErrBadK),
+		errors.Is(err, sdtw.ErrLengthMismatch),
+		errors.Is(err, sdtw.ErrEmptyCollection):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// Drain deadline or client disconnect stopped the DP.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// admit acquires an in-flight slot, waiting in the bounded queue if the
+// server is saturated. It returns a release function, or an HTTP status
+// explaining the rejection.
+func (s *Server) admit(ctx context.Context) (func(), int, error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, 0, nil
+	default:
+	}
+	if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
+		s.waiting.Add(-1)
+		s.rejected.Add(1)
+		return nil, http.StatusTooManyRequests,
+			fmt.Errorf("over capacity: %d searches in flight and %d queued", s.cfg.MaxInflight, s.cfg.MaxQueue)
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, 0, nil
+	case <-ctx.Done():
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("cancelled while queued: %w", ctx.Err())
+	}
+}
+
+// requestCtx derives the context a search runs under: the request's own
+// (client disconnects cancel the DP) joined with the server's base (the
+// drain deadline cancels every in-flight DP at once).
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.base, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding search request: %w", err))
+		return
+	}
+	if req.K < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be >= 0, got %d", req.K))
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	release, status, err := s.admit(ctx)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	defer release()
+
+	opts := make([]sdtw.SearchOption, 0, 3)
+	switch {
+	case req.K > 0:
+		opts = append(opts, sdtw.WithK(req.K))
+	case req.Threshold == nil:
+		opts = append(opts, sdtw.WithK(s.cfg.DefaultK))
+	}
+	if req.Threshold != nil {
+		opts = append(opts, sdtw.WithThreshold(*req.Threshold))
+	}
+	if req.Workers > 0 {
+		opts = append(opts, sdtw.WithWorkers(req.Workers))
+	}
+	query := sdtw.Series{ID: req.ID, Label: -1, Values: req.Values}
+	hits, stats, err := s.ix.Search(ctx, query, opts...)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	s.searches.Add(1)
+	resp := SearchResponse{
+		Hits: make([]HitJSON, len(hits)),
+		Stats: SearchStatsJSON{
+			Candidates:   stats.Candidates,
+			PrunedKim:    stats.PrunedKim,
+			PrunedKeogh:  stats.PrunedKeogh,
+			Evaluated:    stats.Evaluated,
+			AbandonedDTW: stats.AbandonedDTW,
+			PruneRate:    stats.PruneRate(),
+			WallMS:       float64(stats.WallTime.Microseconds()) / 1000,
+		},
+	}
+	for i, h := range hits {
+		resp.Hits[i] = HitJSON{ID: h.ID, Label: h.Label, Distance: h.Distance}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req AddRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding add request: %w", err))
+		return
+	}
+	s2 := sdtw.NewSeries(req.ID, req.Label, req.Values)
+	if err := s2.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.ix.Add(s2); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	s.adds.Add(1)
+	writeJSON(w, http.StatusOK, MutateResponse{OK: true, Series: s.ix.Len()})
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	var req RemoveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding remove request: %w", err))
+		return
+	}
+	if err := s.ix.Remove(req.ID); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	s.removes.Add(1)
+	writeJSON(w, http.StatusOK, MutateResponse{OK: true, Series: s.ix.Len()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	backend := "engine"
+	if s.ix.Radius() >= 0 {
+		backend = "windowed"
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Series:     s.ix.Len(),
+		Shards:     s.ix.Shards(),
+		ShardSizes: s.ix.ShardSizes(),
+		Inflight:   len(s.sem),
+		Queued:     s.waiting.Load(),
+		Searches:   s.searches.Load(),
+		Adds:       s.adds.Load(),
+		Removes:    s.removes.Load(),
+		Rejected:   s.rejected.Load(),
+		Draining:   s.draining.Load(),
+		Radius:     s.ix.Radius(),
+		Backend:    backend,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// Run serves the handler on addr until ctx is cancelled, then drains:
+// the listener closes, in-flight requests run to completion, and after
+// drainTimeout any still-running dynamic programs are cancelled. It
+// returns once the server has fully stopped — the wiring cmd/sdtwd and
+// the drain tests share.
+func (s *Server) Run(ctx context.Context, addr string, drainTimeout time.Duration, ready chan<- string) error {
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	return s.run(ctx, hs, drainTimeout, ready)
+}
+
+func (s *Server) run(ctx context.Context, hs *http.Server, drainTimeout time.Duration, ready chan<- string) error {
+	ln, err := newListener(hs.Addr)
+	if err != nil {
+		return err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	s.StartDrain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err = hs.Shutdown(drainCtx)
+	if err != nil {
+		// Drain deadline passed: stop the remaining dynamic programs and
+		// close whatever connections are left.
+		s.CancelInflight()
+		closeCtx, cancel2 := context.WithTimeout(context.Background(), time.Second)
+		defer cancel2()
+		_ = hs.Shutdown(closeCtx)
+		_ = hs.Close()
+	}
+	<-serveErr // hs.Serve has returned http.ErrServerClosed
+	return err
+}
+
+func newListener(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}

@@ -1,0 +1,437 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sdtw"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *sdtw.Dataset) {
+	t.Helper()
+	d := sdtw.GunDataset(sdtw.DatasetConfig{Seed: 11, SeriesPerClass: 8})
+	ix, err := sdtw.NewShardedIndex(d.Series, 3, sdtw.Options{
+		Strategy:  sdtw.FixedCoreFixedWidth,
+		WidthFrac: 0.10,
+	})
+	if err != nil {
+		t.Fatalf("NewShardedIndex: %v", err)
+	}
+	return New(ix, cfg), d
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestEndpoints(t *testing.T) {
+	srv, d := newTestServer(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	// Search: explicit k.
+	q := d.Series[0]
+	resp, body := postJSON(t, c, ts.URL+"/v1/search", SearchRequest{ID: q.ID, Values: q.Values, K: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search: status %d: %s", resp.StatusCode, body)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(sr.Hits) != 3 {
+		t.Fatalf("k=3 search returned %d hits", len(sr.Hits))
+	}
+	for _, h := range sr.Hits {
+		if h.ID == q.ID {
+			t.Fatalf("self-exclusion failed: query %q in hits", q.ID)
+		}
+	}
+	if sr.Stats.Candidates == 0 || sr.Stats.WallMS < 0 {
+		t.Fatalf("implausible stats: %+v", sr.Stats)
+	}
+
+	// Search: no k and no threshold means the server default (1).
+	resp, body = postJSON(t, c, ts.URL+"/v1/search", SearchRequest{Values: q.Values})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default-k search: status %d: %s", resp.StatusCode, body)
+	}
+	sr = SearchResponse{}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(sr.Hits) != 1 {
+		t.Fatalf("default search returned %d hits, want 1", len(sr.Hits))
+	}
+
+	// Search: an explicit threshold of 0 is honoured (exact matches only),
+	// not mistaken for "unset" — the zero-value trap the server-side
+	// DefaultParams/ThresholdSet plumbing exists to avoid.
+	zero := 0.0
+	resp, body = postJSON(t, c, ts.URL+"/v1/search", SearchRequest{Values: q.Values, Threshold: &zero})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("threshold-0 search: status %d: %s", resp.StatusCode, body)
+	}
+	sr = SearchResponse{}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for _, h := range sr.Hits {
+		if h.Distance > 0 {
+			t.Fatalf("threshold 0 returned distance %v", h.Distance)
+		}
+	}
+
+	// Add, search for it, remove it.
+	nv := append([]float64(nil), q.Values...)
+	resp, body = postJSON(t, c, ts.URL+"/v1/add", AddRequest{ID: "fresh", Label: 9, Values: nv})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, c, ts.URL+"/v1/search", SearchRequest{ID: q.ID, Values: q.Values, K: 1})
+	sr = SearchResponse{}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || len(sr.Hits) != 1 || sr.Hits[0].ID != "fresh" {
+		t.Fatalf("added duplicate not nearest: %d %+v", resp.StatusCode, sr.Hits)
+	}
+	resp, body = postJSON(t, c, ts.URL+"/v1/remove", RemoveRequest{ID: "fresh"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("remove: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Stats.
+	resp, err := c.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	resp.Body.Close()
+	if st.Series != len(d.Series) || st.Shards != 3 || st.Adds != 1 || st.Removes != 1 || st.Searches != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+	total := 0
+	for _, n := range st.ShardSizes {
+		total += n
+	}
+	if total != st.Series {
+		t.Fatalf("shard sizes %v do not sum to %d", st.ShardSizes, st.Series)
+	}
+
+	// Healthz.
+	resp, err = c.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+}
+
+func TestErrorMapping(t *testing.T) {
+	srv, d := newTestServer(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := ts.Client()
+	q := d.Series[0]
+
+	cases := []struct {
+		name   string
+		path   string
+		body   any
+		status int
+	}{
+		{"remove unknown", "/v1/remove", RemoveRequest{ID: "nope"}, http.StatusNotFound},
+		{"remove empty id", "/v1/remove", RemoveRequest{}, http.StatusBadRequest},
+		{"add duplicate", "/v1/add", AddRequest{ID: d.Series[1].ID, Values: q.Values}, http.StatusConflict},
+		{"add empty id", "/v1/add", AddRequest{Values: q.Values}, http.StatusBadRequest},
+		{"add empty values", "/v1/add", AddRequest{ID: "x"}, http.StatusBadRequest},
+		{"search empty query", "/v1/search", SearchRequest{K: 1}, http.StatusBadRequest},
+		{"search negative k", "/v1/search", SearchRequest{Values: q.Values, K: -2}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, c, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body %q not {\"error\":...}", tc.name, body)
+		}
+	}
+
+	// Malformed JSON.
+	resp, err := c.Post(ts.URL+"/v1/search", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatalf("malformed: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+
+	// Wrong method.
+	resp, err = c.Get(ts.URL + "/v1/search")
+	if err != nil {
+		t.Fatalf("GET search: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/search: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestBackpressure saturates the in-flight slots and the wait queue by
+// holding the admission semaphore directly, then checks the server sheds
+// the overflow with 429 instead of buffering without bound.
+func TestBackpressure(t *testing.T) {
+	srv, d := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	q := d.Series[0]
+
+	srv.sem <- struct{}{} // the one in-flight slot is now busy
+
+	// One search fits in the queue; it blocks until the slot frees.
+	queued := make(chan int, 1)
+	go func() {
+		resp, _ := postJSON(t, ts.Client(), ts.URL+"/v1/search", SearchRequest{Values: q.Values, K: 1})
+		queued <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return srv.waiting.Load() == 1 }, "search to queue")
+
+	// The next search overflows the queue: immediate 429.
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/search", SearchRequest{Values: q.Values, K: 1})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow search: status %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	if srv.rejected.Load() != 1 {
+		t.Fatalf("rejected counter = %d, want 1", srv.rejected.Load())
+	}
+
+	// Freeing the slot lets the queued search run to completion.
+	<-srv.sem
+	select {
+	case code := <-queued:
+		if code != http.StatusOK {
+			t.Fatalf("queued search: status %d, want 200", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued search never completed")
+	}
+}
+
+// TestDrainCompletesInflight is the graceful-drain acceptance test: with
+// a search admitted and another queued, cancelling the run context (what
+// SIGTERM does in cmd/sdtwd) must close the listener and flip /healthz,
+// yet both searches complete with full results before Run returns — and
+// no goroutines leak.
+func TestDrainCompletesInflight(t *testing.T) {
+	defer checkNoLeaks(t, runtime.NumGoroutine())
+
+	srv, d := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 2})
+	q := d.Series[0]
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	runDone := make(chan error, 1)
+	go func() { runDone <- srv.Run(ctx, "127.0.0.1:0", 30*time.Second, ready) }()
+	base := "http://" + <-ready
+
+	srv.sem <- struct{}{} // pin the slot so the next search queues
+
+	searchDone := make(chan SearchResponse, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, body := postJSON(t, http.DefaultClient, base+"/v1/search", SearchRequest{Values: q.Values, K: 2})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("in-flight search: status %d (%s)", resp.StatusCode, body)
+			searchDone <- SearchResponse{}
+			return
+		}
+		var sr SearchResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		searchDone <- sr
+	}()
+	waitFor(t, func() bool { return srv.waiting.Load() == 1 }, "search to queue")
+
+	cancel() // SIGTERM
+
+	// The drain is underway: Run must NOT return while a search is queued.
+	waitFor(t, func() bool { return srv.Draining() }, "drain to start")
+	select {
+	case err := <-runDone:
+		t.Fatalf("Run returned %v with a search still in flight", err)
+	case <-time.After(200 * time.Millisecond):
+	}
+
+	// Release the slot: the queued search runs to completion and the
+	// drain finishes cleanly.
+	<-srv.sem
+	wg.Wait()
+	sr := <-searchDone
+	if len(sr.Hits) != 2 {
+		t.Fatalf("drained search returned %d hits, want 2", len(sr.Hits))
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after the last search drained")
+	}
+}
+
+// TestDrainDeadlineCancelsDP pins the hard stop: when in-flight work
+// outlives the drain timeout, CancelInflight cancels it through the
+// request context (the same cancellation the DP polls), the request
+// answers 503, and Run reports the incomplete drain.
+func TestDrainDeadlineCancelsDP(t *testing.T) {
+	defer checkNoLeaks(t, runtime.NumGoroutine())
+
+	srv, d := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 2})
+	q := d.Series[0]
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	runDone := make(chan error, 1)
+	go func() { runDone <- srv.Run(ctx, "127.0.0.1:0", 100*time.Millisecond, ready) }()
+	base := "http://" + <-ready
+
+	srv.sem <- struct{}{} // never released: the queued search can only end by cancellation
+	codes := make(chan int, 1)
+	go func() {
+		resp, _ := postJSON(t, http.DefaultClient, base+"/v1/search", SearchRequest{Values: q.Values, K: 1})
+		codes <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return srv.waiting.Load() == 1 }, "search to queue")
+
+	cancel()
+	select {
+	case code := <-codes:
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("cancelled search: status %d, want 503", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued search not cancelled by the drain deadline")
+	}
+	select {
+	case err := <-runDone:
+		if err == nil {
+			t.Fatal("Run returned nil after an incomplete drain")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return")
+	}
+	<-srv.sem
+}
+
+func TestHealthzFlipsWhileDraining(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	srv.StartDrain()
+	resp, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: got %v %v, want 503", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// checkNoLeaks fails the test if the goroutine count does not settle
+// back to its starting value — the zero-leak half of the drain
+// acceptance criteria. HTTP client keep-alive goroutines wind down
+// asynchronously, so it polls before judging.
+func checkNoLeaks(t *testing.T, before int) {
+	t.Helper()
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	var n int
+	for {
+		n = runtime.NumGoroutine()
+		if n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutine leak after drain: %d -> %d\n%s", before, n, buf[:runtime.Stack(buf, true)])
+}
+
+// TestStatusFor pins the sentinel-to-HTTP mapping.
+func TestStatusFor(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{sdtw.ErrUnknownID, http.StatusNotFound},
+		{sdtw.ErrDuplicateID, http.StatusConflict},
+		{sdtw.ErrNoID, http.StatusBadRequest},
+		{sdtw.ErrEmptySeries, http.StatusBadRequest},
+		{sdtw.ErrBadK, http.StatusBadRequest},
+		{sdtw.ErrLengthMismatch, http.StatusBadRequest},
+		{context.Canceled, http.StatusServiceUnavailable},
+		{context.DeadlineExceeded, http.StatusServiceUnavailable},
+		{fmt.Errorf("wrapped: %w", sdtw.ErrUnknownID), http.StatusNotFound},
+		{fmt.Errorf("anything else"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := statusFor(tc.err); got != tc.want {
+			t.Errorf("statusFor(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,420 @@
+// Package shard implements the N-way sharded retrieval layer behind the
+// sdtwd search service: series are hash-routed by ID across independent
+// retrieve.Core shards, searches fan out across the shards concurrently
+// and merge their top-k through one shared best-so-far threshold (so
+// pruning compounds across shards exactly as it does across the workers
+// inside one search), and each shard serves reads from copy-on-write
+// snapshots — an Add or Remove builds a new core beside the old one and
+// publishes it with a single atomic store, so searches never block
+// behind mutations.
+//
+// Sharded search is exact: for any shard count, the merged top-k is
+// bit-identical (IDs and distances) to a single-core search over the
+// same collection. Per-shard results are merged by (distance, insertion
+// sequence); within a shard, local positions preserve insertion order,
+// so the shard-local tie-breaks agree with the global ones.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdtw/internal/lower"
+	"sdtw/internal/retrieve"
+	"sdtw/internal/series"
+)
+
+// ErrNoID reports a series without an ID reaching the sharded layer:
+// hash routing (and Remove) key on non-empty IDs.
+var ErrNoID = errors.New("sharded collections need non-empty series IDs")
+
+// Config assembles a Cluster.
+type Config struct {
+	// Shards is the shard count (>= 1).
+	Shards int
+	// NewBackend builds the distance backend for one shard. Each shard
+	// owns its backend so per-series caches (feature extraction) never
+	// contend across shards.
+	NewBackend func(shard int) (retrieve.Backend, error)
+	// Workers is the total search worker budget, divided across the
+	// non-empty shards per search (<= 0 is clamped to the shard count).
+	Workers int
+	// Abandon enables threshold-aware early abandonment inside the DP
+	// when the backend admits it.
+	Abandon bool
+}
+
+// Hit is one merged retrieval result. Sharding renumbers positions per
+// shard, so results are identified by series ID rather than position.
+type Hit struct {
+	// ID is the matched series' ID.
+	ID string
+	// Label is the matched series' class label.
+	Label int
+	// Distance is the backend distance to the query.
+	Distance float64
+}
+
+// snapshot is one shard's immutable published state. Readers load it
+// atomically and use it for a whole search; writers clone it, mutate the
+// clone, and publish the result.
+type snapshot struct {
+	// core is nil while the shard holds no series.
+	core *retrieve.Core
+	// seqs[i] is the cluster-wide insertion sequence of the series at
+	// local position i — the global tie-break order merged results use.
+	seqs []uint64
+}
+
+// slot is one shard: the published snapshot plus the writer lock that
+// serialises its copy-on-write mutations.
+type slot struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[snapshot]
+}
+
+// Cluster is the sharded collection. It is safe for concurrent use:
+// searches are lock-free against mutations (they run on published
+// snapshots), mutations serialise per shard.
+type Cluster struct {
+	backends []retrieve.Backend
+	workers  int
+	abandon  bool
+	slots    []slot
+	nextSeq  atomic.Uint64
+}
+
+// Route maps a series ID to its shard: FNV-1a over the ID, modulo the
+// shard count. Exported so tools (and tests) can predict placement.
+func Route(id string, shards int) int {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int(h.Sum64() % uint64(shards))
+}
+
+// New builds a cluster over data (which may be empty — a serving cluster
+// typically starts empty and fills through Add). Every series needs a
+// non-empty, unique ID. The initial insertion sequence is the position
+// in data, so a search over the freshly built cluster breaks distance
+// ties exactly like an unsharded index over the same slice.
+func New(cfg Config, data []series.Series) (*Cluster, error) {
+	parts, seqs, err := partition(cfg, data)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(cfg, parts, nil, seqs, uint64(len(data)))
+}
+
+// Restore rebuilds a cluster from persisted per-shard state: the series,
+// their LB_Keogh envelopes (trusted, not recomputed), the insertion
+// sequences, and the next sequence number. parts, envs and seqs are
+// indexed by shard and must all have cfg.Shards entries; empty shards
+// are empty slices.
+func Restore(cfg Config, parts [][]series.Series, envs [][]lower.Envelope, seqs [][]uint64, nextSeq uint64) (*Cluster, error) {
+	if len(parts) != cfg.Shards || len(envs) != cfg.Shards || len(seqs) != cfg.Shards {
+		return nil, fmt.Errorf("snapshot has %d/%d/%d shard entries, want %d: %w",
+			len(parts), len(envs), len(seqs), cfg.Shards, retrieve.ErrConfigMismatch)
+	}
+	for i, part := range parts {
+		if len(seqs[i]) != len(part) {
+			return nil, fmt.Errorf("shard %d has %d sequence numbers for %d series: %w",
+				i, len(seqs[i]), len(part), retrieve.ErrConfigMismatch)
+		}
+	}
+	return assemble(cfg, parts, envs, seqs, nextSeq)
+}
+
+// partition validates data and splits it (order-preserving) across the
+// shards, pairing every series with its global insertion sequence.
+func partition(cfg Config, data []series.Series) ([][]series.Series, [][]uint64, error) {
+	parts := make([][]series.Series, cfg.Shards)
+	seqs := make([][]uint64, cfg.Shards)
+	seen := make(map[string]bool, len(data))
+	for i, s := range data {
+		if s.ID == "" {
+			return nil, nil, fmt.Errorf("series %d: %w", i, ErrNoID)
+		}
+		if seen[s.ID] {
+			return nil, nil, fmt.Errorf("%w: %q", retrieve.ErrDuplicateID, s.ID)
+		}
+		seen[s.ID] = true
+		sh := Route(s.ID, cfg.Shards)
+		parts[sh] = append(parts[sh], s)
+		seqs[sh] = append(seqs[sh], uint64(i))
+	}
+	return parts, seqs, nil
+}
+
+func assemble(cfg Config, parts [][]series.Series, envs [][]lower.Envelope, seqs [][]uint64, nextSeq uint64) (*Cluster, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("cluster needs at least one shard, got %d", cfg.Shards)
+	}
+	if cfg.NewBackend == nil {
+		return nil, fmt.Errorf("cluster needs a backend constructor")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = cfg.Shards
+	}
+	c := &Cluster{
+		backends: make([]retrieve.Backend, cfg.Shards),
+		workers:  workers,
+		abandon:  cfg.Abandon,
+		slots:    make([]slot, cfg.Shards),
+	}
+	c.nextSeq.Store(nextSeq)
+	for i := range c.slots {
+		b, err := cfg.NewBackend(i)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d backend: %w", i, err)
+		}
+		c.backends[i] = b
+		snap := &snapshot{}
+		if len(parts[i]) > 0 {
+			var core *retrieve.Core
+			if envs == nil {
+				core, err = retrieve.New(b, parts[i], workers, cfg.Abandon)
+			} else {
+				core, err = retrieve.Restore(b, parts[i], envs[i], workers, cfg.Abandon)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			snap.core = core
+			snap.seqs = append([]uint64(nil), seqs[i]...)
+		}
+		c.slots[i].snap.Store(snap)
+	}
+	return c, nil
+}
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return len(c.slots) }
+
+// Len returns the total number of indexed series across all shards.
+func (c *Cluster) Len() int {
+	n := 0
+	for i := range c.slots {
+		if snap := c.slots[i].snap.Load(); snap.core != nil {
+			n += snap.core.Len()
+		}
+	}
+	return n
+}
+
+// Sizes returns the per-shard series counts.
+func (c *Cluster) Sizes() []int {
+	sizes := make([]int, len(c.slots))
+	for i := range c.slots {
+		if snap := c.slots[i].snap.Load(); snap.core != nil {
+			sizes[i] = snap.core.Len()
+		}
+	}
+	return sizes
+}
+
+// Add routes s to its shard and publishes a copy-on-write snapshot with
+// it admitted. The series needs a non-empty ID, unique across the
+// cluster (equal IDs route to the same shard, so the shard-local
+// duplicate check is the cluster-wide one). Searches already running
+// keep their pre-Add snapshot; searches starting after the store see s.
+func (c *Cluster) Add(s series.Series) error {
+	if s.ID == "" {
+		return ErrNoID
+	}
+	sh := Route(s.ID, len(c.slots))
+	sl := &c.slots[sh]
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	cur := sl.snap.Load()
+	next := &snapshot{}
+	if cur.core == nil {
+		core, err := retrieve.New(c.backends[sh], []series.Series{s}, c.workers, c.abandon)
+		if err != nil {
+			return err
+		}
+		next.core = core
+	} else {
+		core, err := cur.core.CloneAdd(s)
+		if err != nil {
+			return err
+		}
+		next.core = core
+	}
+	seq := c.nextSeq.Add(1) - 1
+	next.seqs = append(append(make([]uint64, 0, len(cur.seqs)+1), cur.seqs...), seq)
+	sl.snap.Store(next)
+	return nil
+}
+
+// Remove deletes the series with the given non-empty ID from its shard
+// via a copy-on-write snapshot. Unlike a single Core — which refuses to
+// drop its last series — a shard may drain to empty: the cluster as a
+// whole is allowed to be empty.
+func (c *Cluster) Remove(id string) error {
+	if id == "" {
+		return fmt.Errorf("Remove needs a non-empty ID: %w", ErrNoID)
+	}
+	sh := Route(id, len(c.slots))
+	sl := &c.slots[sh]
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	cur := sl.snap.Load()
+	if cur.core == nil {
+		return fmt.Errorf("%w: %q", retrieve.ErrUnknownID, id)
+	}
+	if cur.core.Len() == 1 {
+		only := cur.core.Series(0)
+		if only.ID != id {
+			return fmt.Errorf("%w: %q", retrieve.ErrUnknownID, id)
+		}
+		c.backends[sh].Forget(only)
+		sl.snap.Store(&snapshot{})
+		return nil
+	}
+	core, pos, err := cur.core.CloneRemove(id)
+	if err != nil {
+		return err
+	}
+	seqs := make([]uint64, 0, len(cur.seqs)-1)
+	seqs = append(seqs, cur.seqs[:pos]...)
+	seqs = append(seqs, cur.seqs[pos+1:]...)
+	sl.snap.Store(&snapshot{core: core, seqs: seqs})
+	return nil
+}
+
+// hit is a merged result before the sequence tie-break is dropped.
+type hit struct {
+	Hit
+	seq uint64
+}
+
+// Search fans the query out across every non-empty shard concurrently
+// and merges the per-shard top-k into the cluster top-k. All shard
+// searches read and tighten one shared best-so-far threshold
+// (Params.Shared), so a tight k-th best found on one shard prunes
+// candidates on every other — the atomic-threshold idiom of the
+// in-search worker pool lifted one level up. The merge orders by
+// (distance, insertion sequence), which reproduces an unsharded index's
+// (distance, position) order bit-for-bit.
+//
+// p.Exclude is positional and therefore meaningless across shards; use
+// retrieve.DefaultParams (Exclude −1) and rely on the ID-based
+// self-exclusion. A cancelled ctx stops every shard search promptly.
+func (c *Cluster) Search(ctx context.Context, query series.Series, p retrieve.Params) ([]Hit, retrieve.Stats, error) {
+	start := time.Now()
+	snaps := make([]*snapshot, 0, len(c.slots))
+	for i := range c.slots {
+		if snap := c.slots[i].snap.Load(); snap.core != nil {
+			snaps = append(snaps, snap)
+		}
+	}
+	var stats retrieve.Stats
+	if len(snaps) == 0 {
+		// An empty cluster answers with no neighbours — a serving
+		// collection legitimately starts empty.
+		if len(query.Values) == 0 {
+			return nil, stats, fmt.Errorf("query: %w", retrieve.ErrEmptySeries)
+		}
+		stats.WallTime = time.Since(start)
+		return nil, stats, nil
+	}
+
+	rp := p
+	rp.Shared = retrieve.NewSharedThreshold(p.EffectiveThreshold())
+	workers := rp.Workers
+	if workers <= 0 {
+		workers = c.workers
+	}
+	// Ceiling-divide the worker budget across shards (the batch idiom):
+	// every shard keeps at least one worker, small clusters keep full
+	// in-shard parallelism.
+	rp.Workers = (workers + len(snaps) - 1) / len(snaps)
+	if rp.Workers < 1 {
+		rp.Workers = 1
+	}
+
+	type shardOut struct {
+		hits []hit
+		st   retrieve.Stats
+		err  error
+	}
+	outs := make([]shardOut, len(snaps))
+	var wg sync.WaitGroup
+	for i, snap := range snaps {
+		wg.Add(1)
+		go func(i int, snap *snapshot) {
+			defer wg.Done()
+			nbrs, st, err := snap.core.Search(ctx, query, rp)
+			out := shardOut{st: st, err: err}
+			if err == nil && len(nbrs) > 0 {
+				out.hits = make([]hit, len(nbrs))
+				for j, nb := range nbrs {
+					s := snap.core.Series(nb.Pos)
+					out.hits[j] = hit{
+						Hit: Hit{ID: s.ID, Label: s.Label, Distance: nb.Distance},
+						seq: snap.seqs[nb.Pos],
+					}
+				}
+			}
+			outs[i] = out
+		}(i, snap)
+	}
+	wg.Wait()
+
+	merged := make([]hit, 0, len(snaps)*max(1, rp.K))
+	for _, out := range outs {
+		stats.Merge(out.st)
+		if out.err != nil {
+			stats.WallTime = time.Since(start)
+			return nil, stats, out.err
+		}
+		merged = append(merged, out.hits...)
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].Distance != merged[b].Distance {
+			return merged[a].Distance < merged[b].Distance
+		}
+		return merged[a].seq < merged[b].seq
+	})
+	if rp.K > 0 && len(merged) > rp.K {
+		merged = merged[:rp.K]
+	}
+	hits := make([]Hit, len(merged))
+	for i, h := range merged {
+		hits[i] = h.Hit
+	}
+	stats.WallTime = time.Since(start)
+	return hits, stats, nil
+}
+
+// ShardSnapshot captures shard i's published state for persistence: the
+// series, their envelopes, and their insertion sequences (nil slices for
+// an empty shard). A non-nil capture runs while the shard core's read
+// lock is held — the same consistency seam retrieve.Core.Snapshot gives
+// single-core persistence.
+func (c *Cluster) ShardSnapshot(i int, capture func()) ([]series.Series, []lower.Envelope, []uint64) {
+	snap := c.slots[i].snap.Load()
+	if snap.core == nil {
+		if capture != nil {
+			capture()
+		}
+		return nil, nil, nil
+	}
+	data, envs := snap.core.Snapshot(capture)
+	seqs := append([]uint64(nil), snap.seqs...)
+	return data, envs, seqs
+}
+
+// NextSeq exposes the cluster's next insertion sequence for persistence.
+func (c *Cluster) NextSeq() uint64 { return c.nextSeq.Load() }
+
+// Fingerprint returns shard 0's backend fingerprint; all shards share
+// one configuration, so one fingerprint describes the cluster.
+func (c *Cluster) Fingerprint() string { return c.backends[0].Fingerprint() }

@@ -7,6 +7,7 @@ import (
 
 	"sdtw/internal/lower"
 	"sdtw/internal/retrieve"
+	"sdtw/internal/shard"
 	"sdtw/internal/sift"
 )
 
@@ -166,6 +167,178 @@ func decodeSnapshot(r io.Reader) (indexSnapshot, error) {
 	if snap.Version != indexSnapshotVersion {
 		return snap, fmt.Errorf("sdtw: index snapshot version %d, want %d: %w",
 			snap.Version, indexSnapshotVersion, ErrConfigMismatch)
+	}
+	return snap, nil
+}
+
+// shardedSnapshot is the on-wire form of a whole sharded index: the
+// per-shard collections, precomputed one-time costs, insertion sequences
+// (the cross-shard tie-break order), and the configuration fingerprint.
+// Keeping the state per shard means a load rebuilds every shard exactly
+// as it was — no re-routing, no envelope recomputation.
+type shardedSnapshot struct {
+	Version     int
+	Kind        string
+	Fingerprint string
+	// Shards is the shard count the cluster was saved under.
+	Shards int
+	// Length and Radius reconstruct windowed backends.
+	Length, Radius int
+	// NextSeq is the cluster's next insertion sequence; per-shard Seqs
+	// preserve the global insertion order merged searches tie-break on.
+	NextSeq        uint64
+	ShardSeries    [][]Series
+	ShardEnvelopes [][]lower.Envelope
+	ShardSeqs      [][]uint64
+	// ShardFeatures holds each shard engine's salient-feature cache; nil
+	// for windowed snapshots.
+	ShardFeatures []map[string][]sift.Feature
+}
+
+const shardedSnapshotVersion = 1
+
+// Save serialises the whole sharded index (gob), shard by shard. Each
+// shard's state is captured under that shard's read lock, so every shard
+// is internally consistent; concurrent mutations on other shards may or
+// may not be included (save during a quiet period for a point-in-time
+// snapshot). NextSeq is captured last, so every captured sequence number
+// is below it.
+func (si *ShardedIndex) Save(w io.Writer) error {
+	snap := shardedSnapshot{
+		Version:     shardedSnapshotVersion,
+		Fingerprint: si.cluster.Fingerprint(),
+		Shards:      si.shards,
+		ShardSeries: make([][]Series, si.shards),
+		ShardSeqs:   make([][]uint64, si.shards),
+	}
+	snap.ShardEnvelopes = make([][]lower.Envelope, si.shards)
+	if si.engines != nil {
+		snap.Kind = snapshotKindEngine
+		snap.ShardFeatures = make([]map[string][]sift.Feature, si.shards)
+	} else {
+		snap.Kind = snapshotKindWindowed
+		snap.Radius = si.radius
+	}
+	for i := 0; i < si.shards; i++ {
+		var features map[string][]sift.Feature
+		capture := func() {}
+		if si.engines != nil {
+			eng := si.engines[i]
+			capture = func() { features = eng.inner.CacheSnapshot() }
+		}
+		data, envs, seqs := si.cluster.ShardSnapshot(i, capture)
+		snap.ShardSeries[i] = data
+		snap.ShardEnvelopes[i] = envs
+		snap.ShardSeqs[i] = seqs
+		if si.engines != nil {
+			// Keep only the saved series' features (the cache also holds
+			// query features; see Index.Save).
+			kept := make(map[string][]sift.Feature, len(data))
+			for _, s := range data {
+				if feats, ok := features[s.ID]; ok {
+					kept[s.ID] = feats
+				}
+			}
+			snap.ShardFeatures[i] = kept
+		}
+		if snap.Kind == snapshotKindWindowed && len(data) > 0 && snap.Length == 0 {
+			snap.Length = data[0].Len()
+		}
+	}
+	snap.NextSeq = si.cluster.NextSeq()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("sdtw: encoding sharded index snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadShardedIndex restores an engine-backed sharded index written by
+// ShardedIndex.Save. opts must describe the same engine configuration
+// the snapshot was written under (ErrConfigMismatch otherwise); the
+// shard count travels inside the snapshot.
+func LoadShardedIndex(r io.Reader, opts Options) (*ShardedIndex, error) {
+	snap, err := decodeShardedSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Kind != snapshotKindEngine {
+		return nil, fmt.Errorf("sdtw: snapshot holds a %s sharded index, want %s (use LoadShardedWindowedIndex): %w",
+			snap.Kind, snapshotKindEngine, ErrConfigMismatch)
+	}
+	if fp := engineFingerprint(opts); fp != snap.Fingerprint {
+		return nil, fmt.Errorf("sdtw: snapshot written under %q, loading under %q: %w",
+			snap.Fingerprint, fp, ErrConfigMismatch)
+	}
+	engines := make([]*Engine, snap.Shards)
+	fp := engineFingerprint(opts)
+	cfg := shard.Config{
+		Shards: snap.Shards,
+		NewBackend: func(i int) (retrieve.Backend, error) {
+			engines[i] = NewEngine(opts)
+			engines[i].inner.RestoreCache(snap.ShardFeatures[i])
+			return retrieve.NewEngineBackend(engines[i].inner, fp, opts.PointDistance != nil), nil
+		},
+		Workers: indexWorkers(opts.Workers),
+		Abandon: !opts.DisableAbandon,
+	}
+	cluster, err := shard.Restore(cfg, snap.ShardSeries, snap.ShardEnvelopes, snap.ShardSeqs, snap.NextSeq)
+	if err != nil {
+		return nil, fmt.Errorf("sdtw: %w", err)
+	}
+	return &ShardedIndex{cluster: cluster, engines: engines, radius: -1, shards: snap.Shards}, nil
+}
+
+// LoadShardedWindowedIndex restores a windowed sharded index written by
+// ShardedIndex.Save; its configuration travels inside the snapshot.
+func LoadShardedWindowedIndex(r io.Reader) (*ShardedIndex, error) {
+	snap, err := decodeShardedSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Kind != snapshotKindWindowed {
+		return nil, fmt.Errorf("sdtw: snapshot holds a %s sharded index, want %s (use LoadShardedIndex): %w",
+			snap.Kind, snapshotKindWindowed, ErrConfigMismatch)
+	}
+	eff := -1
+	var fpErr error
+	cfg := shard.Config{
+		Shards: snap.Shards,
+		NewBackend: func(i int) (retrieve.Backend, error) {
+			b, e, err := retrieve.NewWindowedBackend(snap.Length, snap.Radius)
+			if err != nil {
+				return nil, err
+			}
+			eff = e
+			if fp := b.Fingerprint(); fp != snap.Fingerprint && fpErr == nil {
+				fpErr = fmt.Errorf("sdtw: snapshot written under %q, rebuilt backend is %q: %w",
+					snap.Fingerprint, fp, ErrConfigMismatch)
+			}
+			return b, nil
+		},
+		Workers: indexWorkers(0),
+		Abandon: true,
+	}
+	cluster, err := shard.Restore(cfg, snap.ShardSeries, snap.ShardEnvelopes, snap.ShardSeqs, snap.NextSeq)
+	if err != nil {
+		return nil, fmt.Errorf("sdtw: %w", err)
+	}
+	if fpErr != nil {
+		return nil, fpErr
+	}
+	return &ShardedIndex{cluster: cluster, radius: eff, shards: snap.Shards}, nil
+}
+
+func decodeShardedSnapshot(r io.Reader) (shardedSnapshot, error) {
+	var snap shardedSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("sdtw: decoding sharded index snapshot: %w", err)
+	}
+	if snap.Version != shardedSnapshotVersion {
+		return snap, fmt.Errorf("sdtw: sharded index snapshot version %d, want %d: %w",
+			snap.Version, shardedSnapshotVersion, ErrConfigMismatch)
+	}
+	if snap.Shards < 1 {
+		return snap, fmt.Errorf("sdtw: sharded index snapshot has %d shards: %w", snap.Shards, ErrConfigMismatch)
 	}
 	return snap, nil
 }

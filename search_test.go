@@ -209,3 +209,30 @@ func TestSearchWithWorkers(t *testing.T) {
 		}
 	}
 }
+
+// TestExplicitZeroThreshold regression-pins the zero-value threshold
+// distinction on the public surface: WithThreshold(0) is a real range
+// limit (exact matches only), not "unset" — the self-match at distance 0
+// survives it, every other neighbour does not — while omitting the
+// option means no limit at all.
+func TestExplicitZeroThreshold(t *testing.T) {
+	indexes, d := searchIndexes(t)
+	ctx := context.Background()
+	for name, ix := range indexes {
+		q := NewSeries("probe", 0, d.Series[0].Values) // exact copy, distinct ID
+		hits, _, err := ix.Search(ctx, q, WithThreshold(0))
+		if err != nil {
+			t.Fatalf("%s: threshold-0 search: %v", name, err)
+		}
+		if len(hits) != 1 || hits[0].Distance != 0 || hits[0].Pos != 0 {
+			t.Fatalf("%s: threshold-0 search = %+v, want exactly the copy at position 0", name, hits)
+		}
+		all, _, err := ix.Search(ctx, q, WithK(d.Len()))
+		if err != nil {
+			t.Fatalf("%s: unthresholded search: %v", name, err)
+		}
+		if len(all) != d.Len() {
+			t.Fatalf("%s: unthresholded search returned %d hits, want %d", name, len(all), d.Len())
+		}
+	}
+}

@@ -239,6 +239,16 @@ func (m *Monitor) PushBatch(ctx context.Context, values []float64) ([]Match, err
 // path while bounding cancellation latency.
 const cancelCheckPoints = 64
 
+// streamCtxErr is ctx.Err() tolerating a nil context, mirroring the
+// retrieval surface: Index.Search accepts a nil context and so do Push,
+// PushBatch and Flush — a nil context simply never cancels.
+func streamCtxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // push advances every query over values. Caller holds m.mu.
 func (m *Monitor) push(ctx context.Context, values []float64) ([]Match, error) {
 	if m.closed {
@@ -246,7 +256,7 @@ func (m *Monitor) push(ctx context.Context, values []float64) ([]Match, error) {
 	}
 	// A context cancelled before any work leaves the monitor untouched
 	// and reusable.
-	if err := ctx.Err(); err != nil {
+	if err := streamCtxErr(ctx); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -285,7 +295,7 @@ func (m *Monitor) process(ctx context.Context, qi int, values []float64) error {
 	}
 	for k, v := range values {
 		if k%cancelCheckPoints == 0 && k > 0 {
-			if err := ctx.Err(); err != nil {
+			if err := streamCtxErr(ctx); err != nil {
 				if timed {
 					q.time += time.Since(start)
 				}

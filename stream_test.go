@@ -554,3 +554,49 @@ func TestMonitorStatsRace(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestMonitorNilContext regression-pins nil-context tolerance on the
+// streaming surface. Push and PushBatch used to call ctx.Err() directly
+// and panic on a nil context, while Index.Search has always tolerated
+// one — a server handing its (possibly nil) request context straight to
+// the monitor tripped on the asymmetry.
+func TestMonitorNilContext(t *testing.T) {
+	query, stream := streamWorkload(t, "Gun", 2, 400)
+	m, err := NewMonitor([]Series{NewSeries("q", 0, query)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range stream[:200] {
+		if _, err := m.Push(nil, v); err != nil { //nolint:staticcheck // nil ctx tolerance is the contract under test
+			t.Fatalf("nil-ctx Push: %v", err)
+		}
+	}
+	if _, err := m.PushBatch(nil, stream[200:]); err != nil { //nolint:staticcheck
+		t.Fatalf("nil-ctx PushBatch: %v", err)
+	}
+	matches, err := m.Flush()
+	if err != nil {
+		t.Fatalf("Flush after nil-ctx pushes: %v", err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("Flush returned %d matches, want 1", len(matches))
+	}
+
+	// The retrieval surfaces tolerate nil the same way — pin all three so
+	// the two halves of the API cannot drift apart again.
+	d := GunDataset(DatasetConfig{Seed: 3, SeriesPerClass: 3})
+	ix, err := NewIndex(d.Series, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.Search(nil, d.Series[0], WithK(1)); err != nil { //nolint:staticcheck
+		t.Fatalf("nil-ctx Index.Search: %v", err)
+	}
+	six, err := NewShardedIndex(d.Series, 2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := six.Search(nil, d.Series[0], WithK(1)); err != nil { //nolint:staticcheck
+		t.Fatalf("nil-ctx ShardedIndex.Search: %v", err)
+	}
+}
