@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"runtime"
+	"strings"
+
+	"sdtw/internal/analyzers"
+)
+
+// runStandalone analyzes the packages matched by patterns in the current
+// directory's module. Dependencies (std and module-local) are resolved
+// through `go list -deps -export -json`, which works fully offline via
+// the build cache; the target packages themselves are re-type-checked
+// from source so the analyzers see syntax.
+func runStandalone(patterns []string) int {
+	pkgs, err := analyzers.GoList(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	exports := analyzers.ExportMap(pkgs)
+
+	goVersion := "go" + strings.TrimPrefix(runtime.Version(), "go")
+	found := 0
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + strings.TrimPrefix(p.Module.GoVersion, "go")
+		}
+		fset := token.NewFileSet()
+		files, err := analyzers.ParseFiles(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p.ImportPath, err)
+			return 2
+		}
+		imp := analyzers.GCImporter(fset, nil, exports)
+		pkg, info, err := analyzers.CheckFiles(fset, p.ImportPath, goVersion, files, imp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: type-checking: %v\n", p.ImportPath, err)
+			return 2
+		}
+		diags, errs := analyzers.RunAnalyzers(analyzers.All(), fset, files, pkg, info)
+		for _, err := range errs {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p.ImportPath, err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Category, d.Message)
+			found++
+		}
+	}
+	if found > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+
+	"sdtw/internal/analyzers"
+)
+
+// vetConfig is the JSON configuration the go command writes to
+// $WORK/.../vet.cfg and passes as the tool's sole positional argument
+// (the cmd/go ↔ unitchecker protocol).
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoVersion   string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker analyzes the single package described by a vet.cfg.
+func runUnitchecker(cfgPath string, selections map[string]bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// The suite exports no cross-package facts, so the .vetx output is an
+	// empty placeholder; in VetxOnly mode (dependency passes run only for
+	// facts) there is nothing to do beyond writing it.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := analyzers.ParseFiles(fset, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	if compiler != "gc" {
+		fmt.Fprintf(os.Stderr, "sdtwlint: unsupported compiler %q\n", compiler)
+		return 2
+	}
+	imp := analyzers.GCImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	pkg, info, err := analyzers.CheckFiles(fset, cfg.ImportPath, cfg.GoVersion, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: type-checking: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	diags, errs := analyzers.RunAnalyzers(enabledAnalyzers(selections), fset, files, pkg, info)
+	for _, err := range errs {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Category, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

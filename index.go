@@ -229,10 +229,10 @@ func resolveSearch(opts []SearchOption) (retrieve.Params, error) {
 		o(&cfg)
 	}
 	if cfg.kSet && cfg.k <= 0 {
-		return retrieve.Params{}, fmt.Errorf("sdtw: %w: got %d", ErrBadK, cfg.k)
+		return retrieve.DefaultParams(), fmt.Errorf("sdtw: %w: got %d", ErrBadK, cfg.k)
 	}
 	if cfg.thresholdSet && math.IsNaN(cfg.threshold) {
-		return retrieve.Params{}, fmt.Errorf("sdtw: WithThreshold needs a number, got NaN")
+		return retrieve.DefaultParams(), fmt.Errorf("sdtw: WithThreshold needs a number, got NaN")
 	}
 	k := cfg.k
 	if !cfg.kSet {

@@ -1,0 +1,183 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Errlint enforces the sentinel-error discipline: sentinels must be
+// wrapped with %w (so errors.Is keeps matching through wrapping) and
+// matched with errors.Is rather than ==/!= or a value switch.
+var Errlint = &Analyzer{
+	Name: "errlint",
+	Doc: "flag fmt.Errorf of a sentinel error without %w, and sentinel comparisons " +
+		"using ==/!= or switch instead of errors.Is",
+	Run: runErrlint,
+}
+
+func runErrlint(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				pass.checkSentinelCompare(n)
+			case *ast.SwitchStmt:
+				pass.checkSentinelSwitch(n)
+			case *ast.CallExpr:
+				pass.checkErrorfWrap(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSentinel reports whether e resolves to a package-level sentinel
+// error variable: an Err*-named error var, or one of the well-known
+// std sentinels (context.Canceled/DeadlineExceeded, io.EOF).
+func (p *Pass) isSentinel(e ast.Expr) (types.Object, bool) {
+	var id *ast.Ident
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil, false
+	}
+	obj, ok := p.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return nil, false
+	}
+	switch obj.Pkg().Path() {
+	case "context":
+		if obj.Name() == "Canceled" || obj.Name() == "DeadlineExceeded" {
+			return obj, true
+		}
+	case "io":
+		if obj.Name() == "EOF" {
+			return obj, true
+		}
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") {
+		return nil, false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return obj, types.Implements(obj.Type(), errType) || types.Identical(obj.Type(), errType.Underlying()) ||
+		types.AssignableTo(obj.Type(), types.Universe.Lookup("error").Type())
+}
+
+func (p *Pass) checkSentinelCompare(be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	isNil := func(e ast.Expr) bool {
+		tv, ok := p.TypesInfo.Types[e]
+		return ok && tv.IsNil()
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		other := be.Y
+		if side == be.Y {
+			other = be.X
+		}
+		if obj, ok := p.isSentinel(side); ok && !isNil(other) {
+			p.Reportf(be.Pos(),
+				"sentinel %s compared with %s; use errors.Is so wrapped errors still match",
+				obj.Name(), be.Op)
+			return
+		}
+	}
+}
+
+func (p *Pass) checkSentinelSwitch(sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	if t := p.TypesInfo.TypeOf(sw.Tag); t == nil || !types.AssignableTo(t, types.Universe.Lookup("error").Type()) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if obj, ok := p.isSentinel(e); ok {
+				p.Reportf(e.Pos(),
+					"sentinel %s matched in a value switch; use errors.Is so wrapped errors still match",
+					obj.Name())
+			}
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls where a sentinel argument's
+// format verb is not %w.
+func (p *Pass) checkErrorfWrap(call *ast.CallExpr) {
+	if !isPkgFunc(p.calleeObj(call), "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := p.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	for i, arg := range call.Args[1:] {
+		obj, ok := p.isSentinel(arg)
+		if !ok {
+			continue
+		}
+		verb := byte(0)
+		if i < len(verbs) {
+			verb = verbs[i]
+		}
+		if verb != 'w' {
+			p.Reportf(arg.Pos(),
+				"sentinel %s formatted with %%%c in fmt.Errorf; use %%w so errors.Is can unwrap it",
+				obj.Name(), printableVerb(verb))
+		}
+	}
+}
+
+// formatVerbs returns, per operand position, the verb letter consuming
+// it. A '*' width/precision consumes an operand of its own (recorded as
+// '*').
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// flags, width, precision — '*' consumes an argument.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.IndexByte("#+- 0123456789.[]", c) >= 0 {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			if format[i] != '%' { // %% consumes nothing
+				verbs = append(verbs, format[i])
+			}
+		}
+	}
+	return verbs
+}
+
+func printableVerb(v byte) byte {
+	if v == 0 {
+		return '?'
+	}
+	return v
+}

@@ -1,0 +1,7 @@
+package analyzers
+
+import "testing"
+
+func TestErrlint(t *testing.T) {
+	runGolden(t, Errlint, "a")
+}

@@ -1,0 +1,11 @@
+package analyzers
+
+import "testing"
+
+func TestFmaroundFlagsKernelPackages(t *testing.T) {
+	runGolden(t, Fmaround, "sdtw/internal/dtw")
+}
+
+func TestFmaroundSilentOutsideKernelPackages(t *testing.T) {
+	runGolden(t, Fmaround, "other")
+}

@@ -1,0 +1,201 @@
+package analyzers
+
+// analysistest-style golden harness: each analyzer has a testdata tree
+// testdata/<analyzer>/src/<importpath>/ containing ordinary Go files
+// annotated with `// want "regexp"` comments on the lines where a
+// diagnostic must fire. Lines without a want comment must stay silent.
+//
+// Imports inside a testdata tree resolve first against the tree itself
+// (so tests can fake module packages like sdtw/internal/retrieve at
+// their real import paths), then against the standard library via gc
+// export data obtained from one `go list -deps -export -json` call.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// stdExportPatterns covers every std package testdata files may import
+// (transitive deps come along via -deps).
+var stdExportPatterns = []string{"context", "errors", "fmt", "io", "math", "strings", "sync", "time"}
+
+var (
+	stdOnce    sync.Once
+	stdExports map[string]string
+	stdErr     error
+)
+
+func stdExportMap(t *testing.T) map[string]string {
+	t.Helper()
+	stdOnce.Do(func() {
+		pkgs, err := GoList(".", stdExportPatterns...)
+		if err != nil {
+			stdErr = err
+			return
+		}
+		stdExports = ExportMap(pkgs)
+	})
+	if stdErr != nil {
+		t.Fatalf("loading std export data: %v", stdErr)
+	}
+	return stdExports
+}
+
+// testdataImporter resolves import paths against a testdata tree first,
+// then the standard library.
+type testdataImporter struct {
+	t      *testing.T
+	fset   *token.FileSet
+	root   string // testdata/<analyzer>
+	std    types.Importer
+	loaded map[string]*loadedTestPkg
+}
+
+type loadedTestPkg struct {
+	pkg   *types.Package
+	info  *types.Info
+	files []*ast.File
+}
+
+func (imp *testdataImporter) Import(path string) (*types.Package, error) {
+	lp, err := imp.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return lp.pkg, nil
+}
+
+func (imp *testdataImporter) load(path string) (*loadedTestPkg, error) {
+	if lp, ok := imp.loaded[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(imp.root, "src", filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		pkg, err := imp.std.Import(path)
+		if err != nil {
+			return nil, fmt.Errorf("import %q: not in testdata tree and not resolvable from std: %v", path, err)
+		}
+		lp := &loadedTestPkg{pkg: pkg}
+		imp.loaded[path] = lp
+		return lp, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	files, err := ParseFiles(imp.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	pkg, info, err := CheckFiles(imp.fset, path, "go"+strings.TrimPrefix(runtime.Version(), "go"), files, imp)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking testdata package %q: %v", path, err)
+	}
+	lp := &loadedTestPkg{pkg: pkg, info: info, files: files}
+	imp.loaded[path] = lp
+	return lp, nil
+}
+
+// runGolden loads testdata/<a.Name>/src/<target>, runs the analyzer, and
+// matches its diagnostics against the `// want` expectations.
+func runGolden(t *testing.T, a *Analyzer, target string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &testdataImporter{
+		t:      t,
+		fset:   fset,
+		root:   filepath.Join("testdata", a.Name),
+		std:    GCImporter(fset, nil, stdExportMap(t)),
+		loaded: make(map[string]*loadedTestPkg),
+	}
+	lp, err := imp.load(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diags, errs := RunAnalyzers([]*Analyzer{a}, fset, lp.files, lp.pkg, lp.info)
+	for _, err := range errs {
+		t.Errorf("analyzer error: %v", err)
+	}
+
+	wants := collectWants(t, fset, lp.files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for i, w := range wants[key] {
+			if w == nil {
+				continue
+			}
+			if w.MatchString(d.Message) {
+				wants[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if w != nil {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w)
+			}
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+var wantArgRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// collectWants extracts `// want "re" ...` expectations keyed by
+// file:line.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[string][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					pat := arg[1]
+					if pat == "" && arg[2] != "" {
+						unq, err := strconv.Unquote(`"` + arg[2] + `"`)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", key, arg[2], err)
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,307 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotalloc audits functions annotated with the //sdtw:hotpath directive
+// for allocation-forcing constructs. It complements (not replaces) the
+// testing.AllocsPerRun pins: the pins prove steady-state behaviour, the
+// analyzer points at the exact expression when a pin regresses and
+// catches new hot code before it ever gets a pin.
+//
+// Sanctioned idioms that stay silent:
+//   - x = append(x, ...): amortized reuse of a caller-owned buffer;
+//   - fmt.Errorf/errors.New directly inside a return statement: error
+//     construction on the cold exit path;
+//   - defer outside loops (open-coded by the compiler since Go 1.14);
+//   - plain struct literals (stack-allocated values).
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flag allocation-forcing constructs (make/new, non-reuse append, fmt calls, " +
+		"interface boxing, closures, &composite literals, go statements, defer in " +
+		"loops) inside functions annotated //sdtw:hotpath",
+	Run: runHotalloc,
+}
+
+func runHotalloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, "sdtw:hotpath") {
+				continue
+			}
+			w := &hotWalker{pass: pass, fn: fd.Name.Name}
+			w.stmts(fd.Body.List, false)
+		}
+	}
+	return nil
+}
+
+type hotWalker struct {
+	pass *Pass
+	fn   string
+}
+
+// stmts walks a statement list; inLoop tracks whether the statements
+// execute inside a for/range body (where defer is disallowed).
+func (w *hotWalker) stmts(list []ast.Stmt, inLoop bool) {
+	for _, s := range list {
+		w.stmt(s, inLoop)
+	}
+}
+
+func (w *hotWalker) stmt(s ast.Stmt, inLoop bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.stmts(s.List, inLoop)
+	case *ast.ForStmt:
+		w.stmt(s.Init, inLoop)
+		w.expr(s.Cond)
+		w.stmt(s.Post, true)
+		w.stmts(s.Body.List, true)
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		w.stmts(s.Body.List, true)
+	case *ast.IfStmt:
+		w.stmt(s.Init, inLoop)
+		w.expr(s.Cond)
+		w.stmts(s.Body.List, inLoop)
+		w.stmt(s.Else, inLoop)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, inLoop)
+		w.expr(s.Tag)
+		w.stmts(s.Body.List, inLoop)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, inLoop)
+		w.stmt(s.Assign, inLoop)
+		w.stmts(s.Body.List, inLoop)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e)
+		}
+		w.stmts(s.Body, inLoop)
+	case *ast.SelectStmt:
+		w.stmts(s.Body.List, inLoop)
+	case *ast.CommClause:
+		w.stmt(s.Comm, inLoop)
+		w.stmts(s.Body, inLoop)
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if call, ok := unparen(r).(*ast.CallExpr); ok && w.isErrorCtor(call) {
+				continue // error construction on the cold exit path
+			}
+			w.expr(r)
+		}
+	case *ast.DeferStmt:
+		if inLoop {
+			w.pass.Reportf(s.Pos(), "defer inside a loop in hot path %s allocates a defer record per iteration", w.fn)
+		}
+		w.expr(s.Call.Fun)
+		for _, a := range s.Call.Args {
+			w.expr(a)
+		}
+	case *ast.GoStmt:
+		w.pass.Reportf(s.Pos(), "go statement in hot path %s allocates a goroutine per call", w.fn)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, inLoop)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	default:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.expr(e)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// assign handles the sanctioned self-append idiom x = append(x, ...).
+func (w *hotWalker) assign(s *ast.AssignStmt) {
+	for i, rhs := range s.Rhs {
+		if call, ok := unparen(rhs).(*ast.CallExpr); ok && w.isBuiltin(call, "append") &&
+			s.Tok == token.ASSIGN && i < len(s.Lhs) && len(call.Args) > 0 &&
+			exprString(s.Lhs[i]) == exprString(call.Args[0]) {
+			for _, a := range call.Args[1:] {
+				w.expr(a)
+			}
+			continue
+		}
+		w.expr(rhs)
+	}
+	for _, lhs := range s.Lhs {
+		w.expr(lhs)
+	}
+}
+
+func (w *hotWalker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch e := unparen(e).(type) {
+	case *ast.FuncLit:
+		w.pass.Reportf(e.Pos(), "closure in hot path %s may escape and allocate", w.fn)
+		// don't descend: the closure body runs under its own budget
+	case *ast.CompositeLit:
+		w.compositeLit(e, false)
+	case *ast.UnaryExpr:
+		if lit, ok := unparen(e.X).(*ast.CompositeLit); ok && e.Op == token.AND {
+			w.compositeLit(lit, true)
+			return
+		}
+		w.expr(e.X)
+	case *ast.CallExpr:
+		w.call(e)
+	case *ast.BinaryExpr:
+		w.expr(e.X)
+		w.expr(e.Y)
+	case *ast.IndexExpr:
+		w.expr(e.X)
+		w.expr(e.Index)
+	case *ast.IndexListExpr:
+		w.expr(e.X)
+	case *ast.SliceExpr:
+		w.expr(e.X)
+		w.expr(e.Low)
+		w.expr(e.High)
+		w.expr(e.Max)
+	case *ast.SelectorExpr:
+		w.expr(e.X)
+	case *ast.StarExpr:
+		w.expr(e.X)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X)
+	case *ast.KeyValueExpr:
+		w.expr(e.Value)
+	}
+}
+
+func (w *hotWalker) compositeLit(lit *ast.CompositeLit, addressed bool) {
+	t := w.pass.TypesInfo.TypeOf(lit)
+	if t != nil {
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			w.pass.Reportf(lit.Pos(), "slice/map literal in hot path %s allocates; hoist it to a package var or workspace field", w.fn)
+		default:
+			if addressed {
+				w.pass.Reportf(lit.Pos(), "&composite literal in hot path %s escapes to the heap; reuse a workspace value instead", w.fn)
+			}
+		}
+	}
+	for _, el := range lit.Elts {
+		w.expr(el)
+	}
+}
+
+func (w *hotWalker) call(call *ast.CallExpr) {
+	// Type conversions: flag conversion to an interface type.
+	if tv, ok := w.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) {
+			w.pass.Reportf(call.Pos(), "conversion to interface type in hot path %s boxes its operand on the heap", w.fn)
+		}
+		for _, a := range call.Args {
+			w.expr(a)
+		}
+		return
+	}
+
+	if w.isBuiltin(call, "make") || w.isBuiltin(call, "new") {
+		name := "make"
+		if w.isBuiltin(call, "new") {
+			name = "new"
+		}
+		w.pass.Reportf(call.Pos(), "%s in hot path %s allocates; take a caller-provided buffer or workspace instead", name, w.fn)
+	} else if w.isBuiltin(call, "append") {
+		// append whose result is not self-assigned (handled in assign)
+		// grows a fresh backing array the caller never sees again.
+		w.pass.Reportf(call.Pos(), "append without self-assignment in hot path %s allocates a new backing array", w.fn)
+	} else if callee := w.pass.calleeObj(call); callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		w.pass.Reportf(call.Pos(), "fmt.%s in hot path %s allocates (boxing + formatting); keep fmt off the hot path", callee.Name(), w.fn)
+	} else {
+		w.boxedArgs(call)
+	}
+
+	w.expr(call.Fun)
+	for _, a := range call.Args {
+		w.expr(a)
+	}
+}
+
+// boxedArgs flags concrete-typed arguments passed to interface-typed
+// parameters — an implicit conversion that heap-boxes the value.
+func (w *hotWalker) boxedArgs(call *ast.CallExpr) {
+	callee, ok := w.pass.calleeObj(call).(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := w.pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if tv, ok := w.pass.TypesInfo.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		w.pass.Reportf(arg.Pos(),
+			"argument %q boxed into interface parameter of %s in hot path %s; this conversion allocates",
+			exprString(arg), callee.Name(), w.fn)
+	}
+}
+
+// isErrorCtor reports whether call constructs an error via
+// fmt.Errorf or errors.New (sanctioned inside return statements).
+func (w *hotWalker) isErrorCtor(call *ast.CallExpr) bool {
+	obj := w.pass.calleeObj(call)
+	return isPkgFunc(obj, "fmt", "Errorf") || isPkgFunc(obj, "errors", "New")
+}
+
+func (w *hotWalker) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := w.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}

@@ -1,0 +1,7 @@
+package analyzers
+
+import "testing"
+
+func TestHotalloc(t *testing.T) {
+	runGolden(t, Hotalloc, "a")
+}

@@ -1,0 +1,7 @@
+package analyzers
+
+import "testing"
+
+func TestLockheld(t *testing.T) {
+	runGolden(t, Lockheld, "a")
+}

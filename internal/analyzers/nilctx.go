@@ -1,0 +1,159 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Nilctx enforces the repo's nil-tolerant context contract: public entry
+// points accept a nil context.Context meaning "no cancellation".
+//
+// Rule 1: an exported function or method that takes a context.Context and
+// calls ctx.Err() or ctx.Done() directly must guard the context against
+// nil (ctx != nil / ctx == nil) somewhere in its body, or route through
+// the nil-safe helpers (ctxErr / streamCtxErr), which it trivially
+// satisfies by not touching ctx.Err/Done at all.
+//
+// Rule 2: an exported function without a context parameter must not bury
+// context.Background() / context.TODO() in calls to non-context-package
+// functions — that hides cancellation from the caller. Accept a ctx (nil
+// is fine for the nil-safe callees) instead.
+var Nilctx = &Analyzer{
+	Name: "nilctx",
+	Doc: "flag exported entry points that dereference a possibly-nil context.Context " +
+		"without a nil guard, or that hide cancellation behind context.Background()/TODO()",
+	Run: runNilctx,
+}
+
+func runNilctx(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			ctxParams := pass.contextParams(fd)
+			if len(ctxParams) > 0 {
+				pass.checkCtxDeref(fd, ctxParams)
+			} else {
+				pass.checkHiddenBackground(fd)
+			}
+		}
+	}
+	return nil
+}
+
+// contextParams returns the objects of fd's parameters whose type is
+// context.Context.
+func (p *Pass) contextParams(fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	for _, field := range fd.Type.Params.List {
+		named := namedOf(p.TypesInfo.TypeOf(field.Type))
+		if named == nil || named.Obj().Pkg() == nil {
+			continue
+		}
+		if named.Obj().Pkg().Path() != "context" || named.Obj().Name() != "Context" {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := p.TypesInfo.Defs[name]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// checkCtxDeref flags ctx.Err()/ctx.Done() calls in fd when no nil guard
+// on that context appears anywhere in the body.
+func (p *Pass) checkCtxDeref(fd *ast.FuncDecl, ctxParams []types.Object) {
+	params := make(map[types.Object]bool, len(ctxParams))
+	for _, o := range ctxParams {
+		params[o] = true
+	}
+	guarded := make(map[types.Object]bool)
+	type deref struct {
+		pos  token.Pos
+		obj  types.Object
+		name string
+	}
+	var derefs []deref
+
+	isParamIdent := func(e ast.Expr) types.Object {
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := p.TypesInfo.Uses[id]; obj != nil && params[obj] {
+			return obj
+		}
+		return nil
+	}
+	isNil := func(e ast.Expr) bool {
+		tv, ok := p.TypesInfo.Types[e]
+		return ok && tv.IsNil()
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				if obj := isParamIdent(n.X); obj != nil && isNil(n.Y) {
+					guarded[obj] = true
+				}
+				if obj := isParamIdent(n.Y); obj != nil && isNil(n.X) {
+					guarded[obj] = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name != "Err" && n.Sel.Name != "Done" {
+				return true
+			}
+			if obj := isParamIdent(n.X); obj != nil {
+				derefs = append(derefs, deref{n.Pos(), obj, n.Sel.Name})
+			}
+		}
+		return true
+	})
+
+	for _, d := range derefs {
+		if guarded[d.obj] {
+			continue
+		}
+		p.Reportf(d.pos,
+			"%s.%s() in exported %s dereferences a possibly-nil context; guard with %s != nil or route through the nil-safe helpers (ctxErr/streamCtxErr)",
+			d.obj.Name(), d.name, fd.Name.Name, d.obj.Name())
+	}
+}
+
+// checkHiddenBackground flags context.Background()/TODO() passed to
+// module functions from an exported entry point with no ctx parameter.
+func (p *Pass) checkHiddenBackground(fd *ast.FuncDecl) {
+	if p.Pkg.Name() == "main" || p.inTestFile(fd.Pos()) {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := p.calleeObj(call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() == "context" {
+			return true
+		}
+		for _, arg := range call.Args {
+			inner, ok := unparen(arg).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			obj := p.calleeObj(inner)
+			if isPkgFunc(obj, "context", "Background") || isPkgFunc(obj, "context", "TODO") {
+				p.Reportf(arg.Pos(),
+					"exported %s has no context parameter but passes context.%s() to %s, hiding cancellation from callers; accept a context.Context (nil-safe callees accept nil)",
+					fd.Name.Name, obj.Name(), callee.Name())
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,7 @@
+package analyzers
+
+import "testing"
+
+func TestNilctx(t *testing.T) {
+	runGolden(t, Nilctx, "a")
+}

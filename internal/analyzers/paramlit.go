@@ -1,0 +1,53 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// paramStructs maps trap-prone config struct types (qualified by package
+// path) to the constructor that fixes their zero-value traps. A plain
+// composite literal of one of these types outside its defining package
+// silently inherits trap zero values (retrieve.Params: Exclude 0 means
+// "exclude nothing adjacent", Threshold 0 prunes everything), so all
+// external construction must start from the constructor.
+var paramStructs = map[string]string{
+	"sdtw/internal/retrieve.Params": "DefaultParams()",
+}
+
+// Paramlit flags composite literals of trap-prone config structs outside
+// their defining package; callers must start from the constructor and
+// override fields.
+var Paramlit = &Analyzer{
+	Name: "paramlit",
+	Doc: "flag composite literals of config structs with meaningful zero values " +
+		"(retrieve.Params et al.) outside their defining package; construct via " +
+		"their DefaultParams-style constructor instead",
+	Run: runParamlit,
+}
+
+func runParamlit(pass *Pass) error {
+	selfPath := basePath(pass.Pkg.Path())
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			named := namedOf(pass.TypesInfo.TypeOf(lit))
+			if named == nil || named.Obj().Pkg() == nil {
+				return true
+			}
+			defPath := basePath(named.Obj().Pkg().Path())
+			key := defPath + "." + named.Obj().Name()
+			ctor, trap := paramStructs[key]
+			if !trap || defPath == selfPath {
+				return true
+			}
+			pass.Reportf(lit.Pos(),
+				"composite literal of %s bypasses its zero-value defaults (zero Exclude/Threshold are traps); start from %s.%s and override fields",
+				key, named.Obj().Pkg().Name(), ctor)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package analyzers
+
+import "testing"
+
+func TestParamlitFlagsExternalLiterals(t *testing.T) {
+	runGolden(t, Paramlit, "a")
+}
+
+func TestParamlitSilentInDefiningPackage(t *testing.T) {
+	runGolden(t, Paramlit, "sdtw/internal/retrieve")
+}

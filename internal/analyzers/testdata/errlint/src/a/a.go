@@ -1,0 +1,51 @@
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrNotFound is a package sentinel.
+var ErrNotFound = errors.New("not found")
+
+// Wrap preserves the chain with %w: sanctioned.
+func Wrap(id string) error {
+	return fmt.Errorf("lookup %s: %w", id, ErrNotFound)
+}
+
+// BadWrap formats the sentinel with %v, severing the chain.
+func BadWrap(id string) error {
+	return fmt.Errorf("lookup %s: %v", id, ErrNotFound) // want `%w`
+}
+
+// BadCmp compares a sentinel with ==.
+func BadCmp(err error) bool {
+	return err == ErrNotFound // want `errors.Is`
+}
+
+// BadNeq compares a std sentinel with !=.
+func BadNeq(err error) bool {
+	return err != io.EOF // want `errors.Is`
+}
+
+// GoodCmp uses errors.Is: sanctioned.
+func GoodCmp(err error) bool {
+	return errors.Is(err, ErrNotFound)
+}
+
+// NilCmp compares against nil, which is fine.
+func NilCmp(err error) bool {
+	return err == nil
+}
+
+// BadSwitch matches sentinels by value in a switch.
+func BadSwitch(err error) int {
+	switch err {
+	case ErrNotFound: // want `errors.Is`
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}

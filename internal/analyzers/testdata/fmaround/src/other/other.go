@@ -1,0 +1,7 @@
+package other
+
+// notKernel lives outside the kernel packages: multiply-add here is not
+// subject to the bit-identity discipline and must stay silent.
+func notKernel(a, b, c float64) float64 {
+	return a + b*c
+}

@@ -1,0 +1,18 @@
+package dtw
+
+// fill exercises the multiply-add shapes fmaround must flag and the
+// sanctioned forms it must leave alone.
+func fill(acc, a, b float64, xs []float64) float64 {
+	acc += a * b       // want `float64 multiply-add`
+	s := acc + a*b     // want `float64 multiply-add`
+	d := acc - (a * b) // want `float64 multiply-add`
+	acc -= xs[0] * b   // want `float64 multiply-add`
+
+	rounded := acc + float64(a*b) // silent: explicitly rounded product
+	n := len(xs)
+	size := 2*n + 2    // silent: integer arithmetic cannot contract
+	c := 1.5*2.0 + 3.0 // silent: constant-folded at compile time
+	prod := a * b      // silent: bare product, no enclosing add/sub
+
+	return s + d + rounded + float64(size) + c + prod
+}

@@ -1,0 +1,70 @@
+package a
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sink consumes an interface; used to exercise boxing detection.
+func Sink(v interface{}) { _ = v }
+
+// Hot exercises the allocation-forcing constructs hotalloc must flag and
+// the sanctioned idioms it must leave alone.
+//
+//sdtw:hotpath
+func Hot(dst, src []float64, mu *sync.Mutex) ([]float64, error) {
+	if len(src) == 0 {
+		return nil, fmt.Errorf("empty input: %d values", len(src)) // silent: error ctor on exit
+	}
+	buf := make([]float64, len(src)) // want `make`
+	copy(buf, src)
+	dst = append(dst, buf...) // silent: self-append reuse idiom
+	grown := append(src, 1)   // want `append`
+	fmt.Println(len(grown))   // want `fmt`
+	f := func() { _ = dst }   // want `closure`
+	f()
+	Sink(src[0]) // want `boxed`
+	for i := range src {
+		mu.Lock()
+		defer mu.Unlock() // want `defer`
+		_ = i
+	}
+	return dst, nil
+}
+
+// Convert boxes through an explicit interface conversion.
+//
+//sdtw:hotpath
+func Convert(v int) interface{} {
+	return interface{}(v) // want `interface type`
+}
+
+type ws struct{ buf []float64 }
+
+// Escape heap-allocates a workspace per call.
+//
+//sdtw:hotpath
+func Escape() *ws {
+	return &ws{} // want `escapes`
+}
+
+// Spawn launches a goroutine per call.
+//
+//sdtw:hotpath
+func Spawn(fn func()) {
+	go fn() // want `go statement`
+}
+
+// Lit allocates a fresh slice literal per call.
+//
+//sdtw:hotpath
+func Lit() float64 {
+	xs := []float64{1, 2, 3} // want `slice/map literal`
+	return xs[0]
+}
+
+// Cold is unannotated: allocations here are not hot-path business.
+func Cold(n int) []float64 {
+	out := make([]float64, n)
+	return out
+}

@@ -1,0 +1,8 @@
+package dtw
+
+// Distance stands in for the real O(n·m) DP entry point.
+func Distance(x, y []float64) float64 {
+	_ = x
+	_ = y
+	return 0
+}

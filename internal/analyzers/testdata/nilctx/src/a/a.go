@@ -1,0 +1,57 @@
+package a
+
+import "context"
+
+// Search dereferences ctx without a nil guard: nil is a legal "no
+// cancellation" value at exported entry points.
+func Search(ctx context.Context, q []float64) error {
+	if err := ctx.Err(); err != nil { // want `possibly-nil context`
+		return err
+	}
+	_ = q
+	return nil
+}
+
+// Wait selects on Done without a guard.
+func Wait(ctx context.Context) {
+	<-ctx.Done() // want `possibly-nil context`
+}
+
+// Guarded checks ctx against nil before dereferencing: sanctioned.
+func Guarded(ctx context.Context) error {
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// helper is unexported: internal plumbing may assume a non-nil ctx.
+func helper(ctx context.Context) error { return ctx.Err() }
+
+// Forward passes ctx along without dereferencing it: sanctioned.
+func Forward(ctx context.Context, q []float64) error { return run(ctx, q) }
+
+// Blocking hides cancellation behind context.Background().
+func Blocking(q []float64) error {
+	return run(context.Background(), q) // want `hiding cancellation`
+}
+
+// NilCall passes nil explicitly: the sanctioned "no cancellation" idiom.
+func NilCall(q []float64) error { return run(nil, q) }
+
+// Derive uses Background only with the context package itself, which is
+// how a base context is legitimately minted.
+func Derive() context.CancelFunc {
+	_, cancel := context.WithCancel(context.Background())
+	return cancel
+}
+
+func run(ctx context.Context, q []float64) error {
+	_ = q
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+var _ = helper

@@ -1,0 +1,21 @@
+package a
+
+import "sdtw/internal/retrieve"
+
+// Bad builds Params from scratch, silently inheriting the zero-value
+// traps (Exclude 0, Threshold 0).
+func Bad() retrieve.Params {
+	return retrieve.Params{K: 5} // want `DefaultParams`
+}
+
+// BadPtr is flagged through the address-of form as well.
+func BadPtr() *retrieve.Params {
+	return &retrieve.Params{K: 5} // want `DefaultParams`
+}
+
+// Good starts from the constructor and overrides fields: sanctioned.
+func Good() retrieve.Params {
+	p := retrieve.DefaultParams()
+	p.K = 5
+	return p
+}

@@ -1,0 +1,17 @@
+package retrieve
+
+import "math"
+
+// Params mirrors the real config struct: zero Exclude and zero Threshold
+// are traps that DefaultParams fixes.
+type Params struct {
+	K         int
+	Exclude   int
+	Threshold float64
+}
+
+// DefaultParams is the sanctioned constructor. Its own composite literal
+// is inside the defining package and must not be flagged.
+func DefaultParams() Params {
+	return Params{K: 1, Exclude: -1, Threshold: math.Inf(1)}
+}

@@ -294,7 +294,7 @@ func Itakura(n, m int, maxSlope float64) Band {
 		loFromStart := t / maxSlope
 		// Lines into (n-1, m-1), mirrored cone.
 		upIntoEnd := mf - (nf-t)/maxSlope
-		loIntoEnd := mf - (nf-t)*maxSlope
+		loIntoEnd := mf - float64((nf-t)*maxSlope)
 		lo := math.Max(loFromStart, loIntoEnd)
 		hi := math.Min(upFromStart, upIntoEnd)
 		b.Lo[i] = int(math.Floor(lo))

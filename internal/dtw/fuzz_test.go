@@ -1,0 +1,95 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Differential fuzz targets: the monomorphized squared-cost kernels must
+// stay bit-identical to the generic per-cell-callback path on any input.
+// These wrap the same properties as the TestKernelDifferential* suites
+// but let the fuzzer drive the shape parameters; CI runs each for a
+// bounded ~30s in the fuzz-smoke lane.
+
+// FuzzBandedKernelDifferential compares the specialized and generic
+// early-abandoning banded DP on fuzzer-chosen shapes, bands and budgets.
+func FuzzBandedKernelDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(8), uint8(0))
+	f.Add(int64(42), uint8(32), uint8(17), uint8(1))
+	f.Add(int64(7), uint8(48), uint8(3), uint8(2))
+	f.Add(int64(99), uint8(1), uint8(1), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, n8, m8, bsel uint8) {
+		n := int(n8)%48 + 1
+		m := int(m8)%48 + 1
+		rng := rand.New(rand.NewSource(seed))
+		x := kernelRandomSeries(rng, n)
+		y := kernelRandomSeries(rng, m)
+		b := kernelRandomBand(rng, n, m)
+		budget := math.Inf(1)
+		switch bsel % 4 {
+		case 1:
+			budget = 0
+		case 2:
+			budget = rng.Float64() * float64(n)
+		case 3:
+			budget = rng.Float64() * 10
+		}
+		var wsS, wsG Workspace
+		gotD, gotC, gotA, err := BandedAbandonWS(x, y, b, nil, budget, &wsS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantD, wantC, wantA, err := BandedAbandonWS(x, y, b, sqGeneric, budget, &wsG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(gotD) != math.Float64bits(wantD) || gotC != wantC || gotA != wantA {
+			t.Fatalf("kernel divergence (n=%d m=%d budget=%v): specialized (%v, %d, %v) vs generic (%v, %d, %v)",
+				n, m, budget, gotD, gotC, gotA, wantD, wantC, wantA)
+		}
+	})
+}
+
+// FuzzSpringDifferential compares the specialized and generic SPRING
+// streaming DP: every emitted match and the final global best must agree
+// bit for bit.
+func FuzzSpringDifferential(f *testing.F) {
+	f.Add(int64(7), uint8(8), uint8(64), false)
+	f.Add(int64(3), uint8(1), uint8(1), true)
+	f.Add(int64(11), uint8(15), uint8(200), true)
+	f.Fuzz(func(t *testing.T, seed int64, q8, s8 uint8, thresholded bool) {
+		qn := int(q8)%16 + 1
+		sn := int(s8)%200 + 1
+		rng := rand.New(rand.NewSource(seed))
+		q := kernelRandomSeries(rng, qn)
+		stream := kernelRandomSeries(rng, sn)
+		threshold := math.Inf(1)
+		if thresholded {
+			threshold = rng.Float64() * float64(qn)
+		}
+		cfg := SpringConfig{Threshold: threshold, MinGap: rng.Intn(3)}
+		spS, err := NewSpring(q, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Dist = sqGeneric
+		spG, err := NewSpring(q, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range stream {
+			mS, okS := spS.Append(v)
+			mG, okG := spG.Append(v)
+			if okS != okG || mS != mG {
+				t.Fatalf("point %d: emission divergence: specialized (%+v, %v) vs generic (%+v, %v)", i, mS, okS, mG, okG)
+			}
+		}
+		fS, okS := spS.Flush()
+		fG, okG := spG.Flush()
+		if okS != okG || math.Float64bits(fS.Distance) != math.Float64bits(fG.Distance) ||
+			fS.Start != fG.Start || fS.End != fG.End {
+			t.Fatalf("flush divergence: specialized (%+v, %v) vs generic (%+v, %v)", fS, okS, fG, okG)
+		}
+	})
+}

@@ -50,6 +50,8 @@ func sq(a, b float64) float64 {
 // fillRow0Squared fills the first band row, where cell (0,0) is the free
 // origin and the only other predecessor is the horizontal one — a running
 // accumulation carried in a register.
+//
+//sdtw:hotpath
 func fillRow0Squared(x0 float64, y []float64, lo, hi int, curr []float64) float64 {
 	inf := math.Inf(1)
 	rowMin := inf
@@ -86,6 +88,8 @@ func fillRow0Squared(x0 float64, y []float64, lo, hi int, curr []float64) float6
 // still reaches. The comparison order inside every segment (diagonal,
 // then vertical on strict <, then horizontal on strict <) is exactly the
 // generic loop's.
+//
+//sdtw:hotpath
 func fillRowSquared(xi float64, y []float64, lo, hi int, prev []float64, prevLo, prevHi int, curr []float64) float64 {
 	inf := math.Inf(1)
 	rowMin := inf
@@ -204,6 +208,8 @@ func fillRowSquared(xi float64, y []float64, lo, hi int, prev []float64, prevLo,
 
 // fillRow0SquaredNoMin is fillRow0Squared without row-minimum tracking,
 // for callers that can never abandon (budget +Inf) and so never read it.
+//
+//sdtw:hotpath
 func fillRow0SquaredNoMin(x0 float64, y []float64, lo, hi int, curr []float64) {
 	h := math.Inf(1)
 	for j := lo; j <= hi; j++ {
@@ -222,6 +228,8 @@ func fillRow0SquaredNoMin(x0 float64, y []float64, lo, hi int, curr []float64) {
 // fraction of the branch-free core, and callers that cannot abandon
 // (budget +Inf — every BandedWS/BandedWithPath computation) never read
 // it. Segments and comparison order are identical to fillRowSquared.
+//
+//sdtw:hotpath
 func fillRowSquaredNoMin(xi float64, y []float64, lo, hi int, prev []float64, prevLo, prevHi int, curr []float64) {
 	inf := math.Inf(1)
 	coreStart := prevLo + 1
@@ -416,6 +424,8 @@ func distanceSquared(x, y []float64) float64 {
 // subsequenceSquared is the open-begin/open-end subsequence DP
 // monomorphized for the default squared cost; same recurrence, comparison
 // order and start-pointer tie-breaking as the generic SubsequenceWS loop.
+//
+//sdtw:hotpath
 func subsequenceSquared(q, s []float64, ws *Workspace) SubsequenceMatch {
 	n, m := len(q), len(s)
 	inf := math.Inf(1)

@@ -112,6 +112,8 @@ func NewSpring(q []float64, cfg SpringConfig) (*Spring, error) {
 // (O(|q|) work, no allocation). In thresholded mode it returns a match
 // and true when the SPRING report condition confirms one; matches are
 // emitted in stream order and never overlap.
+//
+//sdtw:hotpath
 func (sp *Spring) Append(v float64) (SubsequenceMatch, bool) {
 	n := len(sp.q)
 	d, s := sp.d, sp.s
@@ -170,6 +172,8 @@ func (sp *Spring) Append(v float64) (SubsequenceMatch, bool) {
 // diagonal, then horizontal, each on strict <) matches Subsequence
 // exactly, so values AND start-pointer tie-breaks are bit-identical to
 // the offline grid.
+//
+//sdtw:hotpath
 func (sp *Spring) advanceGeneric(v float64) {
 	n := len(sp.q)
 	d, s, dist := sp.d, sp.s, sp.dist
@@ -205,6 +209,8 @@ func (sp *Spring) advanceGeneric(v float64) {
 // the per-cell bounds checks, and the just-written cell below (the
 // vertical predecessor) carried in registers instead of re-loaded.
 // Differential tests pin bit-identity.
+//
+//sdtw:hotpath
 func (sp *Spring) advanceSquared(v float64) {
 	q := sp.q
 	n := len(q)
@@ -247,6 +253,8 @@ func (sp *Spring) advanceSquared(v float64) {
 // emitReset clears the captured match and invalidates every open path
 // that overlaps it (or starts inside the MinGap window), enforcing
 // non-overlapping emission.
+//
+//sdtw:hotpath
 func (sp *Spring) emitReset() {
 	sp.nextStart = sp.te + 1 + sp.minGap
 	sp.dmin = math.Inf(1)

@@ -34,6 +34,8 @@ func sq(a, b float64) float64 {
 // proves the candidate prunable. The envelopes are re-sliced to len(q) so
 // the hot loop carries no bounds checks. threshold = +Inf never abandons
 // and yields the exact LB_Keogh sum, bit-identical to the generic loop.
+//
+//sdtw:hotpath
 func keoghSquaredUnder(q, upper, lowerEnv []float64, threshold float64) (float64, bool) {
 	up := upper[:len(q)]
 	lo := lowerEnv[:len(q)]
@@ -59,6 +61,8 @@ func keoghSquaredUnder(q, upper, lowerEnv []float64, threshold float64) (float64
 // with the same accumulation order and abandonment points as the
 // specialized kernel and the same per-element order as the original
 // non-abandoning Keogh loop.
+//
+//sdtw:hotpath
 func keoghGenericUnder(q []float64, env Envelope, threshold float64, dist series.PointDistance) (float64, bool) {
 	sum := 0.0
 	for i, v := range q {

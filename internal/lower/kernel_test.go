@@ -291,3 +291,26 @@ func BenchmarkNewEnvelope(b *testing.B) {
 		NewEnvelope(v, 64)
 	}
 }
+
+// TestBoundAllocs pins the hot bound entry points at zero allocations
+// per call (the //sdtw:hotpath contract; NewEnvelope has its own
+// exactly-2 pin above).
+func TestBoundAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	q := randomValues(rng, 256)
+	c := randomValues(rng, 256)
+	env := NewEnvelope(c, 8)
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"Kim/specialized", func() { _, _ = Kim(q, c, nil) }},
+		{"Kim/generic", func() { _, _ = Kim(q, c, sqGeneric) }},
+		{"KeoghUnder/specialized", func() { _, _, _ = KeoghUnder(q, env, math.Inf(1), nil) }},
+		{"KeoghUnder/generic", func() { _, _, _ = KeoghUnder(q, env, math.Inf(1), sqGeneric) }},
+	} {
+		if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {
+			t.Errorf("%s allocates %v times per call, want 0", tc.name, allocs)
+		}
+	}
+}

@@ -31,6 +31,8 @@ import (
 // common use): the sum of the point costs of the first and last
 // elements, which every warp path must align. It is the cheapest bound
 // in the cascade.
+//
+//sdtw:hotpath
 func Kim(x, y []float64, dist series.PointDistance) (float64, error) {
 	if len(x) == 0 || len(y) == 0 {
 		return 0, fmt.Errorf("lower: empty input (len(x)=%d len(y)=%d)", len(x), len(y))
@@ -163,6 +165,8 @@ func Keogh(q []float64, env Envelope, dist series.PointDistance) (float64, error
 //
 // Abandonment is only meaningful for non-negative point costs (the
 // default squared cost is); signed custom costs must pass +Inf.
+//
+//sdtw:hotpath
 func KeoghUnder(q []float64, env Envelope, threshold float64, dist series.PointDistance) (float64, bool, error) {
 	if len(q) != len(env.Upper) {
 		return 0, false, fmt.Errorf("lower: query length %d != envelope length %d", len(q), len(env.Upper))
@@ -228,7 +232,7 @@ func Cascade(q []float64, c []float64, env Envelope, threshold float64, dist ser
 // exceed the exact DTW distance. It returns an error describing the
 // violation, or nil.
 func ValidateBound(bound, exact float64) error {
-	if bound > exact+1e-9*(1+math.Abs(exact)) {
+	if bound > exact+float64(1e-9*(1+math.Abs(exact))) {
 		return fmt.Errorf("lower: bound %v exceeds exact DTW %v", bound, exact)
 	}
 	return nil

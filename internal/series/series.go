@@ -94,7 +94,7 @@ func Std(v []float64) float64 {
 	ss := 0.0
 	for _, x := range v {
 		d := x - m
-		ss += d * d
+		ss += float64(d * d)
 	}
 	return math.Sqrt(ss / float64(len(v)))
 }
@@ -173,7 +173,7 @@ func Resample(v []float64, n int) []float64 {
 			continue
 		}
 		frac := pos - float64(j)
-		out[i] = v[j]*(1-frac) + v[j+1]*frac
+		out[i] = float64(v[j]*(1-frac)) + float64(v[j+1]*frac)
 	}
 	// Guarantee exact endpoint preservation despite floating-point
 	// rounding in the position arithmetic.

@@ -245,3 +245,49 @@ func TestResampleConstantStaysConstant(t *testing.T) {
 		}
 	}
 }
+
+// TestResampleBitIdenticalToReference pins the FMA-rounding fix: the
+// interpolation in Resample rounds each product through an explicit
+// float64 conversion, so its output must be bit-identical to this
+// straight-line reference on every platform, including FMA-contracting
+// ones (arm64/ppc64).
+func TestResampleBitIdenticalToReference(t *testing.T) {
+	reference := func(v []float64, n int) []float64 {
+		out := make([]float64, n)
+		if n == 1 {
+			out[0] = v[0]
+			return out
+		}
+		scale := float64(len(v)-1) / float64(n-1)
+		for i := range out {
+			pos := float64(i) * scale
+			j := int(pos)
+			if j >= len(v)-1 {
+				out[i] = v[len(v)-1]
+				continue
+			}
+			frac := pos - float64(j)
+			left := v[j] * (1 - frac) // product rounded by assignment
+			right := v[j+1] * frac    // product rounded by assignment
+			out[i] = left + right
+		}
+		out[n-1] = v[len(v)-1]
+		return out
+	}
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 100; trial++ {
+		ln := 1 + rng.Intn(300)
+		n := 1 + rng.Intn(300)
+		v := make([]float64, ln)
+		for i := range v {
+			v[i] = (rng.Float64()*2 - 1) * math.Pow(10, float64(rng.Intn(5)-2))
+		}
+		got := Resample(v, n)
+		want := reference(v, n)
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("trial %d (len=%d n=%d) sample %d: %v != reference %v", trial, ln, n, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -32,7 +32,7 @@ func RandomWarp(rng *rand.Rand, knots int, strength float64) WarpFunc {
 	gaps := make([]float64, knots+1)
 	total := 0.0
 	for i := range gaps {
-		gaps[i] = 1 + strength*(2*rng.Float64()-1)
+		gaps[i] = 1 + float64(strength*(float64(2*rng.Float64())-1))
 		if gaps[i] < 0.05 {
 			gaps[i] = 0.05
 		}
@@ -62,7 +62,7 @@ func RandomWarp(rng *rand.Rand, knots int, strength float64) WarpFunc {
 			seg = knots
 		}
 		frac := (t - xs[seg]) / (xs[seg+1] - xs[seg])
-		return ys[seg]*(1-frac) + ys[seg+1]*frac
+		return float64(ys[seg]*(1-frac)) + float64(ys[seg+1]*frac)
 	}
 }
 
@@ -91,7 +91,7 @@ func ApplyWarp(v []float64, w WarpFunc, n int) []float64 {
 			continue
 		}
 		frac := pos - float64(j)
-		out[i] = v[j]*(1-frac) + v[j+1]*frac
+		out[i] = float64(v[j]*(1-frac)) + float64(v[j+1]*frac)
 	}
 	return out
 }
@@ -101,7 +101,7 @@ func ApplyWarp(v []float64, w WarpFunc, n int) []float64 {
 func AddNoise(rng *rand.Rand, v []float64, sigma float64) []float64 {
 	out := make([]float64, len(v))
 	for i, x := range v {
-		out[i] = x + rng.NormFloat64()*sigma
+		out[i] = x + float64(rng.NormFloat64()*sigma)
 	}
 	return out
 }

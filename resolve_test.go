@@ -1,0 +1,29 @@
+package sdtw
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestResolveSearchErrorParamsSafe pins the paramlit fix: even on error
+// paths resolveSearch must hand back constructor-built params (Exclude
+// -1, +Inf threshold), never a zero-value retrieve.Params whose zero
+// Threshold would prune every candidate if a caller ignored the error.
+func TestResolveSearchErrorParamsSafe(t *testing.T) {
+	p, err := resolveSearch([]SearchOption{WithK(-1)})
+	if !errors.Is(err, ErrBadK) {
+		t.Fatalf("WithK(-1): got err %v, want ErrBadK", err)
+	}
+	if p.Exclude != -1 || !math.IsInf(p.Threshold, 1) {
+		t.Fatalf("WithK(-1) error-path params %+v are not the safe defaults", p)
+	}
+
+	p, err = resolveSearch([]SearchOption{WithThreshold(math.NaN())})
+	if err == nil {
+		t.Fatal("WithThreshold(NaN) must error")
+	}
+	if p.Exclude != -1 || !math.IsInf(p.Threshold, 1) {
+		t.Fatalf("WithThreshold(NaN) error-path params %+v are not the safe defaults", p)
+	}
+}

@@ -45,7 +45,6 @@
 package sdtw
 
 import (
-	"context"
 	"fmt"
 	"io"
 	"math"
@@ -343,7 +342,7 @@ func Subsequence(query, stream []float64) (SubsequenceMatch, error) {
 	if err != nil {
 		return SubsequenceMatch{}, fmt.Errorf("sdtw: Subsequence: %w", err)
 	}
-	if _, err := m.PushBatch(context.Background(), stream); err != nil {
+	if _, err := m.PushBatch(nil, stream); err != nil {
 		return SubsequenceMatch{}, fmt.Errorf("sdtw: Subsequence: %w", err)
 	}
 	matches, err := m.Flush()

@@ -215,6 +215,8 @@ func monitorWorkers(w int) int {
 
 // Push consumes one stream point and returns the matches it confirmed
 // (nil on quiet points — the steady-state path allocates nothing).
+//
+//sdtw:hotpath
 func (m *Monitor) Push(ctx context.Context, v float64) ([]Match, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -225,6 +227,8 @@ func (m *Monitor) Push(ctx context.Context, v float64) ([]Match, error) {
 // PushBatch consumes a batch of stream points — equivalent to pushing
 // them one by one, but amortising the per-call overhead and fanning
 // multi-query work out across the worker pool once per batch.
+//
+//sdtw:hotpath
 func (m *Monitor) PushBatch(ctx context.Context, values []float64) ([]Match, error) {
 	if len(values) == 0 {
 		return nil, nil
@@ -250,6 +254,8 @@ func streamCtxErr(ctx context.Context) error {
 }
 
 // push advances every query over values. Caller holds m.mu.
+//
+//sdtw:hotpath
 func (m *Monitor) push(ctx context.Context, values []float64) ([]Match, error) {
 	if m.closed {
 		return nil, fmt.Errorf("sdtw: Push: %w", ErrMonitorClosed)
@@ -285,6 +291,8 @@ func (m *Monitor) push(ctx context.Context, values []float64) ([]Match, error) {
 // Per-query timing is only split out for multi-query monitors: a
 // single-query monitor's time is its push time (Stats mirrors it), and
 // skipping the extra clock reads keeps the per-point hot path lean.
+//
+//sdtw:hotpath
 func (m *Monitor) process(ctx context.Context, qi int, values []float64) error {
 	q := &m.queries[qi]
 	q.out = q.out[:0]
