@@ -77,7 +77,7 @@ func TestTopKAbandonInvariance(t *testing.T) {
 						if gotStats.AbandonedDTW > gotStats.Evaluated {
 							t.Fatalf("abandoned exceeds evaluated: %v", gotStats)
 						}
-						if total := gotStats.PrunedKim + gotStats.PrunedKeogh + gotStats.Evaluated; total != gotStats.Candidates {
+						if total := gotStats.PrunedSketch + gotStats.PrunedKim + gotStats.PrunedKeogh + gotStats.Evaluated; total != gotStats.Candidates {
 							t.Fatalf("stats do not partition candidates: %v", gotStats)
 						}
 					}
@@ -224,7 +224,7 @@ func TestWindowedIndexAbandonInvariance(t *testing.T) {
 					t.Fatalf("WithoutAbandon search abandoned: %+v", wantStats)
 				}
 				totalAbandoned += gotStats.AbandonedDTW
-				if gotStats.Evaluated+gotStats.PrunedKim+gotStats.PrunedKeogh != gotStats.Candidates {
+				if gotStats.Evaluated+gotStats.PrunedSketch+gotStats.PrunedKim+gotStats.PrunedKeogh != gotStats.Candidates {
 					t.Fatalf("stats do not partition candidates: %+v", gotStats)
 				}
 			}

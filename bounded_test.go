@@ -58,7 +58,7 @@ func TestWindowedIndexExactAgainstBruteForce(t *testing.T) {
 			all[best] = all[len(all)-1]
 			all = all[:len(all)-1]
 		}
-		if stats.Evaluated+stats.PrunedKim+stats.PrunedKeogh != stats.Candidates {
+		if stats.Evaluated+stats.PrunedSketch+stats.PrunedKim+stats.PrunedKeogh != stats.Candidates {
 			t.Fatalf("stats do not add up: %+v", stats)
 		}
 	}
@@ -153,12 +153,12 @@ func TestWindowedIndexKExceedsCollection(t *testing.T) {
 			t.Fatalf("neighbours not ascending at rank %d: %+v", i, got)
 		}
 	}
-	if stats.Evaluated+stats.PrunedKim+stats.PrunedKeogh != stats.Candidates {
+	if stats.Evaluated+stats.PrunedSketch+stats.PrunedKim+stats.PrunedKeogh != stats.Candidates {
 		t.Fatalf("stats do not partition candidates: %+v", stats)
 	}
 	// The heap never fills, so the threshold stays +Inf and nothing may
 	// be pruned or abandoned away.
-	if stats.PrunedKim+stats.PrunedKeogh+stats.AbandonedDTW != 0 {
+	if stats.PrunedSketch+stats.PrunedKim+stats.PrunedKeogh+stats.AbandonedDTW != 0 {
 		t.Fatalf("work was skipped although every candidate is a result: %+v", stats)
 	}
 }
@@ -223,7 +223,7 @@ func TestWindowedIndexPrunes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		totalPruned += stats.PrunedKim + stats.PrunedKeogh
+		totalPruned += stats.PrunedSketch + stats.PrunedKim + stats.PrunedKeogh
 		totalCands += stats.Candidates
 	}
 	rate := float64(totalPruned) / float64(totalCands)

@@ -144,7 +144,7 @@ func TestCascadeMatchesBruteForce(t *testing.T) {
 									qi, k, i, got[i], want[i], stats)
 							}
 						}
-						if total := stats.PrunedKim + stats.PrunedKeogh + stats.Evaluated; total != stats.Candidates {
+						if total := stats.PrunedSketch + stats.PrunedKim + stats.PrunedKeogh + stats.Evaluated; total != stats.Candidates {
 							t.Fatalf("stats do not partition candidates: %v", stats)
 						}
 					}
@@ -242,7 +242,7 @@ func TestQueryStatsAccounting(t *testing.T) {
 	if stats.Evaluated == 0 || stats.Cells == 0 || stats.GridCells == 0 {
 		t.Fatalf("missing work accounting: %v", stats)
 	}
-	if stats.Evaluated+stats.PrunedKim+stats.PrunedKeogh != stats.Candidates {
+	if stats.Evaluated+stats.PrunedSketch+stats.PrunedKim+stats.PrunedKeogh != stats.Candidates {
 		t.Fatalf("stages do not partition candidates: %v", stats)
 	}
 	if stats.WallTime <= 0 || stats.DPTime <= 0 {
@@ -353,7 +353,7 @@ func TestCascadeCustomPointDistance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.PrunedKim+stats.PrunedKeogh != 0 {
+	if stats.PrunedSketch+stats.PrunedKim+stats.PrunedKeogh != 0 {
 		t.Fatalf("bounds fired despite custom point distance: %v", stats)
 	}
 	if stats.Evaluated != stats.Candidates {

@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run: table1, table2, fig13, fig14, fig15, fig16, fig17, fig18, noise, invariance, baseline, extras, retrieval, stream, kernel, serve, bands, all")
+		exp       = flag.String("exp", "all", "experiment to run: table1, table2, fig13, fig14, fig15, fig16, fig17, fig18, noise, invariance, baseline, extras, retrieval, stream, kernel, serve, scale, bands, all")
 		scale     = flag.String("scale", "full", "workload scale: full, medium, small")
 		short     = flag.Bool("short", false, "CI smoke mode: force the small scale and trim measurement budgets")
 		dataset   = flag.String("dataset", "", "restrict per-dataset figures to one data set (Gun, Trace, 50Words)")
@@ -46,6 +46,10 @@ func main() {
 		serveShards   = flag.Int("serveshards", 4, "shard count for the serving benchmark")
 		serveBaseline = flag.String("servebaseline", "", "committed BENCH_serve.json to gate p99 latency against (empty disables)")
 		serveRegress  = flag.Float64("servemaxregress", 0, "fail if any p99 exceeds its baseline by more than this factor, e.g. 1.2 (0 disables)")
+
+		scaleOut      = flag.String("scalejson", "BENCH_scale.json", "path for the machine-readable storage scaling results (empty disables)")
+		scaleBaseline = flag.String("scalebaseline", "", "committed BENCH_scale.json to gate store-open time and stage-0 prune rate against (empty disables)")
+		scaleRegress  = flag.Float64("scalemaxregress", 0, "fail if any store-open time exceeds its baseline by more than this factor, e.g. 1.5 (0 disables)")
 	)
 	flag.Parse()
 
@@ -314,6 +318,35 @@ func main() {
 			fatal(err)
 		}
 	}
+	if want("scale") {
+		ran = true
+		scaleNames := []string{"Gun", "Trace"}
+		if *dataset != "" {
+			scaleNames = []string{*dataset}
+		}
+		var entries []scaleEntry
+		for _, name := range scaleNames {
+			name := name
+			run("Storage scaling: segment store vs gob snapshot on "+name, func() error {
+				out, rows, err := runScale(name, sc, *seed)
+				if err != nil {
+					return err
+				}
+				entries = append(entries, rows...)
+				fmt.Print(out)
+				return nil
+			})
+		}
+		if *scaleOut != "" {
+			if err := writeScaleJSON(*scaleOut, entries); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("machine-readable results written to %s\n\n", *scaleOut)
+		}
+		if err := checkScaleBaseline(entries, *scaleBaseline, *scaleRegress); err != nil {
+			fatal(err)
+		}
+	}
 	if want("bands") {
 		ran = true
 		run("Band shapes (Fig 2/10)", func() error {
@@ -339,6 +372,7 @@ type retrievalEntry struct {
 	SeriesCount  int     `json:"series"`
 	Length       int     `json:"length"`
 	Candidates   int     `json:"candidates"`
+	PrunedSketch int     `json:"pruned_sketch"`
 	PrunedKim    int     `json:"pruned_kim"`
 	PrunedKeogh  int     `json:"pruned_keogh"`
 	Evaluated    int     `json:"evaluated"`
@@ -386,8 +420,8 @@ func runRetrieval(name string, sc experiments.Scale, seed int64) (string, []retr
 	var entries []retrievalEntry
 	fmt.Fprintf(&sb, "%s: %d series x len %d, k=5, all-series batch queries\n",
 		d.Name, d.Len(), d.Length)
-	fmt.Fprintf(&sb, "%-10s %10s %10s %10s %10s %10s %9s %9s %9s %12s\n",
-		"algorithm", "candidates", "lb_kim", "lb_keogh", "evaluated", "abandoned", "prune", "cellsgain", "abandon", "wall")
+	fmt.Fprintf(&sb, "%-10s %10s %10s %10s %10s %10s %10s %9s %9s %9s %12s\n",
+		"algorithm", "candidates", "lb_paa", "lb_kim", "lb_keogh", "evaluated", "abandoned", "prune", "cellsgain", "abandon", "wall")
 	for _, cfg := range configs {
 		ix, err := sdtw.NewIndex(d.Series, cfg.opts)
 		if err != nil {
@@ -397,8 +431,8 @@ func runRetrieval(name string, sc experiments.Scale, seed int64) (string, []retr
 		if err != nil {
 			return "", nil, fmt.Errorf("batch retrieval on %s under %s: %w", d.Name, cfg.label, err)
 		}
-		fmt.Fprintf(&sb, "%-10s %10d %10d %10d %10d %10d %8.1f%% %8.1f%% %8.1f%% %12v\n",
-			cfg.label, stats.Candidates, stats.PrunedKim, stats.PrunedKeogh, stats.Evaluated,
+		fmt.Fprintf(&sb, "%-10s %10d %10d %10d %10d %10d %10d %8.1f%% %8.1f%% %8.1f%% %12v\n",
+			cfg.label, stats.Candidates, stats.PrunedSketch, stats.PrunedKim, stats.PrunedKeogh, stats.Evaluated,
 			stats.AbandonedDTW, 100*stats.PruneRate(), 100*stats.CellsGain(),
 			100*stats.AbandonRate(), stats.WallTime.Round(time.Millisecond))
 		entries = append(entries, retrievalEntry{
@@ -407,6 +441,7 @@ func runRetrieval(name string, sc experiments.Scale, seed int64) (string, []retr
 			SeriesCount:  d.Len(),
 			Length:       d.Length,
 			Candidates:   stats.Candidates,
+			PrunedSketch: stats.PrunedSketch,
 			PrunedKim:    stats.PrunedKim,
 			PrunedKeogh:  stats.PrunedKeogh,
 			Evaluated:    stats.Evaluated,

@@ -5,6 +5,7 @@
 //	sdtwd -addr :8080 -shards 4                 # empty engine-backed index
 //	sdtwd -load idx.gob                         # serve a saved sharded index
 //	sdtwd -load widx.gob -backend windowed      # saved windowed sharded index
+//	sdtwd -store idx.store                      # serve a segment store (sdtw migrate)
 //
 // Endpoints:
 //
@@ -39,7 +40,8 @@ func main() {
 		shards       = flag.Int("shards", 4, "shard count for a fresh index (ignored with -load)")
 		workers      = flag.Int("workers", 0, "DP worker budget per search (0 = GOMAXPROCS)")
 		backend      = flag.String("backend", "engine", "index backend: engine | windowed")
-		load         = flag.String("load", "", "serve a sharded index snapshot (ShardedIndex.Save format)")
+		load         = flag.String("load", "", "serve a sharded index snapshot (legacy ShardedIndex.Save gob format)")
+		storeDir     = flag.String("store", "", "serve a sharded segment store directory (ShardedIndex.SaveStore / sdtw migrate format)")
 		maxInflight  = flag.Int("max-inflight", 0, "max concurrent searches (0 = GOMAXPROCS)")
 		maxQueue     = flag.Int("max-queue", 0, "max searches queued for a slot before 429 (0 = 4x max-inflight)")
 		defaultK     = flag.Int("default-k", 1, "k when a search request sets neither k nor threshold")
@@ -47,9 +49,16 @@ func main() {
 	)
 	flag.Parse()
 
-	ix, err := buildIndex(*backend, *load, *shards, *workers)
+	ix, err := buildIndex(*backend, *load, *storeDir, *shards, *workers)
 	if err != nil {
 		log.Fatalf("sdtwd: %v", err)
+	}
+	if ix.StoreBacked() {
+		defer func() {
+			if err := ix.CloseStore(); err != nil {
+				log.Printf("sdtwd: closing store: %v", err)
+			}
+		}()
 	}
 	srv := serve.New(ix, serve.Config{
 		MaxInflight: *maxInflight,
@@ -75,9 +84,22 @@ func main() {
 	log.Printf("sdtwd: drained cleanly")
 }
 
-func buildIndex(backend, load string, shards, workers int) (*sdtw.ShardedIndex, error) {
+func buildIndex(backend, load, storeDir string, shards, workers int) (*sdtw.ShardedIndex, error) {
 	opts := sdtw.DefaultOptions()
 	opts.Workers = workers
+	if load != "" && storeDir != "" {
+		return nil, fmt.Errorf("-load and -store are mutually exclusive")
+	}
+	if storeDir != "" {
+		switch backend {
+		case "engine":
+			return sdtw.OpenShardedIndex(storeDir, opts)
+		case "windowed":
+			return sdtw.OpenShardedWindowedIndex(storeDir)
+		default:
+			return nil, fmt.Errorf("unknown -backend %q (want engine or windowed)", backend)
+		}
+	}
 	if load == "" {
 		if backend == "windowed" {
 			return nil, fmt.Errorf("-backend windowed needs -load: the series length fixes the window geometry")

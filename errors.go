@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"sdtw/internal/retrieve"
+	"sdtw/internal/store"
 )
 
 // Sentinel errors of the query surface. Every validation failure across
@@ -35,4 +36,20 @@ var (
 	// that was already flushed — or whose state was abandoned after a
 	// mid-batch cancellation.
 	ErrMonitorClosed = errors.New("monitor closed")
+	// ErrCorruptManifest reports a segment store whose manifest (or
+	// tombstone log) cannot be parsed.
+	ErrCorruptManifest = store.ErrCorruptManifest
+	// ErrCorruptSegment reports a segment file failing its checksum,
+	// header, or framing checks.
+	ErrCorruptSegment = store.ErrCorruptSegment
+	// ErrStoreExists reports a SaveStore (or migration) into a directory
+	// that already holds a segment store.
+	ErrStoreExists = store.ErrStoreExists
+	// ErrNotStoreBacked reports Compact, StoreStats or CloseStore on an
+	// index that was not opened from a segment store.
+	ErrNotStoreBacked = errors.New("index is not store-backed")
+	// ErrStoreBacked reports a gob Save of a store-backed index, whose
+	// raw values live in its segment store (keep serving from the store,
+	// or rebuild an in-RAM index from the data).
+	ErrStoreBacked = errors.New("index is store-backed")
 )

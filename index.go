@@ -8,8 +8,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"sdtw/internal/retrieve"
+	"sdtw/internal/store"
 )
 
 // Index supports retrieval and k-nearest-neighbour classification over a
@@ -39,6 +41,14 @@ type Index struct {
 	core   *retrieve.Core
 	engine *Engine // nil for the windowed backend
 	radius int     // effective windowed radius; -1 for the engine backend
+
+	// Store-backed state (non-nil store only for indexes opened with
+	// OpenIndex / OpenWindowedIndex): mutations write through to the
+	// segment store, serialised by storeMu.
+	store   *store.Store
+	storeMu sync.Mutex
+	seqs    map[string]uint64 // insertion sequence by series ID
+	nextSeq uint64
 }
 
 // Neighbor is one retrieval result.
@@ -61,6 +71,11 @@ func NewIndex(data []Series, opts Options) (*Index, error) {
 	core, err := retrieve.New(backend, data, indexWorkers(opts.Workers), !opts.DisableAbandon)
 	if err != nil {
 		return nil, fmt.Errorf("sdtw: %w", err)
+	}
+	if w := resolveSketchWidth(opts.SketchWidth); w > 0 {
+		if err := core.EnableSketches(w); err != nil {
+			return nil, fmt.Errorf("sdtw: %w", err)
+		}
 	}
 	return &Index{core: core, engine: engine, radius: -1}, nil
 }
@@ -89,6 +104,9 @@ func NewWindowedIndex(data []Series, radius int) (*Index, error) {
 	}
 	core, err := retrieve.New(backend, data, indexWorkers(0), true)
 	if err != nil {
+		return nil, fmt.Errorf("sdtw: %w", err)
+	}
+	if err := core.EnableSketches(DefaultSketchWidth); err != nil {
 		return nil, fmt.Errorf("sdtw: %w", err)
 	}
 	return &Index{core: core, radius: eff}, nil
@@ -152,6 +170,9 @@ func (ix *Index) Radius() int { return ix.radius }
 // non-empty, its non-empty ID unique, and — on windowed indexes — its
 // length equal to the indexed length.
 func (ix *Index) Add(s Series) error {
+	if ix.store != nil {
+		return ix.addStore(s)
+	}
 	if err := ix.core.Add(s); err != nil {
 		return fmt.Errorf("sdtw: Add: %w", err)
 	}
@@ -162,6 +183,9 @@ func (ix *Index) Add(s Series) error {
 // envelope and cached features. Later series shift down one position.
 // Removing the last series fails: an index is never empty.
 func (ix *Index) Remove(id string) error {
+	if ix.store != nil {
+		return ix.removeStore(id)
+	}
 	if err := ix.core.Remove(id); err != nil {
 		return fmt.Errorf("sdtw: Remove: %w", err)
 	}
@@ -177,6 +201,7 @@ type searchConfig struct {
 	threshold    float64
 	thresholdSet bool
 	noAbandon    bool
+	noSketch     bool
 }
 
 // SearchOption configures one Search, SearchBatch, Labels or LabelsAll
@@ -222,6 +247,15 @@ func WithoutAbandon() SearchOption {
 	return func(c *searchConfig) { c.noAbandon = true }
 }
 
+// WithoutSketch disables the stage-0 LB_PAA sketch filter for this
+// search, leaving LB_Kim as the first cascade stage. Like abandonment,
+// the sketch stage never changes results — only which stage discards a
+// hopeless candidate — so the switch exists for A/B verification and
+// measurement.
+func WithoutSketch() SearchOption {
+	return func(c *searchConfig) { c.noSketch = true }
+}
+
 // resolve validates and lowers a SearchOption list onto retrieve.Params.
 func resolveSearch(opts []SearchOption) (retrieve.Params, error) {
 	cfg := searchConfig{exclude: -1, threshold: math.Inf(1)}
@@ -251,6 +285,7 @@ func resolveSearch(opts []SearchOption) (retrieve.Params, error) {
 	p.Threshold = cfg.threshold
 	p.ThresholdSet = cfg.thresholdSet
 	p.NoAbandon = cfg.noAbandon
+	p.NoSketch = cfg.noSketch
 	return p, nil
 }
 

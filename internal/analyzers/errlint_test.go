@@ -5,3 +5,7 @@ import "testing"
 func TestErrlint(t *testing.T) {
 	runGolden(t, Errlint, "a")
 }
+
+func TestErrlintStoreSentinels(t *testing.T) {
+	runGolden(t, Errlint, "storeuser")
+}

@@ -1,0 +1,15 @@
+// Package store mirrors the segment-store sentinels of
+// sdtw/internal/store so the errlint golden tests can pin the %w
+// wrapping discipline on the real import path.
+package store
+
+import "errors"
+
+// ErrCorruptManifest reports a manifest that fails validation.
+var ErrCorruptManifest = errors.New("store: corrupt manifest")
+
+// ErrCorruptSegment reports a segment whose checksum does not match.
+var ErrCorruptSegment = errors.New("store: corrupt segment")
+
+// ErrStoreExists reports Create on a directory already holding a store.
+var ErrStoreExists = errors.New("store: store already exists")

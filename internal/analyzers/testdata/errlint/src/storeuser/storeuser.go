@@ -1,0 +1,38 @@
+// Package storeuser exercises the errlint discipline against the
+// segment-store sentinels: call sites must wrap them with %w (so
+// errors.Is keeps seeing them through the public re-exports) and match
+// them with errors.Is, never by value.
+package storeuser
+
+import (
+	"errors"
+	"fmt"
+
+	"sdtw/internal/store"
+)
+
+// OpenShard wraps the sentinel with %w: sanctioned.
+func OpenShard(i int) error {
+	return fmt.Errorf("opening shard %d: %w", i, store.ErrCorruptManifest)
+}
+
+// BadOpenShard severs the chain with %v, so the caller's
+// errors.Is(err, sdtw.ErrCorruptManifest) stops matching.
+func BadOpenShard(i int) error {
+	return fmt.Errorf("opening shard %d: %v", i, store.ErrCorruptManifest) // want `%w`
+}
+
+// BadVerify formats the segment sentinel with %s: same severed chain.
+func BadVerify(seg int) error {
+	return fmt.Errorf("segment %d: %s", seg, store.ErrCorruptSegment) // want `%w`
+}
+
+// BadExists matches a sentinel by value.
+func BadExists(err error) bool {
+	return err == store.ErrStoreExists // want `errors.Is`
+}
+
+// GoodExists matches through the chain: sanctioned.
+func GoodExists(err error) bool {
+	return errors.Is(err, store.ErrStoreExists)
+}

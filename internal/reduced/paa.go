@@ -14,17 +14,40 @@ import (
 	"sdtw/internal/dtw"
 )
 
-// PAA reduces v to ceil(len(v)/factor) samples by averaging consecutive
-// windows of the given factor (piecewise aggregate approximation). A
-// factor <= 1 returns a copy.
-func PAA(v []float64, factor int) []float64 {
+// PAALen returns the number of samples PAA produces for an input of
+// length n at the given factor: ceil(n/factor), or n when factor <= 1.
+func PAALen(n, factor int) int {
 	if factor <= 1 {
-		out := make([]float64, len(v))
+		return n
+	}
+	return (n + factor - 1) / factor
+}
+
+// PAA reduces v to PAALen(len(v), factor) samples by averaging
+// consecutive windows of the given factor (piecewise aggregate
+// approximation). A factor <= 1 returns a copy. The result never
+// aliases v; allocation-sensitive callers use PAAInto with their own
+// scratch instead.
+func PAA(v []float64, factor int) []float64 {
+	return PAAInto(make([]float64, PAALen(len(v), factor)), v, factor)
+}
+
+// PAAInto is the scratch-reusing form of PAA: it writes the reduction
+// into out, which must hold at least PAALen(len(v), factor) samples,
+// and returns the filled prefix. It never allocates — a factor <= 1
+// copies v into out rather than minting a fresh slice, so resolution
+// ladders (FastDTW's recursion, sketch builders) can run the inner loop
+// against one reusable buffer.
+//
+//sdtw:hotpath
+func PAAInto(out, v []float64, factor int) []float64 {
+	if factor <= 1 {
+		out = out[:len(v)]
 		copy(out, v)
 		return out
 	}
 	n := (len(v) + factor - 1) / factor
-	out := make([]float64, n)
+	out = out[:n]
 	for i := 0; i < n; i++ {
 		lo := i * factor
 		hi := lo + factor

@@ -47,6 +47,50 @@ func TestPAAFactorOneCopies(t *testing.T) {
 	}
 }
 
+func TestPAAIntoMatchesPAA(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	scratch := make([]float64, 512)
+	for _, n := range []int{1, 2, 7, 100, 511} {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		for _, factor := range []int{0, 1, 2, 3, 7, n, n + 5} {
+			want := PAA(v, factor)
+			got := PAAInto(scratch, v, factor)
+			if len(got) != len(want) || len(want) != PAALen(n, factor) {
+				t.Fatalf("PAAInto(n=%d, factor=%d) = %d samples, want %d", n, factor, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("PAAInto(n=%d, factor=%d)[%d] = %v, want %v", n, factor, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPAAIntoZeroAlloc pins the scratch-reusing form at zero
+// allocations on both the averaging path and the factor<=1 copy path,
+// matching the lower.Kim hot-path discipline.
+func TestPAAIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	v := make([]float64, 1000)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	scratch := make([]float64, len(v))
+	for _, factor := range []int{1, 2, 8} {
+		factor := factor
+		allocs := testing.AllocsPerRun(100, func() {
+			PAAInto(scratch, v, factor)
+		})
+		if allocs != 0 {
+			t.Errorf("PAAInto(factor=%d) allocates %v times per call, want 0", factor, allocs)
+		}
+	}
+}
+
 func TestPAAPreservesMean(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

@@ -180,6 +180,16 @@ func (b *windowedBackend) Admit(s series.Series) error {
 	return nil
 }
 
+// AdmitCold is the length check for store-restored series: the metadata
+// alone decides admissibility, so cold values stay on disk.
+func (b *windowedBackend) AdmitCold(id string, n int) error {
+	if n != b.length {
+		return fmt.Errorf("series %q has length %d, want %d (windowed search needs equal lengths): %w",
+			id, n, b.length, ErrLengthMismatch)
+	}
+	return nil
+}
+
 func (b *windowedBackend) Forget(series.Series) {}
 
 func (b *windowedBackend) CheckQuery(q series.Series) error {

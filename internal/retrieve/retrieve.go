@@ -29,6 +29,7 @@ import (
 
 	"sdtw/internal/lower"
 	"sdtw/internal/series"
+	"sdtw/internal/sketch"
 )
 
 // Neighbor is one retrieval result.
@@ -74,6 +75,10 @@ type Params struct {
 	// dynamic program for this search (A/B measurement; never changes
 	// results).
 	NoAbandon bool
+	// NoSketch disables the stage-0 LB_PAA sketch filter for this search
+	// (A/B measurement and the exactness property tests; never changes
+	// results — the bound is admissible, it only avoids work).
+	NoSketch bool
 	// Shared, when non-nil, replaces the search's private best-so-far
 	// threshold, so pruning compounds across concurrent searches over
 	// disjoint collection shards: each shard's k-th best tightens the
@@ -119,14 +124,52 @@ type Core struct {
 	cascade bool
 	abandon atomic.Bool
 
+	// sketchW is the stage-0 PAA sketch width; 0 disables stage 0.
+	sketchW int
+
 	mu   sync.RWMutex
 	data []series.Series
 	// envelopes[i] is the LB_Keogh envelope of data[i] at the backend's
 	// admissible radius; nil when the cascade is disabled.
 	envelopes []lower.Envelope
+	// sketches[i] is the stage-0 PAA sketch of envelopes[i]; nil unless
+	// sketchW > 0 and the cascade is active.
+	sketches []sketch.Sketch
+	// meta[i] is the hot per-series metadata (length, raw endpoints) the
+	// pre-DP stages read, so they never touch data[i].Values — which is
+	// nil for store-backed collections until a candidate survives the
+	// bounds.
+	meta []seriesMeta
+	// cold[i] materialises data[i]'s raw values on demand; nil (or a nil
+	// slot) when the values are resident in data[i].Values.
+	cold []*coldSlot
 	// ids maps non-empty series IDs to their position, for duplicate
 	// detection and Remove.
 	ids map[string]int
+}
+
+// seriesMeta is the always-hot summary of one indexed series: what
+// LB_Kim and the grid accounting need without loading raw values.
+type seriesMeta struct {
+	n           int
+	first, last float64
+}
+
+// coldSlot materialises one cold series' raw values at most once, no
+// matter how many concurrent searches reach its DP stage.
+type coldSlot struct {
+	once sync.Once
+	load func() ([]float64, error)
+	vals []float64
+	err  error
+}
+
+func (cs *coldSlot) get() ([]float64, error) {
+	cs.once.Do(func() {
+		cs.vals, cs.err = cs.load()
+		cs.load = nil
+	})
+	return cs.vals, cs.err
 }
 
 // New builds a core over data, validating every series and warming the
@@ -145,6 +188,100 @@ func Restore(backend Backend, data []series.Series, envelopes []lower.Envelope, 
 		return nil, fmt.Errorf("snapshot has %d envelopes for %d series: %w", len(envelopes), len(data), ErrConfigMismatch)
 	}
 	return build(backend, data, envelopes, workers, abandon)
+}
+
+// ColdSeries is one series restored from a segment store: everything the
+// pre-DP cascade stages need is resident (length, endpoints, envelope,
+// sketch), while the raw values stay on disk behind Load until a
+// candidate survives the bounds.
+type ColdSeries struct {
+	ID          string
+	Label       int
+	N           int
+	First, Last float64
+	Envelope    lower.Envelope
+	Sketch      sketch.Sketch
+	// Load reads the raw values (called at most once per series per
+	// core; the core caches the result).
+	Load func() ([]float64, error)
+}
+
+// ColdAdmitter is implemented by backends that can validate a series
+// joining the collection from its metadata alone (the windowed backend's
+// length check). Backends without it admit cold series unchecked —
+// their caches warm lazily on first Distance.
+type ColdAdmitter interface {
+	AdmitCold(id string, n int) error
+}
+
+// RestoreCold builds a core over store-backed series: envelopes and
+// sketches are trusted from the store, raw values load lazily. sketchW
+// enables stage 0 at that width (0 disables; ignored when the backend's
+// cascade is inactive). Backend caches are not warmed — the engine's
+// feature cache fills read-through on first evaluation, which computes
+// the same features Admit would have.
+func RestoreCold(backend Backend, cold []ColdSeries, sketchW, workers int, abandon bool) (*Core, error) {
+	if len(cold) == 0 {
+		return nil, fmt.Errorf("cannot index: %w", ErrEmptyCollection)
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	c := &Core{
+		backend: backend,
+		workers: workers,
+		cascade: backend.Cascade(),
+		data:    make([]series.Series, 0, len(cold)),
+		meta:    make([]seriesMeta, 0, len(cold)),
+		cold:    make([]*coldSlot, 0, len(cold)),
+		ids:     make(map[string]int, len(cold)),
+	}
+	c.abandon.Store(abandon && backend.Abandonable())
+	if c.cascade {
+		c.envelopes = make([]lower.Envelope, 0, len(cold))
+		if sketchW > 0 {
+			c.sketchW = sketchW
+			c.sketches = make([]sketch.Sketch, 0, len(cold))
+		}
+	}
+	admitter, _ := backend.(ColdAdmitter)
+	for i, cs := range cold {
+		if cs.N <= 0 {
+			return nil, fmt.Errorf("series %d (%q): %w", i, cs.ID, ErrEmptySeries)
+		}
+		if cs.Load == nil {
+			return nil, fmt.Errorf("series %d (%q) has no value loader", i, cs.ID)
+		}
+		if cs.ID != "" {
+			if _, dup := c.ids[cs.ID]; dup {
+				return nil, fmt.Errorf("%w: %q", ErrDuplicateID, cs.ID)
+			}
+			c.ids[cs.ID] = i
+		}
+		if admitter != nil {
+			if err := admitter.AdmitCold(cs.ID, cs.N); err != nil {
+				return nil, fmt.Errorf("series %d: %w", i, err)
+			}
+		}
+		c.data = append(c.data, series.Series{ID: cs.ID, Label: cs.Label})
+		c.meta = append(c.meta, seriesMeta{n: cs.N, first: cs.First, last: cs.Last})
+		c.cold = append(c.cold, &coldSlot{load: cs.Load})
+		if c.cascade {
+			if len(cs.Envelope.Upper) != cs.N {
+				return nil, fmt.Errorf("series %d (%q) has envelope length %d for %d values: %w",
+					i, cs.ID, len(cs.Envelope.Upper), cs.N, ErrConfigMismatch)
+			}
+			c.envelopes = append(c.envelopes, cs.Envelope)
+			if c.sketchW > 0 {
+				if cs.Sketch.Width() != c.sketchW {
+					return nil, fmt.Errorf("series %d (%q) has sketch width %d, want %d: %w",
+						i, cs.ID, cs.Sketch.Width(), c.sketchW, ErrConfigMismatch)
+				}
+				c.sketches = append(c.sketches, cs.Sketch)
+			}
+		}
+	}
+	return c, nil
 }
 
 func build(backend Backend, data []series.Series, envelopes []lower.Envelope, workers int, abandon bool) (*Core, error) {
@@ -219,14 +356,108 @@ func (c *Core) admitLocked(s series.Series, env *lower.Envelope, fresh bool) err
 		c.ids[s.ID] = len(c.data)
 	}
 	c.data = append(c.data, s)
+	n := len(s.Values)
+	c.meta = append(c.meta, seriesMeta{n: n, first: s.Values[0], last: s.Values[n-1]})
+	if c.cold != nil {
+		c.cold = append(c.cold, nil) // values are resident
+	}
 	if c.cascade {
-		if env != nil {
-			c.envelopes = append(c.envelopes, *env)
-		} else {
-			c.envelopes = append(c.envelopes, lower.NewEnvelope(s.Values, c.backend.EnvelopeRadius(len(s.Values))))
+		env2 := env
+		if env2 == nil {
+			e := lower.NewEnvelope(s.Values, c.backend.EnvelopeRadius(n))
+			env2 = &e
+		}
+		c.envelopes = append(c.envelopes, *env2)
+		if c.sketchW > 0 {
+			sk, err := sketch.FromEnvelope(*env2, c.sketchW)
+			if err != nil {
+				return fmt.Errorf("series %q: %w", s.ID, err)
+			}
+			c.sketches = append(c.sketches, sk)
 		}
 	}
 	return nil
+}
+
+// EnableSketches switches the stage-0 LB_PAA filter on, computing a
+// width-w sketch for every indexed series from its existing envelope.
+// It is a no-op when the backend's cascade is inactive (the bound would
+// not be admissible) or when sketches at that width are already on.
+// Callers use it right after construction; it takes the write lock, so
+// it is safe (if wasteful) later too.
+func (c *Core) EnableSketches(w int) error {
+	if w <= 0 {
+		return fmt.Errorf("sketch width must be >= 1, got %d", w)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.cascade || c.sketchW == w {
+		return nil
+	}
+	sketches := make([]sketch.Sketch, len(c.envelopes))
+	for i, env := range c.envelopes {
+		sk, err := sketch.FromEnvelope(env, w)
+		if err != nil {
+			return fmt.Errorf("series %q: %w", c.data[i].ID, err)
+		}
+		sketches[i] = sk
+	}
+	c.sketchW = w
+	c.sketches = sketches
+	return nil
+}
+
+// SketchWidth returns the active stage-0 sketch width (0 when disabled).
+func (c *Core) SketchWidth() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sketchW
+}
+
+// Sketch returns the stage-0 sketch of the series at position i (only
+// meaningful when SketchWidth > 0).
+func (c *Core) Sketch(i int) sketch.Sketch {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sketches[i]
+}
+
+// Envelope returns the LB_Keogh envelope of the series at position i
+// (only meaningful when the cascade is active).
+func (c *Core) Envelope(i int) lower.Envelope {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.envelopes[i]
+}
+
+// Cascade reports whether the lower-bound cascade (and with it the
+// envelopes and sketches) is active — false under a custom point
+// distance, whose bounds are inadmissible.
+func (c *Core) Cascade() bool { return c.cascade }
+
+// Cold reports whether any indexed series keeps its raw values on disk
+// (a store-backed core). Gob persistence refuses such cores: their
+// Series snapshots would hold nil values.
+func (c *Core) Cold() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.cold != nil
+}
+
+// Values returns the raw values of the series at position i,
+// materialising them from the store if cold.
+func (c *Core) Values(i int) ([]float64, error) {
+	c.mu.RLock()
+	s := c.data[i]
+	var slot *coldSlot
+	if c.cold != nil {
+		slot = c.cold[i]
+	}
+	c.mu.RUnlock()
+	if slot == nil {
+		return s.Values, nil
+	}
+	return slot.get()
 }
 
 // Add appends a series to the collection: backend caches are warmed and
@@ -255,10 +486,7 @@ func (c *Core) Remove(id string) error {
 		return fmt.Errorf("cannot remove the last series %q: %w", id, ErrEmptyCollection)
 	}
 	c.backend.Forget(c.data[pos])
-	c.data = append(c.data[:pos], c.data[pos+1:]...)
-	if c.cascade {
-		c.envelopes = append(c.envelopes[:pos], c.envelopes[pos+1:]...)
-	}
+	c.spliceLocked(pos)
 	delete(c.ids, id)
 	for sid, p := range c.ids {
 		if p > pos {
@@ -266,6 +494,22 @@ func (c *Core) Remove(id string) error {
 		}
 	}
 	return nil
+}
+
+// spliceLocked drops position pos from every position-parallel slice.
+// Callers hold the write lock (or own an unpublished copy).
+func (c *Core) spliceLocked(pos int) {
+	c.data = append(c.data[:pos], c.data[pos+1:]...)
+	c.meta = append(c.meta[:pos], c.meta[pos+1:]...)
+	if c.cold != nil {
+		c.cold = append(c.cold[:pos], c.cold[pos+1:]...)
+	}
+	if c.cascade {
+		c.envelopes = append(c.envelopes[:pos], c.envelopes[pos+1:]...)
+		if c.sketchW > 0 {
+			c.sketches = append(c.sketches[:pos], c.sketches[pos+1:]...)
+		}
+	}
 }
 
 // copyLocked returns a new Core over the same backend with the
@@ -277,14 +521,27 @@ func (c *Core) copyLocked() *Core {
 		backend: c.backend,
 		workers: c.workers,
 		cascade: c.cascade,
+		sketchW: c.sketchW,
 		data:    make([]series.Series, len(c.data)),
+		meta:    make([]seriesMeta, len(c.meta)),
 		ids:     make(map[string]int, len(c.ids)+1),
 	}
 	nc.abandon.Store(c.abandon.Load())
 	copy(nc.data, c.data)
+	copy(nc.meta, c.meta)
+	if c.cold != nil {
+		// Slots are shared, not copied: a materialisation on either core
+		// serves both (the values are immutable).
+		nc.cold = make([]*coldSlot, len(c.cold))
+		copy(nc.cold, c.cold)
+	}
 	if c.cascade {
 		nc.envelopes = make([]lower.Envelope, len(c.envelopes))
 		copy(nc.envelopes, c.envelopes)
+		if c.sketchW > 0 {
+			nc.sketches = make([]sketch.Sketch, len(c.sketches))
+			copy(nc.sketches, c.sketches)
+		}
 	}
 	for id, pos := range c.ids {
 		nc.ids[id] = pos
@@ -335,10 +592,7 @@ func (c *Core) CloneRemove(id string) (*Core, int, error) {
 	nc := c.copyLocked()
 	c.mu.RUnlock()
 	nc.backend.Forget(nc.data[pos])
-	nc.data = append(nc.data[:pos], nc.data[pos+1:]...)
-	if nc.cascade {
-		nc.envelopes = append(nc.envelopes[:pos], nc.envelopes[pos+1:]...)
-	}
+	nc.spliceLocked(pos)
 	delete(nc.ids, id)
 	for sid, p := range nc.ids {
 		if p > pos {
@@ -385,11 +639,15 @@ func (c *Core) Snapshot(capture func()) ([]series.Series, []lower.Envelope) {
 	return data, envs
 }
 
-// candidate is one cascade work item: a collection position and its
-// LB_Kim bound.
+// candidate is one cascade work item: a collection position, its
+// ordering bound, and its LB_Kim bound. bound is the stage-0 LB_PAA
+// sketch bound when paa is set (an equal-length candidate of a
+// sketch-enabled search); otherwise it equals kim.
 type candidate struct {
-	pos int
-	kim float64
+	pos   int
+	bound float64
+	kim   float64
+	paa   bool
 }
 
 // bestK is the best-so-far heap: a max-heap on (distance, position)
@@ -551,11 +809,23 @@ func (c *Core) search(ctx context.Context, query series.Series, p Params) ([]Nei
 	}
 	limit := p.EffectiveThreshold()
 
-	// Stage 0: LB_Kim for every candidate, cheapest first. O(1) per
-	// candidate, so this stays sequential; it also fixes the processing
-	// order that lets the k-heap threshold tighten fast.
+	// Ordering pass: a cheap bound for every candidate, cheapest first.
+	// O(1) per candidate for LB_Kim, O(W) for the stage-0 sketch bound —
+	// both read only hot metadata (endpoints, sketches), never the
+	// possibly-cold raw values — so this stays sequential; it also fixes
+	// the processing order that lets the k-heap threshold tighten fast.
 	boundStart := time.Now()
+	useSketch := c.cascade && c.sketchW > 0 && !p.NoSketch
+	var qmean []float64
+	if useSketch {
+		var err error
+		qmean, err = sketch.Means(query.Values, c.sketchW, nil)
+		if err != nil {
+			return nil, stats, fmt.Errorf("query sketch: %w", err)
+		}
+	}
 	cands := make([]candidate, 0, len(c.data))
+	var kimVals [2]float64
 	for i, s := range c.data {
 		if i%kimCheckEvery == 0 {
 			if err := ctxErr(ctx); err != nil {
@@ -566,14 +836,30 @@ func (c *Core) search(ctx context.Context, query series.Series, p Params) ([]Nei
 		if i == p.Exclude || (s.ID != "" && s.ID == query.ID) {
 			continue
 		}
-		stats.GridCells += len(query.Values) * len(s.Values)
+		m := c.meta[i]
+		stats.GridCells += len(query.Values) * m.n
 		cd := candidate{pos: i}
 		if c.cascade {
-			kim, err := lower.Kim(query.Values, s.Values, nil)
+			// LB_Kim sees only the first/last endpoints, so the hot
+			// two-point stand-in reproduces lower.Kim over the full
+			// values bit for bit (one point when the series has one).
+			kimVals[0], kimVals[1] = m.first, m.last
+			endpoints := kimVals[:2]
+			if m.n == 1 {
+				endpoints = kimVals[:1]
+			}
+			kim, err := lower.Kim(query.Values, endpoints, nil)
 			if err != nil {
 				return nil, stats, fmt.Errorf("LB_Kim to %q: %w", s.ID, err)
 			}
 			cd.kim = kim
+			cd.bound = kim
+			// Stage 0 applies under the same equal-length contract as the
+			// Keogh stage; other candidates keep their Kim ordering.
+			if useSketch && m.n == len(query.Values) {
+				cd.bound = sketch.LBPAA(qmean, c.sketches[i], m.n)
+				cd.paa = true
+			}
 		}
 		cands = append(cands, cd)
 	}
@@ -581,8 +867,8 @@ func (c *Core) search(ctx context.Context, query series.Series, p Params) ([]Nei
 	stats.BoundTime += time.Since(boundStart)
 	if c.cascade {
 		sort.Slice(cands, func(a, b int) bool {
-			if cands[a].kim != cands[b].kim {
-				return cands[a].kim < cands[b].kim
+			if cands[a].bound != cands[b].bound {
+				return cands[a].bound < cands[b].bound
 			}
 			return cands[a].pos < cands[b].pos
 		})
@@ -634,7 +920,7 @@ func (c *Core) search(ctx context.Context, query series.Series, p Params) ([]Nei
 		threshold.Tighten(limit)
 	}
 	abandon := c.abandon.Load() && !p.NoAbandon
-	var prunedKim, prunedKeogh, evaluated, abandoned, cells, cellsSaved atomic.Int64
+	var prunedSketch, prunedKim, prunedKeogh, evaluated, abandoned, cells, cellsSaved atomic.Int64
 	var boundNS, matchNS, dpNS atomic.Int64
 	workers := c.workers
 	if p.Workers > 0 {
@@ -644,6 +930,15 @@ func (c *Core) search(ctx context.Context, query series.Series, p Params) ([]Nei
 		cd := cands[n]
 		s := c.data[cd.pos]
 		if c.cascade {
+			if cd.paa {
+				// Stage 0: the precomputed LB_PAA sketch bound, checked
+				// before LB_Kim. Pruning here costs O(1) and touches
+				// neither the raw values nor the full envelope.
+				if cd.bound > threshold.Load() {
+					prunedSketch.Add(1)
+					return
+				}
+			}
 			if cd.kim > threshold.Load() {
 				prunedKim.Add(1)
 				return
@@ -672,6 +967,19 @@ func (c *Core) search(ctx context.Context, query series.Series, p Params) ([]Nei
 					prunedKeogh.Add(1)
 					return
 				}
+			}
+		}
+		// The candidate survived every bound: materialise its raw values
+		// if they are still cold. The slot caches, so each series pays
+		// the disk read at most once per core lifetime.
+		if c.cold != nil {
+			if slot := c.cold[cd.pos]; slot != nil {
+				vals, err := slot.get()
+				if err != nil {
+					fail(fmt.Errorf("loading values of %q: %w", s.ID, err))
+					return
+				}
+				s.Values = vals
 			}
 		}
 		// Stage 3: the dynamic program itself, early-abandoning against
@@ -722,6 +1030,7 @@ func (c *Core) search(ctx context.Context, query series.Series, p Params) ([]Nei
 		}
 		mu.Unlock()
 	})
+	stats.PrunedSketch = int(prunedSketch.Load())
 	stats.PrunedKim = int(prunedKim.Load())
 	stats.PrunedKeogh = int(prunedKeogh.Load())
 	stats.Evaluated = int(evaluated.Load())
@@ -793,10 +1102,28 @@ func (c *Core) batch(ctx context.Context, queries []series.Series, p Params, exc
 		qp.Workers = perQuery
 		// A caller-supplied exclusion applies to every query of the
 		// batch; the leave-one-out self-batch overrides it per query.
+		q := queries[n]
 		if excludeSelf {
 			qp.Exclude = n
+			// The self-batch queries are the collection itself, whose
+			// values may be cold: materialise this query's before use.
+			if c.cold != nil {
+				if slot := c.cold[n]; slot != nil {
+					vals, err := slot.get()
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("query %d (%q): %w", n, q.ID, err)
+						}
+						mu.Unlock()
+						stop.Store(true)
+						return
+					}
+					q.Values = vals
+				}
+			}
 		}
-		nbrs, qs, err := c.search(ctx, queries[n], qp)
+		nbrs, qs, err := c.search(ctx, q, qp)
 		mu.Lock()
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("query %d (%q): %w", n, queries[n].ID, err)

@@ -14,6 +14,10 @@ import (
 type Stats struct {
 	// Candidates is the collection size examined (after self-exclusion).
 	Candidates int
+	// PrunedSketch counts candidates discarded by the stage-0 LB_PAA
+	// sketch bound — before LB_Kim, without touching the candidate's raw
+	// values or its full envelope.
+	PrunedSketch int
 	// PrunedKim and PrunedKeogh count candidates discarded by each bound
 	// before any DTW grid work.
 	PrunedKim, PrunedKeogh int
@@ -48,7 +52,7 @@ func (s Stats) PruneRate() float64 {
 	if s.Candidates == 0 {
 		return 0
 	}
-	return float64(s.PrunedKim+s.PrunedKeogh) / float64(s.Candidates)
+	return float64(s.PrunedSketch+s.PrunedKim+s.PrunedKeogh) / float64(s.Candidates)
 }
 
 // AbandonRate is the fraction of evaluated candidates whose DTW
@@ -72,6 +76,7 @@ func (s Stats) CellsGain() float64 {
 // is deliberately not summed: batches report their own elapsed time.
 func (s *Stats) Merge(o Stats) {
 	s.Candidates += o.Candidates
+	s.PrunedSketch += o.PrunedSketch
 	s.PrunedKim += o.PrunedKim
 	s.PrunedKeogh += o.PrunedKeogh
 	s.Evaluated += o.Evaluated
@@ -86,6 +91,6 @@ func (s *Stats) Merge(o Stats) {
 
 // String implements fmt.Stringer for terse logs.
 func (s Stats) String() string {
-	return fmt.Sprintf("candidates=%d kim=%d keogh=%d evaluated=%d abandoned=%d prune=%.2f cellsgain=%.2f cellssaved=%d",
-		s.Candidates, s.PrunedKim, s.PrunedKeogh, s.Evaluated, s.AbandonedDTW, s.PruneRate(), s.CellsGain(), s.CellsSaved)
+	return fmt.Sprintf("candidates=%d sketch=%d kim=%d keogh=%d evaluated=%d abandoned=%d prune=%.2f cellsgain=%.2f cellssaved=%d",
+		s.Candidates, s.PrunedSketch, s.PrunedKim, s.PrunedKeogh, s.Evaluated, s.AbandonedDTW, s.PruneRate(), s.CellsGain(), s.CellsSaved)
 }

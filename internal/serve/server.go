@@ -94,6 +94,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/add", s.handleAdd)
 	mux.HandleFunc("POST /v1/remove", s.handleRemove)
+	mux.HandleFunc("POST /v1/compact", s.handleCompact)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -141,6 +142,7 @@ type HitJSON struct {
 // SearchStatsJSON is the cascade accounting of one search response.
 type SearchStatsJSON struct {
 	Candidates   int     `json:"candidates"`
+	PrunedSketch int     `json:"pruned_sketch"`
 	PrunedKim    int     `json:"pruned_kim"`
 	PrunedKeogh  int     `json:"pruned_keogh"`
 	Evaluated    int     `json:"evaluated"`
@@ -187,6 +189,20 @@ type StatsResponse struct {
 	Draining   bool   `json:"draining"`
 	Radius     int    `json:"radius"`
 	Backend    string `json:"backend"`
+
+	// Store-backed indexes additionally report their segment-store shape;
+	// all four are zero for in-RAM (gob-loaded or freshly built) indexes.
+	StoreBacked bool `json:"store_backed"`
+	Segments    int  `json:"segments,omitempty"`
+	Tombstones  int  `json:"tombstones,omitempty"`
+	SketchWidth int  `json:"sketch_width,omitempty"`
+}
+
+// CompactResponse is the /v1/compact reply.
+type CompactResponse struct {
+	OK          bool `json:"ok"`
+	Segments    int  `json:"segments"`
+	LiveRecords int  `json:"live_records"`
 }
 
 // errorResponse is every error reply: {"error": "..."}.
@@ -301,6 +317,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Hits: make([]HitJSON, len(hits)),
 		Stats: SearchStatsJSON{
 			Candidates:   stats.Candidates,
+			PrunedSketch: stats.PrunedSketch,
 			PrunedKim:    stats.PrunedKim,
 			PrunedKeogh:  stats.PrunedKeogh,
 			Evaluated:    stats.Evaluated,
@@ -348,10 +365,33 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, MutateResponse{OK: true, Series: s.ix.Len()})
 }
 
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if err := s.ix.Compact(); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, sdtw.ErrNotStoreBacked) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	st, err := s.ix.StoreStats()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CompactResponse{OK: true, Segments: st.Segments, LiveRecords: st.LiveRecords})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	backend := "engine"
 	if s.ix.Radius() >= 0 {
 		backend = "windowed"
+	}
+	var storeStats sdtw.StoreStats
+	if s.ix.StoreBacked() {
+		if st, err := s.ix.StoreStats(); err == nil {
+			storeStats = st
+		}
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Series:     s.ix.Len(),
@@ -366,6 +406,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Draining:   s.draining.Load(),
 		Radius:     s.ix.Radius(),
 		Backend:    backend,
+
+		StoreBacked: s.ix.StoreBacked(),
+		Segments:    storeStats.Segments,
+		Tombstones:  storeStats.Tombstones,
+		SketchWidth: storeStats.SketchWidth,
 	})
 }
 

@@ -435,3 +435,84 @@ func TestStatusFor(t *testing.T) {
 		}
 	}
 }
+
+// TestStoreEndpoints: a store-backed index reports its segment shape in
+// /v1/stats, compacts over /v1/compact, and an in-RAM index answers 409
+// to compaction requests.
+func TestStoreEndpoints(t *testing.T) {
+	d := sdtw.GunDataset(sdtw.DatasetConfig{Seed: 13, SeriesPerClass: 6})
+	opts := sdtw.Options{Strategy: sdtw.FixedCoreFixedWidth, WidthFrac: 0.10}
+	ram, err := sdtw.NewShardedIndex(d.Series, 3, opts)
+	if err != nil {
+		t.Fatalf("NewShardedIndex: %v", err)
+	}
+	dir := t.TempDir() + "/store"
+	if err := ram.SaveStore(dir); err != nil {
+		t.Fatalf("SaveStore: %v", err)
+	}
+	ix, err := sdtw.OpenShardedIndex(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenShardedIndex: %v", err)
+	}
+	defer ix.CloseStore()
+
+	srv := New(ix, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	// Tombstone one series so compaction has work to do.
+	resp, body := postJSON(t, c, ts.URL+"/v1/remove", RemoveRequest{ID: d.Series[0].ID})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("remove: status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body = postJSON(t, c, ts.URL+"/v1/search", SearchRequest{Values: d.Series[1].Values, K: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search: status %d: %s", resp.StatusCode, body)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("search response: %v", err)
+	}
+	if got := sr.Stats.PrunedSketch + sr.Stats.PrunedKim + sr.Stats.PrunedKeogh + sr.Stats.Evaluated; got != sr.Stats.Candidates {
+		t.Fatalf("stats do not partition candidates: %+v", sr.Stats)
+	}
+
+	r2, err := c.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	defer r2.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(r2.Body).Decode(&st); err != nil {
+		t.Fatalf("stats response: %v", err)
+	}
+	if !st.StoreBacked || st.Segments == 0 || st.SketchWidth == 0 {
+		t.Fatalf("store shape missing from stats: %+v", st)
+	}
+	if st.Tombstones != 1 {
+		t.Fatalf("stats report %d tombstones, want 1", st.Tombstones)
+	}
+
+	resp, body = postJSON(t, c, ts.URL+"/v1/compact", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact: status %d: %s", resp.StatusCode, body)
+	}
+	var cr CompactResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatalf("compact response: %v", err)
+	}
+	if !cr.OK || cr.LiveRecords != len(d.Series)-1 {
+		t.Fatalf("unexpected compact response: %+v", cr)
+	}
+
+	// An in-RAM index refuses compaction.
+	srv2, _ := newTestServer(t, Config{})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	resp, body = postJSON(t, ts2.Client(), ts2.URL+"/v1/compact", struct{}{})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("compact on in-RAM index: status %d, want 409: %s", resp.StatusCode, body)
+	}
+}

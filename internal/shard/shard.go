@@ -48,6 +48,9 @@ type Config struct {
 	// Abandon enables threshold-aware early abandonment inside the DP
 	// when the backend admits it.
 	Abandon bool
+	// SketchWidth enables the stage-0 LB_PAA filter at that width on
+	// every shard core (0 disables it).
+	SketchWidth int
 }
 
 // Hit is one merged retrieval result. Sharding renumbers positions per
@@ -86,6 +89,7 @@ type Cluster struct {
 	backends []retrieve.Backend
 	workers  int
 	abandon  bool
+	sketchW  int
 	slots    []slot
 	nextSeq  atomic.Uint64
 }
@@ -166,6 +170,7 @@ func assemble(cfg Config, parts [][]series.Series, envs [][]lower.Envelope, seqs
 		backends: make([]retrieve.Backend, cfg.Shards),
 		workers:  workers,
 		abandon:  cfg.Abandon,
+		sketchW:  cfg.SketchWidth,
 		slots:    make([]slot, cfg.Shards),
 	}
 	c.nextSeq.Store(nextSeq)
@@ -186,12 +191,89 @@ func assemble(cfg Config, parts [][]series.Series, envs [][]lower.Envelope, seqs
 			if err != nil {
 				return nil, fmt.Errorf("shard %d: %w", i, err)
 			}
+			if c.sketchW > 0 {
+				if err := core.EnableSketches(c.sketchW); err != nil {
+					return nil, fmt.Errorf("shard %d: %w", i, err)
+				}
+			}
 			snap.core = core
 			snap.seqs = append([]uint64(nil), seqs[i]...)
 		}
 		c.slots[i].snap.Store(snap)
 	}
 	return c, nil
+}
+
+// RestoreCold rebuilds a cluster from per-shard store-backed cold series
+// (envelopes and sketches resident, raw values lazy). parts and seqs are
+// indexed by shard; empty shards are empty slices. cfg.SketchWidth must
+// match the width of the stored sketches.
+func RestoreCold(cfg Config, parts [][]retrieve.ColdSeries, seqs [][]uint64, nextSeq uint64) (*Cluster, error) {
+	if len(parts) != cfg.Shards || len(seqs) != cfg.Shards {
+		return nil, fmt.Errorf("store has %d/%d shard entries, want %d: %w",
+			len(parts), len(seqs), cfg.Shards, retrieve.ErrConfigMismatch)
+	}
+	for i, part := range parts {
+		if len(seqs[i]) != len(part) {
+			return nil, fmt.Errorf("shard %d has %d sequence numbers for %d series: %w",
+				i, len(seqs[i]), len(part), retrieve.ErrConfigMismatch)
+		}
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("cluster needs at least one shard, got %d", cfg.Shards)
+	}
+	if cfg.NewBackend == nil {
+		return nil, fmt.Errorf("cluster needs a backend constructor")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = cfg.Shards
+	}
+	c := &Cluster{
+		backends: make([]retrieve.Backend, cfg.Shards),
+		workers:  workers,
+		abandon:  cfg.Abandon,
+		sketchW:  cfg.SketchWidth,
+		slots:    make([]slot, cfg.Shards),
+	}
+	c.nextSeq.Store(nextSeq)
+	for i := range c.slots {
+		b, err := cfg.NewBackend(i)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d backend: %w", i, err)
+		}
+		c.backends[i] = b
+		snap := &snapshot{}
+		if len(parts[i]) > 0 {
+			core, err := retrieve.RestoreCold(b, parts[i], cfg.SketchWidth, workers, cfg.Abandon)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			snap.core = core
+			snap.seqs = append([]uint64(nil), seqs[i]...)
+		}
+		c.slots[i].snap.Store(snap)
+	}
+	return c, nil
+}
+
+// Backend exposes shard i's distance backend (the storage layer derives
+// envelope radii from it when writing through to a segment store).
+func (c *Cluster) Backend(i int) retrieve.Backend { return c.backends[i] }
+
+// SketchWidth returns the cluster's stage-0 sketch width (0 when the
+// sketch filter is disabled).
+func (c *Cluster) SketchWidth() int { return c.sketchW }
+
+// Cold reports whether any shard core is store-backed (raw values on
+// disk). Gob persistence refuses such clusters.
+func (c *Cluster) Cold() bool {
+	for i := range c.slots {
+		if snap := c.slots[i].snap.Load(); snap.core != nil && snap.core.Cold() {
+			return true
+		}
+	}
+	return false
 }
 
 // Shards returns the shard count.
@@ -220,13 +302,15 @@ func (c *Cluster) Sizes() []int {
 }
 
 // Add routes s to its shard and publishes a copy-on-write snapshot with
-// it admitted. The series needs a non-empty ID, unique across the
-// cluster (equal IDs route to the same shard, so the shard-local
-// duplicate check is the cluster-wide one). Searches already running
-// keep their pre-Add snapshot; searches starting after the store see s.
-func (c *Cluster) Add(s series.Series) error {
+// it admitted, returning the cluster-wide insertion sequence assigned to
+// the series (the storage layer keys tombstones on it). The series needs
+// a non-empty ID, unique across the cluster (equal IDs route to the same
+// shard, so the shard-local duplicate check is the cluster-wide one).
+// Searches already running keep their pre-Add snapshot; searches
+// starting after the store see s.
+func (c *Cluster) Add(s series.Series) (uint64, error) {
 	if s.ID == "" {
-		return ErrNoID
+		return 0, ErrNoID
 	}
 	sh := Route(s.ID, len(c.slots))
 	sl := &c.slots[sh]
@@ -237,29 +321,35 @@ func (c *Cluster) Add(s series.Series) error {
 	if cur.core == nil {
 		core, err := retrieve.New(c.backends[sh], []series.Series{s}, c.workers, c.abandon)
 		if err != nil {
-			return err
+			return 0, err
+		}
+		if c.sketchW > 0 {
+			if err := core.EnableSketches(c.sketchW); err != nil {
+				return 0, err
+			}
 		}
 		next.core = core
 	} else {
 		core, err := cur.core.CloneAdd(s)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		next.core = core
 	}
 	seq := c.nextSeq.Add(1) - 1
 	next.seqs = append(append(make([]uint64, 0, len(cur.seqs)+1), cur.seqs...), seq)
 	sl.snap.Store(next)
-	return nil
+	return seq, nil
 }
 
 // Remove deletes the series with the given non-empty ID from its shard
-// via a copy-on-write snapshot. Unlike a single Core — which refuses to
-// drop its last series — a shard may drain to empty: the cluster as a
-// whole is allowed to be empty.
-func (c *Cluster) Remove(id string) error {
+// via a copy-on-write snapshot, returning the insertion sequence the
+// series held (the storage layer keys tombstones on it). Unlike a single
+// Core — which refuses to drop its last series — a shard may drain to
+// empty: the cluster as a whole is allowed to be empty.
+func (c *Cluster) Remove(id string) (uint64, error) {
 	if id == "" {
-		return fmt.Errorf("Remove needs a non-empty ID: %w", ErrNoID)
+		return 0, fmt.Errorf("Remove needs a non-empty ID: %w", ErrNoID)
 	}
 	sh := Route(id, len(c.slots))
 	sl := &c.slots[sh]
@@ -267,26 +357,28 @@ func (c *Cluster) Remove(id string) error {
 	defer sl.mu.Unlock()
 	cur := sl.snap.Load()
 	if cur.core == nil {
-		return fmt.Errorf("%w: %q", retrieve.ErrUnknownID, id)
+		return 0, fmt.Errorf("%w: %q", retrieve.ErrUnknownID, id)
 	}
 	if cur.core.Len() == 1 {
 		only := cur.core.Series(0)
 		if only.ID != id {
-			return fmt.Errorf("%w: %q", retrieve.ErrUnknownID, id)
+			return 0, fmt.Errorf("%w: %q", retrieve.ErrUnknownID, id)
 		}
 		c.backends[sh].Forget(only)
+		seq := cur.seqs[0]
 		sl.snap.Store(&snapshot{})
-		return nil
+		return seq, nil
 	}
 	core, pos, err := cur.core.CloneRemove(id)
 	if err != nil {
-		return err
+		return 0, err
 	}
+	seq := cur.seqs[pos]
 	seqs := make([]uint64, 0, len(cur.seqs)-1)
 	seqs = append(seqs, cur.seqs[:pos]...)
 	seqs = append(seqs, cur.seqs[pos+1:]...)
 	sl.snap.Store(&snapshot{core: core, seqs: seqs})
-	return nil
+	return seq, nil
 }
 
 // hit is a merged result before the sequence tie-break is dropped.

@@ -1,0 +1,914 @@
+// Package store implements the append-friendly segment persistence
+// format behind store-backed indexes, replacing whole-index gob: a
+// directory holds a JSON manifest, immutable sealed segments, one
+// active (appendable) segment, and a tombstone log.
+//
+// Each segment is a pair of files. The hot file (seg-NNNNNNNN.hot)
+// carries everything a search needs before a candidate survives the
+// bound cascade — IDs, labels, insertion sequences, lengths, raw
+// endpoints (for LB_Kim), stage-0 PAA sketches and LB_Keogh envelopes —
+// as length-prefixed, CRC-protected records that an Open slurps eagerly;
+// its cost is O(live series · envelope), independent of the raw values.
+// The value file (seg-NNNNNNNN.val) carries the raw observations as
+// length-prefixed CRC-protected blocks read lazily through io.ReaderAt
+// only when a candidate reaches the dynamic program, so the raw
+// collection never has to fit in RAM (the layout is offset-addressed
+// and mmap-friendly: fixed-layout block headers at recorded offsets).
+//
+// Add appends a record to the active segment (sealing it into an
+// immutable segment once it reaches the configured record count);
+// Remove appends to the tombstone log; Compact rewrites the live
+// records into fresh segments and truncates the log. Records loaded
+// before a compaction keep reading values through their original (now
+// unlinked) file handles, so copy-on-write readers are never invalidated.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"sdtw/internal/lower"
+	"sdtw/internal/sketch"
+)
+
+// Sentinel errors of the segment store. Every corruption found at Open
+// or value-load time wraps one of these, so callers branch with
+// errors.Is instead of matching message strings.
+var (
+	// ErrCorruptManifest reports an unreadable, unparsable or
+	// version-incompatible store manifest (or a directory that is not a
+	// store at all).
+	ErrCorruptManifest = errors.New("corrupt store manifest")
+	// ErrCorruptSegment reports a segment file whose contents do not
+	// match its recorded layout or checksums.
+	ErrCorruptSegment = errors.New("corrupt store segment")
+	// ErrStoreExists reports a Create into a directory already holding a
+	// store.
+	ErrStoreExists = errors.New("store already exists")
+	// ErrClosed reports an operation on a closed store.
+	ErrClosed = errors.New("store closed")
+)
+
+const (
+	manifestName   = "MANIFEST.json"
+	tombstonesName = "tombstones.log"
+	hotMagic       = "SDTWHOT1"
+	valMagic       = "SDTWVAL1"
+	formatVersion  = 1
+
+	// DefaultSegmentRecords is the seal threshold when Config leaves it
+	// zero: segments stay small enough that compaction rewrites in
+	// bounded chunks, large enough that a million-series store holds a
+	// few hundred segments, not millions of files.
+	DefaultSegmentRecords = 4096
+)
+
+// Config parameterises Create.
+type Config struct {
+	// Fingerprint is the index configuration fingerprint the store's
+	// envelopes and sketches were computed under. Open returns it
+	// verbatim; the index layer refuses fingerprints it did not expect.
+	Fingerprint string
+	// SketchWidth is the stage-0 sketch coefficient count every record
+	// carries (>= 1).
+	SketchWidth int
+	// SegmentRecords is the record count at which the active segment is
+	// sealed; <= 0 means DefaultSegmentRecords.
+	SegmentRecords int
+	// Meta carries small caller-owned configuration (index kind, series
+	// length, shard membership) verbatim through the manifest.
+	Meta map[string]string
+}
+
+// Record is one persisted series: the hot metadata loaded eagerly at
+// Open, plus lazy access to the raw values.
+type Record struct {
+	ID    string
+	Label int
+	// Seq is the caller's insertion sequence; Live returns records in
+	// ascending Seq order and tombstones name the (ID, Seq) pair, so a
+	// re-added ID never resurrects its predecessor's tombstone.
+	Seq uint64
+	// N is the raw value count; First and Last are the raw endpoint
+	// values, kept hot so LB_Kim needs no value load.
+	N           int
+	First, Last float64
+	Sketch      sketch.Sketch
+	Envelope    lower.Envelope
+	// Values carries the raw observations on Append; Open leaves it nil
+	// (use LoadValues).
+	Values []float64
+
+	src *valSource
+	off int64
+}
+
+// LoadValues reads, checksums and returns the record's raw values from
+// the value file. Safe for concurrent use; each call reads from disk
+// (callers cache — the index layer materialises at most once per
+// series).
+func (r *Record) LoadValues() ([]float64, error) {
+	if r.Values != nil {
+		out := make([]float64, len(r.Values))
+		copy(out, r.Values)
+		return out, nil
+	}
+	if r.src == nil {
+		return nil, fmt.Errorf("store: record %q has no value source: %w", r.ID, ErrCorruptSegment)
+	}
+	f, err := r.src.file()
+	if err != nil {
+		return nil, fmt.Errorf("store: opening values of %q: %w", r.ID, err)
+	}
+	var hdr [4]byte
+	if _, err := f.ReadAt(hdr[:], r.off); err != nil {
+		return nil, fmt.Errorf("store: reading value block of %q: %v: %w", r.ID, err, ErrCorruptSegment)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n != r.N {
+		return nil, fmt.Errorf("store: value block of %q holds %d values, hot record says %d: %w", r.ID, n, r.N, ErrCorruptSegment)
+	}
+	buf := make([]byte, 8*n+4)
+	if _, err := f.ReadAt(buf, r.off+4); err != nil {
+		return nil, fmt.Errorf("store: reading value block of %q: %v: %w", r.ID, err, ErrCorruptSegment)
+	}
+	body, sum := buf[:8*n], binary.LittleEndian.Uint32(buf[8*n:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("store: value block of %q fails its checksum: %w", r.ID, ErrCorruptSegment)
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return vals, nil
+}
+
+// valSource is one segment's lazily opened value file. It outlives
+// compaction: the handle stays open (and readable) after the file is
+// unlinked, so records captured by copy-on-write readers keep loading.
+type valSource struct {
+	path string
+	once sync.Once
+	f    *os.File
+	err  error
+}
+
+func (v *valSource) file() (*os.File, error) {
+	v.once.Do(func() {
+		f, err := os.Open(v.path)
+		if err != nil {
+			v.err = err
+			return
+		}
+		v.f = f
+	})
+	return v.f, v.err
+}
+
+func (v *valSource) close() {
+	v.once.Do(func() { v.err = os.ErrClosed })
+	if v.f != nil {
+		v.f.Close()
+	}
+}
+
+// manifest is the store's committed state; it is rewritten atomically
+// (temp file + rename) on create, seal and compact.
+type manifest struct {
+	Version        int               `json:"version"`
+	Fingerprint    string            `json:"fingerprint"`
+	SketchWidth    int               `json:"sketch_width"`
+	SegmentRecords int               `json:"segment_records"`
+	Meta           map[string]string `json:"meta,omitempty"`
+	// NextSegment numbers segments monotonically across seals and
+	// compactions, so new files never collide with retired ones.
+	NextSegment int             `json:"next_segment"`
+	Sealed      []sealedSegment `json:"sealed"`
+	// Active is the appendable segment's number (always present).
+	Active int `json:"active"`
+}
+
+type sealedSegment struct {
+	Seg     int    `json:"seg"`
+	Records int    `json:"records"`
+	HotCRC  uint32 `json:"hot_crc"`
+}
+
+// tombstone is one line of tombstones.log.
+type tombstone struct {
+	ID  string `json:"id"`
+	Seq uint64 `json:"seq"`
+}
+
+// Store is an open segment store. Append, Tombstone, Compact and Close
+// serialise on an internal lock; Record.LoadValues is lock-free and may
+// run concurrently with all of them.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	man     manifest
+	records []*Record
+	dead    map[uint64]bool
+	active  *segWriter
+	sources map[int]*valSource
+	retired []*valSource
+	tomb    *os.File
+	closed  bool
+}
+
+// segWriter is the active segment's append state.
+type segWriter struct {
+	seg      int
+	hot, val *os.File
+	hotCRC   uint32 // running CRC over the whole hot file
+	records  int
+	valOff   int64
+}
+
+func segName(seg int, ext string) string { return fmt.Sprintf("seg-%08d.%s", seg, ext) }
+
+// Create initialises a new store in dir (created if absent; must not
+// already hold a store) and returns it open for appends.
+func Create(dir string, cfg Config) (*Store, error) {
+	if cfg.SketchWidth < 1 {
+		return nil, fmt.Errorf("store: sketch width must be >= 1, got %d", cfg.SketchWidth)
+	}
+	if cfg.SegmentRecords <= 0 {
+		cfg.SegmentRecords = DefaultSegmentRecords
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+		return nil, fmt.Errorf("store: %s: %w", dir, ErrStoreExists)
+	}
+	st := &Store{
+		dir: dir,
+		man: manifest{
+			Version:        formatVersion,
+			Fingerprint:    cfg.Fingerprint,
+			SketchWidth:    cfg.SketchWidth,
+			SegmentRecords: cfg.SegmentRecords,
+			Meta:           cfg.Meta,
+			NextSegment:    2,
+			Active:         1,
+		},
+		dead:    make(map[uint64]bool),
+		sources: make(map[int]*valSource),
+	}
+	tomb, err := os.OpenFile(filepath.Join(dir, tombstonesName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: creating tombstone log: %w", err)
+	}
+	st.tomb = tomb
+	if st.active, err = st.newSegment(1); err != nil {
+		tomb.Close()
+		return nil, err
+	}
+	if err := st.writeManifest(); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// newSegment opens a fresh active segment and writes its headers.
+func (st *Store) newSegment(seg int) (*segWriter, error) {
+	hotPath := filepath.Join(st.dir, segName(seg, "hot"))
+	valPath := filepath.Join(st.dir, segName(seg, "val"))
+	hot, err := os.OpenFile(hotPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: creating segment %d: %w", seg, err)
+	}
+	val, err := os.OpenFile(valPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		hot.Close()
+		return nil, fmt.Errorf("store: creating segment %d: %w", seg, err)
+	}
+	w := &segWriter{seg: seg, hot: hot, val: val}
+	hotHdr := st.hotHeader()
+	if _, err := hot.Write(hotHdr); err != nil {
+		w.closeFiles()
+		return nil, fmt.Errorf("store: writing segment %d header: %w", seg, err)
+	}
+	w.hotCRC = crc32.ChecksumIEEE(hotHdr)
+	if _, err := val.Write([]byte(valMagic)); err != nil {
+		w.closeFiles()
+		return nil, fmt.Errorf("store: writing segment %d header: %w", seg, err)
+	}
+	w.valOff = int64(len(valMagic))
+	st.sources[seg] = &valSource{path: valPath}
+	return w, nil
+}
+
+func (w *segWriter) closeFiles() {
+	if w.hot != nil {
+		w.hot.Close()
+	}
+	if w.val != nil {
+		w.val.Close()
+	}
+}
+
+// hotHeader encodes the per-segment config header: magic, version, and
+// the config fingerprint (so a segment file found on its own still
+// names the configuration it was written under).
+func (st *Store) hotHeader() []byte {
+	fp := []byte(st.man.Fingerprint)
+	buf := make([]byte, 0, len(hotMagic)+8+len(fp)+4)
+	buf = append(buf, hotMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(st.man.SketchWidth))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(fp)))
+	buf = append(buf, fp...)
+	return buf
+}
+
+// writeManifest commits the manifest atomically (temp file + rename).
+func (st *Store) writeManifest() error {
+	data, err := json.MarshalIndent(st.man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	tmp := filepath.Join(st.dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(st.dir, manifestName)); err != nil {
+		return fmt.Errorf("store: committing manifest: %w", err)
+	}
+	return nil
+}
+
+// Open opens an existing store, eagerly loading every segment's hot
+// records (IDs, endpoints, sketches, envelopes) and the tombstone log.
+// Raw values stay on disk until Record.LoadValues. Corruption anywhere —
+// manifest, sealed segment checksum, torn record — fails the whole open
+// with a wrapped sentinel.
+func Open(dir string) (*Store, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %v: %w", dir, err, ErrCorruptManifest)
+	}
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("store: %s: %v: %w", dir, err, ErrCorruptManifest)
+	}
+	if man.Version != formatVersion {
+		return nil, fmt.Errorf("store: %s: manifest version %d, want %d: %w", dir, man.Version, formatVersion, ErrCorruptManifest)
+	}
+	if man.SketchWidth < 1 || man.Active < 1 || man.SegmentRecords < 1 {
+		return nil, fmt.Errorf("store: %s: manifest fields out of range: %w", dir, ErrCorruptManifest)
+	}
+	st := &Store{
+		dir:     dir,
+		man:     man,
+		dead:    make(map[uint64]bool),
+		sources: make(map[int]*valSource),
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			st.Close()
+		}
+	}()
+	for _, sealed := range man.Sealed {
+		if err := st.loadSegment(sealed.Seg, &sealed); err != nil {
+			return nil, err
+		}
+	}
+	// The active segment has no committed CRC or record count; its
+	// per-record checks still apply, and its parsed state seeds the
+	// append writer.
+	activeRecords, activeCRC, err := st.loadActive(man.Active)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.loadTombstones(); err != nil {
+		return nil, err
+	}
+	tomb, err := os.OpenFile(filepath.Join(dir, tombstonesName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening tombstone log: %w", err)
+	}
+	st.tomb = tomb
+	hot, err := os.OpenFile(filepath.Join(dir, segName(man.Active, "hot")), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: reopening active segment: %w", err)
+	}
+	val, err := os.OpenFile(filepath.Join(dir, segName(man.Active, "val")), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		hot.Close()
+		return nil, fmt.Errorf("store: reopening active segment: %w", err)
+	}
+	valEnd, err := val.Seek(0, io.SeekEnd)
+	if err != nil {
+		hot.Close()
+		val.Close()
+		return nil, fmt.Errorf("store: reopening active segment: %w", err)
+	}
+	st.active = &segWriter{seg: man.Active, hot: hot, val: val, hotCRC: activeCRC, records: activeRecords, valOff: valEnd}
+	ok = true
+	return st, nil
+}
+
+// loadSegment reads one segment's hot file, verifying the whole-file
+// CRC and record count for sealed segments (sealed == nil for the
+// active segment, which checks per-record CRCs only). It returns the
+// record count and the whole-file CRC.
+func (st *Store) loadSegment(seg int, sealed *sealedSegment) error {
+	_, _, err := st.parseHot(seg, sealed)
+	return err
+}
+
+func (st *Store) loadActive(seg int) (int, uint32, error) {
+	return st.parseHot(seg, nil)
+}
+
+func (st *Store) parseHot(seg int, sealed *sealedSegment) (int, uint32, error) {
+	path := filepath.Join(st.dir, segName(seg, "hot"))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: segment %d: %v: %w", seg, err, ErrCorruptSegment)
+	}
+	fileCRC := crc32.ChecksumIEEE(data)
+	if sealed != nil && fileCRC != sealed.HotCRC {
+		return 0, 0, fmt.Errorf("store: segment %d fails its checksum: %w", seg, ErrCorruptSegment)
+	}
+	want := st.hotHeader()
+	if len(data) < len(want) || string(data[:len(want)]) != string(want) {
+		return 0, 0, fmt.Errorf("store: segment %d header does not match the manifest configuration: %w", seg, ErrCorruptSegment)
+	}
+	src, ok := st.sources[seg]
+	if !ok {
+		src = &valSource{path: filepath.Join(st.dir, segName(seg, "val"))}
+		st.sources[seg] = src
+	}
+	rest := data[len(want):]
+	count := 0
+	for len(rest) > 0 {
+		if len(rest) < 4 {
+			return 0, 0, fmt.Errorf("store: segment %d: torn record length: %w", seg, ErrCorruptSegment)
+		}
+		plen := int(binary.LittleEndian.Uint32(rest))
+		if plen < 0 || len(rest) < 4+plen+4 {
+			return 0, 0, fmt.Errorf("store: segment %d: torn record: %w", seg, ErrCorruptSegment)
+		}
+		payload := rest[4 : 4+plen]
+		sum := binary.LittleEndian.Uint32(rest[4+plen:])
+		if crc32.ChecksumIEEE(payload) != sum {
+			return 0, 0, fmt.Errorf("store: segment %d record %d fails its checksum: %w", seg, count, ErrCorruptSegment)
+		}
+		rec, err := decodeRecord(payload, st.man.SketchWidth)
+		if err != nil {
+			return 0, 0, fmt.Errorf("store: segment %d record %d: %v: %w", seg, count, err, ErrCorruptSegment)
+		}
+		rec.src = src
+		st.records = append(st.records, rec)
+		rest = rest[4+plen+4:]
+		count++
+	}
+	if sealed != nil && count != sealed.Records {
+		return 0, 0, fmt.Errorf("store: segment %d holds %d records, manifest says %d: %w", seg, count, sealed.Records, ErrCorruptSegment)
+	}
+	return count, fileCRC, nil
+}
+
+func (st *Store) loadTombstones() error {
+	data, err := os.ReadFile(filepath.Join(st.dir, tombstonesName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("store: reading tombstone log: %w", err)
+	}
+	dec := json.NewDecoder(bytesReader(data))
+	for dec.More() {
+		var tb tombstone
+		if err := dec.Decode(&tb); err != nil {
+			return fmt.Errorf("store: tombstone log: %v: %w", err, ErrCorruptManifest)
+		}
+		st.dead[tb.Seq] = true
+	}
+	return nil
+}
+
+// bytesReader avoids importing bytes for one call site.
+func bytesReader(b []byte) io.Reader { return &byteReader{b: b} }
+
+type byteReader struct{ b []byte }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+// encodeRecord serialises the hot payload of rec (values live in the
+// val file at valOff).
+func encodeRecord(rec *Record, valOff int64) []byte {
+	id := []byte(rec.ID)
+	w := len(rec.Sketch.Upper)
+	n := len(rec.Envelope.Upper)
+	buf := make([]byte, 0, 4+len(id)+8+8+4+16+16*w+4+16*n+8)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(id)))
+	buf = append(buf, id...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(rec.Label)))
+	buf = binary.LittleEndian.AppendUint64(buf, rec.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.N))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.First))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.Last))
+	for _, v := range rec.Sketch.Upper {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for _, v := range rec.Sketch.Lower {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Envelope.Radius))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for _, v := range rec.Envelope.Upper {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for _, v := range rec.Envelope.Lower {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(valOff))
+	return buf
+}
+
+// decodeRecord parses a hot payload. sketchW is the store-wide sketch
+// width every record must carry.
+func decodeRecord(p []byte, sketchW int) (*Record, error) {
+	rec := &Record{}
+	u32 := func() (uint32, error) {
+		if len(p) < 4 {
+			return 0, errors.New("short payload")
+		}
+		v := binary.LittleEndian.Uint32(p)
+		p = p[4:]
+		return v, nil
+	}
+	u64 := func() (uint64, error) {
+		if len(p) < 8 {
+			return 0, errors.New("short payload")
+		}
+		v := binary.LittleEndian.Uint64(p)
+		p = p[8:]
+		return v, nil
+	}
+	f64s := func(n int) ([]float64, error) {
+		if len(p) < 8*n {
+			return nil, errors.New("short payload")
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+		}
+		p = p[8*n:]
+		return out, nil
+	}
+	idLen, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(idLen) > len(p) {
+		return nil, errors.New("short payload")
+	}
+	rec.ID = string(p[:idLen])
+	p = p[idLen:]
+	label, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	rec.Label = int(int64(label))
+	if rec.Seq, err = u64(); err != nil {
+		return nil, err
+	}
+	n32, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	rec.N = int(n32)
+	first, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	last, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	rec.First, rec.Last = math.Float64frombits(first), math.Float64frombits(last)
+	if rec.Sketch.Upper, err = f64s(sketchW); err != nil {
+		return nil, err
+	}
+	if rec.Sketch.Lower, err = f64s(sketchW); err != nil {
+		return nil, err
+	}
+	radius, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	envN, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(envN) != rec.N {
+		return nil, fmt.Errorf("envelope length %d != series length %d", envN, rec.N)
+	}
+	rec.Envelope.Radius = int(int32(radius))
+	if rec.Envelope.Upper, err = f64s(rec.N); err != nil {
+		return nil, err
+	}
+	if rec.Envelope.Lower, err = f64s(rec.N); err != nil {
+		return nil, err
+	}
+	off, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	rec.off = int64(off)
+	if len(p) != 0 {
+		return nil, errors.New("trailing bytes in record payload")
+	}
+	return rec, nil
+}
+
+// Append persists rec (which must carry Values, a Sketch at the store's
+// width, and its Envelope) to the active segment: the value block first,
+// then the hot record pointing at it. The active segment seals once it
+// reaches the configured record count.
+func (st *Store) Append(rec Record) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	return st.appendLocked(rec)
+}
+
+// appendLocked is Append's body; Compact re-appends live records
+// through it under its own critical section.
+func (st *Store) appendLocked(rec Record) error {
+	if len(rec.Values) == 0 || rec.N != len(rec.Values) {
+		return fmt.Errorf("store: record %q needs Values (N=%d, len=%d)", rec.ID, rec.N, len(rec.Values))
+	}
+	if rec.Sketch.Width() != st.man.SketchWidth {
+		return fmt.Errorf("store: record %q has sketch width %d, store uses %d", rec.ID, rec.Sketch.Width(), st.man.SketchWidth)
+	}
+	if len(rec.Envelope.Upper) != rec.N {
+		return fmt.Errorf("store: record %q has envelope length %d for %d values", rec.ID, len(rec.Envelope.Upper), rec.N)
+	}
+	w := st.active
+
+	vbuf := make([]byte, 0, 4+8*rec.N+4)
+	vbuf = binary.LittleEndian.AppendUint32(vbuf, uint32(rec.N))
+	for _, v := range rec.Values {
+		vbuf = binary.LittleEndian.AppendUint64(vbuf, math.Float64bits(v))
+	}
+	vbuf = binary.LittleEndian.AppendUint32(vbuf, crc32.ChecksumIEEE(vbuf[4:4+8*rec.N]))
+	if _, err := w.val.Write(vbuf); err != nil {
+		return fmt.Errorf("store: appending values of %q: %w", rec.ID, err)
+	}
+	valOff := w.valOff
+	w.valOff += int64(len(vbuf))
+
+	payload := encodeRecord(&rec, valOff)
+	hbuf := make([]byte, 0, 4+len(payload)+4)
+	hbuf = binary.LittleEndian.AppendUint32(hbuf, uint32(len(payload)))
+	hbuf = append(hbuf, payload...)
+	hbuf = binary.LittleEndian.AppendUint32(hbuf, crc32.ChecksumIEEE(payload))
+	if _, err := w.hot.Write(hbuf); err != nil {
+		return fmt.Errorf("store: appending record %q: %w", rec.ID, err)
+	}
+	w.hotCRC = crc32.Update(w.hotCRC, crc32.IEEETable, hbuf)
+	w.records++
+
+	stored := rec
+	stored.Values = nil
+	stored.src = st.sources[w.seg]
+	stored.off = valOff
+	st.records = append(st.records, &stored)
+
+	if w.records >= st.man.SegmentRecords {
+		return st.sealLocked()
+	}
+	return nil
+}
+
+// sealLocked turns the active segment immutable and opens a fresh one,
+// committing both through the manifest.
+func (st *Store) sealLocked() error {
+	w := st.active
+	if err := w.hot.Sync(); err != nil {
+		return fmt.Errorf("store: sealing segment %d: %w", w.seg, err)
+	}
+	if err := w.val.Sync(); err != nil {
+		return fmt.Errorf("store: sealing segment %d: %w", w.seg, err)
+	}
+	w.closeFiles()
+	seg := st.man.NextSegment
+	st.man.NextSegment++
+	st.man.Sealed = append(st.man.Sealed, sealedSegment{Seg: w.seg, Records: w.records, HotCRC: w.hotCRC})
+	st.man.Active = seg
+	next, err := st.newSegment(seg)
+	if err != nil {
+		return err
+	}
+	st.active = next
+	return st.writeManifest()
+}
+
+// Tombstone marks the record with the given insertion sequence dead (by
+// appending to the tombstone log). The ID is recorded for auditability;
+// liveness keys on Seq alone, so re-adding an ID later is safe.
+func (st *Store) Tombstone(id string, seq uint64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	line, err := json.Marshal(tombstone{ID: id, Seq: seq})
+	if err != nil {
+		return fmt.Errorf("store: encoding tombstone: %w", err)
+	}
+	if _, err := st.tomb.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("store: appending tombstone for %q: %w", id, err)
+	}
+	st.dead[seq] = true
+	return nil
+}
+
+// Live returns the live (non-tombstoned) records in ascending insertion
+// sequence order. The returned slice is fresh; the records are shared.
+func (st *Store) Live() []*Record {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.liveLocked()
+}
+
+func (st *Store) liveLocked() []*Record {
+	out := make([]*Record, 0, len(st.records))
+	for _, rec := range st.records {
+		if !st.dead[rec.Seq] {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// Compact rewrites the live records into fresh segments, truncates the
+// tombstone log, and unlinks the old segment files. Records loaded
+// before the compaction keep reading through their original handles.
+func (st *Store) Compact() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	live := st.liveLocked()
+	// Old sources must be open before their files are unlinked, or a
+	// copy-on-write reader materialising later would find nothing.
+	for _, src := range st.sources {
+		if _, err := src.file(); err != nil {
+			return fmt.Errorf("store: compact: pinning old segment: %w", err)
+		}
+	}
+	oldSegs := make([]int, 0, len(st.man.Sealed)+1)
+	for _, s := range st.man.Sealed {
+		oldSegs = append(oldSegs, s.Seg)
+	}
+	oldSegs = append(oldSegs, st.active.seg)
+	oldSources := st.sources
+
+	st.active.closeFiles()
+	st.sources = make(map[int]*valSource)
+	st.man.Sealed = nil
+	st.records = nil
+	st.dead = make(map[uint64]bool)
+	seg := st.man.NextSegment
+	st.man.NextSegment++
+	st.man.Active = seg
+	w, err := st.newSegment(seg)
+	if err != nil {
+		return err
+	}
+	st.active = w
+	for _, rec := range live {
+		vals, err := rec.LoadValues()
+		if err != nil {
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		nr := *rec
+		nr.Values = vals
+		nr.src, nr.off = nil, 0
+		if err := st.appendLocked(nr); err != nil {
+			return err
+		}
+	}
+	if err := st.writeManifest(); err != nil {
+		return err
+	}
+	if err := os.Truncate(filepath.Join(st.dir, tombstonesName), 0); err != nil {
+		return fmt.Errorf("store: truncating tombstone log: %w", err)
+	}
+	for _, old := range oldSegs {
+		os.Remove(filepath.Join(st.dir, segName(old, "hot")))
+		os.Remove(filepath.Join(st.dir, segName(old, "val")))
+	}
+	for _, src := range oldSources {
+		st.retired = append(st.retired, src)
+	}
+	return nil
+}
+
+// NextSeq returns one past the highest insertion sequence the store has
+// seen (0 for an empty store), so a reopened index resumes its counter.
+func (st *Store) NextSeq() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var next uint64
+	for _, rec := range st.records {
+		if rec.Seq+1 > next {
+			next = rec.Seq + 1
+		}
+	}
+	return next
+}
+
+// Fingerprint returns the configuration fingerprint the store was
+// created under.
+func (st *Store) Fingerprint() string { return st.man.Fingerprint }
+
+// SketchWidth returns the stage-0 sketch width every record carries.
+func (st *Store) SketchWidth() int { return st.man.SketchWidth }
+
+// Meta returns the caller-owned manifest metadata (shared map; treat as
+// read-only).
+func (st *Store) Meta() map[string]string { return st.man.Meta }
+
+// Stats summarises the store for observability surfaces.
+type Stats struct {
+	// Segments counts sealed segments plus the active one.
+	Segments int
+	// LiveRecords and Tombstones partition the stored records.
+	LiveRecords, Tombstones int
+	// SketchWidth is the stage-0 sketch coefficient count.
+	SketchWidth int
+}
+
+// Stats returns the store's current counters.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	dead := 0
+	for _, rec := range st.records {
+		if st.dead[rec.Seq] {
+			dead++
+		}
+	}
+	return Stats{
+		Segments:    len(st.man.Sealed) + 1,
+		LiveRecords: len(st.records) - dead,
+		Tombstones:  dead,
+		SketchWidth: st.man.SketchWidth,
+	}
+}
+
+// Close releases every file handle, including the retired handles kept
+// alive for pre-compaction readers. Records loaded from this store must
+// not LoadValues afterwards.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	if st.active != nil {
+		st.active.closeFiles()
+	}
+	if st.tomb != nil {
+		st.tomb.Close()
+	}
+	for _, src := range st.sources {
+		src.close()
+	}
+	for _, src := range st.retired {
+		src.close()
+	}
+	return nil
+}

@@ -1,0 +1,481 @@
+package store
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"sdtw/internal/lower"
+	"sdtw/internal/sketch"
+)
+
+// makeRecord builds a complete record (values, envelope, sketch) for a
+// deterministic pseudo-random series.
+func makeRecord(t *testing.T, id string, seq uint64, n, w int) Record {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(seq) + 1))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 2
+	}
+	env := lower.NewEnvelope(vals, 3)
+	sk, err := sketch.FromEnvelope(env, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Record{
+		ID:       id,
+		Label:    int(seq % 5),
+		Seq:      seq,
+		N:        n,
+		First:    vals[0],
+		Last:     vals[n-1],
+		Sketch:   sk,
+		Envelope: env,
+		Values:   vals,
+	}
+}
+
+func mustCreate(t *testing.T, dir string, cfg Config) *Store {
+	t.Helper()
+	st, err := Create(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// checkRecord asserts a loaded record round-trips the original exactly,
+// including lazily loaded values.
+func checkRecord(t *testing.T, got *Record, want Record) {
+	t.Helper()
+	if got.ID != want.ID || got.Label != want.Label || got.Seq != want.Seq || got.N != want.N {
+		t.Fatalf("record header mismatch: got %q/%d/%d/%d want %q/%d/%d/%d",
+			got.ID, got.Label, got.Seq, got.N, want.ID, want.Label, want.Seq, want.N)
+	}
+	if math.Float64bits(got.First) != math.Float64bits(want.First) ||
+		math.Float64bits(got.Last) != math.Float64bits(want.Last) {
+		t.Fatalf("record %q endpoints differ", want.ID)
+	}
+	if got.Envelope.Radius != want.Envelope.Radius {
+		t.Fatalf("record %q radius %d want %d", want.ID, got.Envelope.Radius, want.Envelope.Radius)
+	}
+	checkF64s(t, want.ID+" sketch upper", got.Sketch.Upper, want.Sketch.Upper)
+	checkF64s(t, want.ID+" sketch lower", got.Sketch.Lower, want.Sketch.Lower)
+	checkF64s(t, want.ID+" env upper", got.Envelope.Upper, want.Envelope.Upper)
+	checkF64s(t, want.ID+" env lower", got.Envelope.Lower, want.Envelope.Lower)
+	vals, err := got.LoadValues()
+	if err != nil {
+		t.Fatalf("record %q: %v", want.ID, err)
+	}
+	checkF64s(t, want.ID+" values", vals, want.Values)
+}
+
+func checkF64s(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: position %d differs (%v vs %v)", what, i, got[i], want[i])
+		}
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := mustCreate(t, dir, Config{Fingerprint: "fp-a", SketchWidth: 8, SegmentRecords: 4,
+		Meta: map[string]string{"kind": "engine"}})
+	want := make([]Record, 11) // crosses two seal boundaries
+	for i := range want {
+		want[i] = makeRecord(t, "s"+strconv.Itoa(i), uint64(i), 20+i, 8)
+		if err := st.Append(want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st = mustOpen(t, dir)
+	defer st.Close()
+	if got := st.Fingerprint(); got != "fp-a" {
+		t.Fatalf("fingerprint %q", got)
+	}
+	if got := st.SketchWidth(); got != 8 {
+		t.Fatalf("sketch width %d", got)
+	}
+	if got := st.Meta()["kind"]; got != "engine" {
+		t.Fatalf("meta kind %q", got)
+	}
+	if got := st.NextSeq(); got != 11 {
+		t.Fatalf("NextSeq %d want 11", got)
+	}
+	live := st.Live()
+	if len(live) != len(want) {
+		t.Fatalf("%d live records, want %d", len(live), len(want))
+	}
+	for i, rec := range live {
+		checkRecord(t, rec, want[i])
+	}
+	stats := st.Stats()
+	if stats.Segments != 3 || stats.LiveRecords != 11 || stats.Tombstones != 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+// TestStoreAppendAfterReopen pins that a reopened store keeps appending
+// to its active segment and seals correctly.
+func TestStoreAppendAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	st := mustCreate(t, dir, Config{Fingerprint: "fp", SketchWidth: 4, SegmentRecords: 3})
+	var want []Record
+	for i := 0; i < 2; i++ {
+		r := makeRecord(t, "a"+strconv.Itoa(i), uint64(i), 16, 4)
+		want = append(want, r)
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	st = mustOpen(t, dir)
+	for i := 2; i < 7; i++ { // crosses the seal boundary of the reopened active segment
+		r := makeRecord(t, "a"+strconv.Itoa(i), uint64(i), 16, 4)
+		want = append(want, r)
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	st = mustOpen(t, dir)
+	defer st.Close()
+	live := st.Live()
+	if len(live) != len(want) {
+		t.Fatalf("%d live records, want %d", len(live), len(want))
+	}
+	for i, rec := range live {
+		checkRecord(t, rec, want[i])
+	}
+}
+
+// TestStoreTombstones pins seq-keyed liveness: tombstoning an old seq
+// must not kill a re-added record with the same ID.
+func TestStoreTombstones(t *testing.T) {
+	dir := t.TempDir()
+	st := mustCreate(t, dir, Config{Fingerprint: "fp", SketchWidth: 4})
+	r0 := makeRecord(t, "dup", 0, 12, 4)
+	r1 := makeRecord(t, "solo", 1, 12, 4)
+	for _, r := range []Record{r0, r1} {
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Tombstone("dup", 0); err != nil {
+		t.Fatal(err)
+	}
+	r2 := makeRecord(t, "dup", 2, 14, 4) // same ID, new seq
+	if err := st.Append(r2); err != nil {
+		t.Fatal(err)
+	}
+	check := func(st *Store) {
+		t.Helper()
+		live := st.Live()
+		if len(live) != 2 {
+			t.Fatalf("%d live records, want 2", len(live))
+		}
+		checkRecord(t, live[0], r1)
+		checkRecord(t, live[1], r2)
+	}
+	check(st)
+	st.Close()
+	st = mustOpen(t, dir) // tombstone survives reopen
+	defer st.Close()
+	check(st)
+	if stats := st.Stats(); stats.Tombstones != 1 {
+		t.Fatalf("stats %+v, want 1 tombstone", stats)
+	}
+}
+
+func TestStoreCompact(t *testing.T) {
+	dir := t.TempDir()
+	st := mustCreate(t, dir, Config{Fingerprint: "fp", SketchWidth: 4, SegmentRecords: 3})
+	var want []Record
+	for i := 0; i < 10; i++ {
+		r := makeRecord(t, "c"+strconv.Itoa(i), uint64(i), 16, 4)
+		want = append(want, r)
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, seq := range []uint64{1, 4, 9} {
+		if err := st.Tombstone(want[seq].ID, seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Hold a record loaded before the compaction: it must keep reading
+	// through its (about to be unlinked) original segment.
+	preCompact := st.Live()[0]
+
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if stats := st.Stats(); stats.LiveRecords != 7 || stats.Tombstones != 0 {
+		t.Fatalf("stats after compact: %+v", stats)
+	}
+	vals, err := preCompact.LoadValues()
+	if err != nil {
+		t.Fatalf("pre-compaction record no longer readable: %v", err)
+	}
+	checkF64s(t, "pre-compaction values", vals, want[0].Values)
+
+	// The tombstone log must be empty and the old segment files gone.
+	if data, err := os.ReadFile(filepath.Join(dir, tombstonesName)); err != nil || len(data) != 0 {
+		t.Fatalf("tombstone log not truncated (err=%v len=%d)", err, len(data))
+	}
+	for _, old := range []int{1, 2, 3, 4} {
+		if _, err := os.Stat(filepath.Join(dir, segName(old, "hot"))); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("old segment %d still on disk", old)
+		}
+	}
+
+	// A fresh open sees exactly the live set, in seq order, values intact.
+	st.Close()
+	st = mustOpen(t, dir)
+	defer st.Close()
+	live := st.Live()
+	if len(live) != 7 {
+		t.Fatalf("%d live records after reopen, want 7", len(live))
+	}
+	dead := map[uint64]bool{1: true, 4: true, 9: true}
+	i := 0
+	for _, w := range want {
+		if dead[w.Seq] {
+			continue
+		}
+		checkRecord(t, live[i], w)
+		i++
+	}
+	if got := st.NextSeq(); got != 9 { // highest surviving seq is 8
+		t.Fatalf("NextSeq %d want 9", got)
+	}
+}
+
+func TestStoreCreateValidates(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Create(dir, Config{Fingerprint: "fp", SketchWidth: 0}); err == nil {
+		t.Fatal("sketch width 0 accepted")
+	}
+	st := mustCreate(t, dir, Config{Fingerprint: "fp", SketchWidth: 4})
+	st.Close()
+	if _, err := Create(dir, Config{Fingerprint: "fp", SketchWidth: 4}); !errors.Is(err, ErrStoreExists) {
+		t.Fatalf("second Create: %v, want ErrStoreExists", err)
+	}
+}
+
+func TestStoreAppendValidates(t *testing.T) {
+	st := mustCreate(t, t.TempDir(), Config{Fingerprint: "fp", SketchWidth: 4})
+	defer st.Close()
+	r := makeRecord(t, "x", 0, 12, 4)
+	bad := r
+	bad.Values = nil
+	if err := st.Append(bad); err == nil {
+		t.Fatal("record without values accepted")
+	}
+	bad = makeRecord(t, "y", 1, 12, 8) // wrong sketch width
+	if err := st.Append(bad); err == nil {
+		t.Fatal("wrong sketch width accepted")
+	}
+	bad = r
+	bad.Envelope.Upper = bad.Envelope.Upper[:3]
+	if err := st.Append(bad); err == nil {
+		t.Fatal("short envelope accepted")
+	}
+}
+
+func TestStoreOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); !errors.Is(err, ErrCorruptManifest) {
+		t.Fatalf("open of missing dir: %v, want ErrCorruptManifest", err)
+	}
+}
+
+// corruptingOpen creates a small store, applies corrupt, and returns
+// Open's error.
+func corruptingOpen(t *testing.T, corrupt func(dir string)) error {
+	t.Helper()
+	dir := t.TempDir()
+	st := mustCreate(t, dir, Config{Fingerprint: "fp", SketchWidth: 4, SegmentRecords: 2})
+	for i := 0; i < 4; i++ { // two sealed segments + empty active
+		if err := st.Append(makeRecord(t, "s"+strconv.Itoa(i), uint64(i), 16, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	corrupt(dir)
+	got, err := Open(dir)
+	if err == nil {
+		got.Close()
+	}
+	return err
+}
+
+func TestStoreOpenCorruption(t *testing.T) {
+	flip := func(path string, off int64) func(string) {
+		return func(dir string) {
+			p := filepath.Join(dir, path)
+			data, err := os.ReadFile(p)
+			if err != nil {
+				panic(err)
+			}
+			if off < 0 {
+				off += int64(len(data))
+			}
+			data[off] ^= 0xff
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				panic(err)
+			}
+		}
+	}
+	cases := []struct {
+		name    string
+		corrupt func(dir string)
+		want    error
+	}{
+		{"manifest json", flip(manifestName, 2), ErrCorruptManifest},
+		{"manifest missing", func(dir string) { os.Remove(filepath.Join(dir, manifestName)) }, ErrCorruptManifest},
+		{"sealed hot bitflip", flip(segName(1, "hot"), -20), ErrCorruptSegment},
+		{"sealed hot missing", func(dir string) { os.Remove(filepath.Join(dir, segName(1, "hot"))) }, ErrCorruptSegment},
+		{"sealed hot truncated", func(dir string) {
+			p := filepath.Join(dir, segName(2, "hot"))
+			fi, err := os.Stat(p)
+			if err != nil {
+				panic(err)
+			}
+			if err := os.Truncate(p, fi.Size()-7); err != nil {
+				panic(err)
+			}
+		}, ErrCorruptSegment},
+		{"active hot bitflip", func(dir string) {
+			// Grow the active segment first so there is a payload to
+			// corrupt (per-record CRCs guard it; no manifest CRC yet).
+			st, err := Open(dir)
+			if err != nil {
+				panic(err)
+			}
+			rng := rand.New(rand.NewSource(99))
+			vals := make([]float64, 16)
+			for i := range vals {
+				vals[i] = rng.NormFloat64()
+			}
+			env := lower.NewEnvelope(vals, 3)
+			sk, err := sketch.FromEnvelope(env, 4)
+			if err != nil {
+				panic(err)
+			}
+			if err := st.Append(Record{ID: "extra", Seq: 99, N: 16, First: vals[0],
+				Last: vals[15], Sketch: sk, Envelope: env, Values: vals}); err != nil {
+				panic(err)
+			}
+			st.Close()
+			flip(segName(3, "hot"), -3)(dir)
+		}, ErrCorruptSegment},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := corruptingOpen(t, tc.corrupt)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestStoreValueCorruption pins that a bit flip in a cold value block is
+// caught at LoadValues time, not silently returned.
+func TestStoreValueCorruption(t *testing.T) {
+	dir := t.TempDir()
+	st := mustCreate(t, dir, Config{Fingerprint: "fp", SketchWidth: 4})
+	if err := st.Append(makeRecord(t, "v", 0, 16, 4)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	p := filepath.Join(dir, segName(1, "val"))
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(valMagic)+4+8] ^= 0x01 // second byte of the first value
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st = mustOpen(t, dir) // hot sections are fine; open succeeds
+	defer st.Close()
+	if _, err := st.Live()[0].LoadValues(); !errors.Is(err, ErrCorruptSegment) {
+		t.Fatalf("LoadValues on corrupt block: %v, want ErrCorruptSegment", err)
+	}
+}
+
+// TestStoreFingerprintHeaderMismatch pins the per-segment config header:
+// a segment written under one fingerprint refuses to load under a
+// manifest claiming another (e.g. a file copied between stores).
+func TestStoreFingerprintHeaderMismatch(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a := mustCreate(t, dirA, Config{Fingerprint: "fp-a", SketchWidth: 4, SegmentRecords: 2})
+	b := mustCreate(t, dirB, Config{Fingerprint: "fp-b", SketchWidth: 4, SegmentRecords: 2})
+	for i := 0; i < 2; i++ {
+		if err := a.Append(makeRecord(t, "a"+strconv.Itoa(i), uint64(i), 16, 4)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Append(makeRecord(t, "b"+strconv.Itoa(i), uint64(i), 16, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Close()
+	b.Close()
+	// Splice B's sealed segment into A (manifest CRC will match the
+	// foreign file's own bytes, so only the config header catches it).
+	data, err := os.ReadFile(filepath.Join(dirB, segName(1, "hot")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dirA, segName(1, "hot")), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dirA); !errors.Is(err, ErrCorruptSegment) {
+		t.Fatalf("open with foreign segment: %v, want ErrCorruptSegment", err)
+	}
+}
+
+func TestStoreClosed(t *testing.T) {
+	st := mustCreate(t, t.TempDir(), Config{Fingerprint: "fp", SketchWidth: 4})
+	st.Close()
+	if err := st.Append(makeRecord(t, "x", 0, 8, 4)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after close: %v", err)
+	}
+	if err := st.Tombstone("x", 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Tombstone after close: %v", err)
+	}
+	if err := st.Compact(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Compact after close: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

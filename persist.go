@@ -56,6 +56,9 @@ const (
 // the restored index re-extracts features lazily per comparison, exactly
 // as the original did.
 func (ix *Index) Save(w io.Writer) error {
+	if ix.core.Cold() {
+		return fmt.Errorf("sdtw: Save: raw values live in the segment store, not in RAM: %w", ErrStoreBacked)
+	}
 	// The feature cache is captured inside the same lock acquisition as
 	// the collection snapshot: a Remove+Add reusing a series ID between
 	// the two captures would otherwise pair the old series' values with
@@ -125,6 +128,11 @@ func LoadIndex(r io.Reader, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sdtw: %w", err)
 	}
+	if w := resolveSketchWidth(opts.SketchWidth); w > 0 {
+		if err := core.EnableSketches(w); err != nil {
+			return nil, fmt.Errorf("sdtw: %w", err)
+		}
+	}
 	return &Index{core: core, engine: engine, radius: -1}, nil
 }
 
@@ -154,6 +162,9 @@ func LoadWindowedIndex(r io.Reader) (*Index, error) {
 	}
 	core, err := retrieve.Restore(backend, snap.Series, snap.Envelopes, indexWorkers(0), true)
 	if err != nil {
+		return nil, fmt.Errorf("sdtw: %w", err)
+	}
+	if err := core.EnableSketches(DefaultSketchWidth); err != nil {
 		return nil, fmt.Errorf("sdtw: %w", err)
 	}
 	return &Index{core: core, radius: eff}, nil
@@ -204,6 +215,9 @@ const shardedSnapshotVersion = 1
 // snapshot). NextSeq is captured last, so every captured sequence number
 // is below it.
 func (si *ShardedIndex) Save(w io.Writer) error {
+	if si.cluster.Cold() {
+		return fmt.Errorf("sdtw: Save: raw values live in the segment stores, not in RAM: %w", ErrStoreBacked)
+	}
 	snap := shardedSnapshot{
 		Version:     shardedSnapshotVersion,
 		Fingerprint: si.cluster.Fingerprint(),
@@ -278,8 +292,9 @@ func LoadShardedIndex(r io.Reader, opts Options) (*ShardedIndex, error) {
 			engines[i].inner.RestoreCache(snap.ShardFeatures[i])
 			return retrieve.NewEngineBackend(engines[i].inner, fp, opts.PointDistance != nil), nil
 		},
-		Workers: indexWorkers(opts.Workers),
-		Abandon: !opts.DisableAbandon,
+		Workers:     indexWorkers(opts.Workers),
+		Abandon:     !opts.DisableAbandon,
+		SketchWidth: resolveSketchWidth(opts.SketchWidth),
 	}
 	cluster, err := shard.Restore(cfg, snap.ShardSeries, snap.ShardEnvelopes, snap.ShardSeqs, snap.NextSeq)
 	if err != nil {
@@ -315,8 +330,9 @@ func LoadShardedWindowedIndex(r io.Reader) (*ShardedIndex, error) {
 			}
 			return b, nil
 		},
-		Workers: indexWorkers(0),
-		Abandon: true,
+		Workers:     indexWorkers(0),
+		Abandon:     true,
+		SketchWidth: DefaultSketchWidth,
 	}
 	cluster, err := shard.Restore(cfg, snap.ShardSeries, snap.ShardEnvelopes, snap.ShardSeqs, snap.NextSeq)
 	if err != nil {

@@ -149,6 +149,31 @@ type Options struct {
 	// across. Zero means GOMAXPROCS; 1 forces sequential queries. It does
 	// not affect Engine, whose calls are parallelised by the caller.
 	Workers int
+	// SketchWidth is the coefficient count of the stage-0 LB_PAA sketch
+	// filter Index queries run before LB_Kim (per envelope side). Zero
+	// means DefaultSketchWidth; negative disables stage 0. The width
+	// never changes search results — LB_PAA is admissible at every width
+	// — so it is deliberately excluded from the configuration
+	// fingerprint: snapshots and stores load under any width.
+	SketchWidth int
+}
+
+// DefaultSketchWidth is the stage-0 sketch width used when
+// Options.SketchWidth is zero: 16 coefficients per envelope side keeps
+// the sketch pass under 1/8th of a full LB_Keogh scan for the UCR-scale
+// lengths the paper evaluates while still pruning most far candidates.
+const DefaultSketchWidth = 16
+
+// resolveSketchWidth lowers Options.SketchWidth onto the internal
+// convention (0 disables).
+func resolveSketchWidth(w int) int {
+	if w < 0 {
+		return 0
+	}
+	if w == 0 {
+		return DefaultSketchWidth
+	}
+	return w
 }
 
 // DefaultOptions returns the paper's headline configuration: adaptive

@@ -3,9 +3,11 @@ package sdtw
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"sdtw/internal/retrieve"
 	"sdtw/internal/shard"
+	"sdtw/internal/store"
 )
 
 // ShardedIndex is the horizontally partitioned form of Index, built for
@@ -29,6 +31,12 @@ type ShardedIndex struct {
 	engines []*Engine // per-shard engines; nil for the windowed backend
 	radius  int       // effective windowed radius; -1 for the engine backend
 	shards  int
+
+	// Store-backed state (non-nil stores only for indexes opened with
+	// OpenShardedIndex / OpenShardedWindowedIndex): one segment store per
+	// shard; mutations write through, serialised by storeMu.
+	stores  []*store.Store
+	storeMu sync.Mutex
 }
 
 // Hit is one sharded retrieval result, identified by series ID.
@@ -51,8 +59,9 @@ func NewShardedIndex(data []Series, shards int, opts Options) (*ShardedIndex, er
 			engines[i] = NewEngine(opts)
 			return retrieve.NewEngineBackend(engines[i].inner, fp, opts.PointDistance != nil), nil
 		},
-		Workers: indexWorkers(opts.Workers),
-		Abandon: !opts.DisableAbandon,
+		Workers:     indexWorkers(opts.Workers),
+		Abandon:     !opts.DisableAbandon,
+		SketchWidth: resolveSketchWidth(opts.SketchWidth),
 	}
 	cluster, err := shard.New(cfg, data)
 	if err != nil {
@@ -81,8 +90,9 @@ func NewShardedWindowedIndex(data []Series, shards, radius int) (*ShardedIndex, 
 			eff = e
 			return b, err
 		},
-		Workers: indexWorkers(0),
-		Abandon: true,
+		Workers:     indexWorkers(0),
+		Abandon:     true,
+		SketchWidth: DefaultSketchWidth,
 	}
 	cluster, err := shard.New(cfg, data)
 	if err != nil {
@@ -117,7 +127,10 @@ func (si *ShardedIndex) Search(ctx context.Context, query Series, opts ...Search
 // envelope) outside any search's path. The series needs a non-empty ID,
 // unique across the cluster.
 func (si *ShardedIndex) Add(s Series) error {
-	if err := si.cluster.Add(s); err != nil {
+	if si.stores != nil {
+		return si.addStore(s)
+	}
+	if _, err := si.cluster.Add(s); err != nil {
 		return fmt.Errorf("sdtw: Add: %w", err)
 	}
 	return nil
@@ -126,7 +139,10 @@ func (si *ShardedIndex) Add(s Series) error {
 // Remove deletes the series with the given non-empty ID. Shards may
 // drain to empty; so may the whole index.
 func (si *ShardedIndex) Remove(id string) error {
-	if err := si.cluster.Remove(id); err != nil {
+	if si.stores != nil {
+		return si.removeStore(id)
+	}
+	if _, err := si.cluster.Remove(id); err != nil {
 		return fmt.Errorf("sdtw: Remove: %w", err)
 	}
 	return nil

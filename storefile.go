@@ -1,0 +1,851 @@
+package sdtw
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"sdtw/internal/lower"
+	"sdtw/internal/retrieve"
+	"sdtw/internal/shard"
+	"sdtw/internal/sketch"
+	"sdtw/internal/store"
+)
+
+// This file is the segment-store face of the index: SaveStore exports a
+// warm index into an on-disk segment store, OpenIndex (and friends)
+// serve straight from one with only the hot sections — IDs, endpoints,
+// sketches, envelopes — resident, and Add/Remove on an opened index
+// write through to the store, so the collection scales past what the
+// raw values would occupy in RAM. Gob snapshots (Save/LoadIndex) remain
+// readable for one release; migrate converts them.
+
+// Manifest metadata keys the index layer stores alongside the segment
+// format's own fields.
+const (
+	storeMetaKind    = "kind"
+	storeMetaLength  = "length"
+	storeMetaRadius  = "radius"
+	storeMetaShards  = "shards"
+	storeMetaShard   = "shard"
+	storeMetaNextSeq = "next_seq"
+)
+
+// shardDirName names the per-shard store directory under a sharded
+// store root.
+func shardDirName(i int) string { return fmt.Sprintf("shard-%04d", i) }
+
+// StoreStats summarises a store-backed index's segment store(s):
+// sharded indexes aggregate across their per-shard stores.
+type StoreStats struct {
+	// Segments counts sealed segments plus the active one(s).
+	Segments int
+	// LiveRecords and Tombstones partition the stored records.
+	LiveRecords, Tombstones int
+	// SketchWidth is the stage-0 sketch coefficient count every record
+	// carries.
+	SketchWidth int
+}
+
+// SaveStore exports the index into a segment store rooted at dir
+// (created if missing; refused with ErrStoreExists if dir already holds
+// a store). Every series needs a non-empty ID — the store keys removals
+// on (ID, insertion sequence). The store persists everything the
+// cascade's pre-DP stages need hot (sketches, envelopes, endpoints) and
+// the raw values cold, so OpenIndex serves from it without loading
+// values into RAM. Like Save, export during a quiet period for a
+// point-in-time snapshot.
+func (ix *Index) SaveStore(dir string) error {
+	if ix.core.Cold() {
+		return fmt.Errorf("sdtw: SaveStore: the index already serves from a segment store: %w", ErrStoreBacked)
+	}
+	if !ix.core.Cascade() {
+		return fmt.Errorf("sdtw: SaveStore: a custom PointDistance has no admissible envelopes or sketches to persist: %w", ErrConfigMismatch)
+	}
+	w := ix.core.SketchWidth()
+	if w <= 0 {
+		w = DefaultSketchWidth
+	}
+	data, envs := ix.core.Snapshot(nil)
+	meta := map[string]string{storeMetaNextSeq: strconv.Itoa(len(data))}
+	if ix.engine != nil {
+		meta[storeMetaKind] = snapshotKindEngine
+	} else {
+		meta[storeMetaKind] = snapshotKindWindowed
+		meta[storeMetaLength] = strconv.Itoa(data[0].Len())
+		meta[storeMetaRadius] = strconv.Itoa(ix.radius)
+	}
+	created := dirMissing(dir)
+	st, err := store.Create(dir, store.Config{
+		Fingerprint: ix.core.Fingerprint(),
+		SketchWidth: w,
+		Meta:        meta,
+	})
+	if err != nil {
+		return fmt.Errorf("sdtw: SaveStore: %w", err)
+	}
+	if err := writeStoreRecords(st, data, envs, nil, w); err != nil {
+		st.Close()
+		cleanupStoreDir(dir, created)
+		return fmt.Errorf("sdtw: SaveStore: %w", err)
+	}
+	if err := st.Close(); err != nil {
+		cleanupStoreDir(dir, created)
+		return fmt.Errorf("sdtw: SaveStore: %w", err)
+	}
+	return nil
+}
+
+// SaveStore exports the sharded index into a store root at dir: one
+// segment store per shard under shard-0000, shard-0001, …, each
+// carrying the shard count, its own shard number, and the cluster's
+// next insertion sequence, so OpenShardedIndex rebuilds the cluster —
+// including the cross-shard tie-break order — exactly.
+func (si *ShardedIndex) SaveStore(dir string) error {
+	if si.cluster.Cold() {
+		return fmt.Errorf("sdtw: SaveStore: the index already serves from segment stores: %w", ErrStoreBacked)
+	}
+	w := si.cluster.SketchWidth()
+	if w <= 0 {
+		w = DefaultSketchWidth
+	}
+	kind := snapshotKindWindowed
+	if si.engines != nil {
+		kind = snapshotKindEngine
+	}
+	parts := make([][]Series, si.shards)
+	envs := make([][]lower.Envelope, si.shards)
+	seqs := make([][]uint64, si.shards)
+	length := 0
+	for i := 0; i < si.shards; i++ {
+		parts[i], envs[i], seqs[i] = si.cluster.ShardSnapshot(i, nil)
+		if kind == snapshotKindWindowed && length == 0 && len(parts[i]) > 0 {
+			length = parts[i][0].Len()
+		}
+		if len(parts[i]) > 0 && len(envs[i]) != len(parts[i]) {
+			return fmt.Errorf("sdtw: SaveStore: a custom PointDistance has no admissible envelopes or sketches to persist: %w", ErrConfigMismatch)
+		}
+	}
+	nextSeq := si.cluster.NextSeq()
+	created := dirMissing(dir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("sdtw: SaveStore: %w", err)
+	}
+	stores := make([]*store.Store, 0, si.shards)
+	fail := func(err error) error {
+		for _, st := range stores {
+			st.Close()
+		}
+		cleanupStoreDir(dir, created)
+		return fmt.Errorf("sdtw: SaveStore: %w", err)
+	}
+	for i := 0; i < si.shards; i++ {
+		meta := map[string]string{
+			storeMetaKind:    kind,
+			storeMetaShards:  strconv.Itoa(si.shards),
+			storeMetaShard:   strconv.Itoa(i),
+			storeMetaNextSeq: strconv.FormatUint(nextSeq, 10),
+		}
+		if kind == snapshotKindWindowed {
+			meta[storeMetaLength] = strconv.Itoa(length)
+			meta[storeMetaRadius] = strconv.Itoa(si.radius)
+		}
+		st, err := store.Create(filepath.Join(dir, shardDirName(i)), store.Config{
+			Fingerprint: si.cluster.Fingerprint(),
+			SketchWidth: w,
+			Meta:        meta,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		stores = append(stores, st)
+		if err := writeStoreRecords(st, parts[i], envs[i], seqs[i], w); err != nil {
+			return fail(err)
+		}
+	}
+	for _, st := range stores {
+		if err := st.Close(); err != nil {
+			cleanupStoreDir(dir, created)
+			return fmt.Errorf("sdtw: SaveStore: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeStoreRecords appends data into st, pairing each series with its
+// envelope and a sketch derived from it. seqs supplies the insertion
+// sequences (nil means positions).
+func writeStoreRecords(st *store.Store, data []Series, envs []lower.Envelope, seqs []uint64, w int) error {
+	for i, s := range data {
+		if s.ID == "" {
+			return fmt.Errorf("series %d: %w", i, ErrNoID)
+		}
+		sk, err := sketch.FromEnvelope(envs[i], w)
+		if err != nil {
+			return fmt.Errorf("series %q: %w", s.ID, err)
+		}
+		seq := uint64(i)
+		if seqs != nil {
+			seq = seqs[i]
+		}
+		rec := store.Record{
+			ID:       s.ID,
+			Label:    s.Label,
+			Seq:      seq,
+			N:        len(s.Values),
+			First:    s.Values[0],
+			Last:     s.Values[len(s.Values)-1],
+			Sketch:   sk,
+			Envelope: envs[i],
+			Values:   s.Values,
+		}
+		if err := st.Append(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dirMissing reports whether dir does not exist yet (so a failed export
+// may remove what it created without touching a pre-existing
+// directory).
+func dirMissing(dir string) bool {
+	_, err := os.Stat(dir)
+	return os.IsNotExist(err)
+}
+
+// cleanupStoreDir best-effort removes a partially written store root,
+// but only if the export created the directory itself.
+func cleanupStoreDir(dir string, created bool) {
+	if created {
+		os.RemoveAll(dir)
+	}
+}
+
+// OpenIndex opens a segment store written by SaveStore (or migrate) for
+// an engine-backed index and serves from it: sketches, envelopes and
+// endpoints load eagerly, raw values stay on disk until a candidate
+// survives the lower-bound cascade. opts must describe the same engine
+// configuration the store was written under (ErrConfigMismatch
+// otherwise). Add and Remove write through to the store.
+func OpenIndex(dir string, opts Options) (*Index, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("sdtw: %w", err)
+	}
+	if kind := st.Meta()[storeMetaKind]; kind != snapshotKindEngine {
+		st.Close()
+		return nil, fmt.Errorf("sdtw: store holds a %q index, want %s (use OpenWindowedIndex): %w",
+			kind, snapshotKindEngine, ErrConfigMismatch)
+	}
+	if fp := engineFingerprint(opts); fp != st.Fingerprint() {
+		st.Close()
+		return nil, fmt.Errorf("sdtw: store written under %q, opening under %q: %w",
+			st.Fingerprint(), fp, ErrConfigMismatch)
+	}
+	engine := NewEngine(opts)
+	backend := retrieve.NewEngineBackend(engine.inner, engineFingerprint(opts), opts.PointDistance != nil)
+	ix, err := indexFromStore(st, backend, indexWorkers(opts.Workers), !opts.DisableAbandon)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	ix.engine = engine
+	ix.radius = -1
+	return ix, nil
+}
+
+// OpenWindowedIndex opens a segment store written by SaveStore for a
+// windowed index; its configuration (length and radius) travels inside
+// the store's manifest, so no options are needed.
+func OpenWindowedIndex(dir string) (*Index, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("sdtw: %w", err)
+	}
+	if kind := st.Meta()[storeMetaKind]; kind != snapshotKindWindowed {
+		st.Close()
+		return nil, fmt.Errorf("sdtw: store holds a %q index, want %s (use OpenIndex): %w",
+			kind, snapshotKindWindowed, ErrConfigMismatch)
+	}
+	length, radius, err := windowedStoreGeometry(st)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	backend, eff, err := retrieve.NewWindowedBackend(length, radius)
+	if err != nil {
+		st.Close()
+		return nil, fmt.Errorf("sdtw: %w", err)
+	}
+	if fp := backend.Fingerprint(); fp != st.Fingerprint() {
+		st.Close()
+		return nil, fmt.Errorf("sdtw: store written under %q, rebuilt backend is %q: %w",
+			st.Fingerprint(), fp, ErrConfigMismatch)
+	}
+	ix, err := indexFromStore(st, backend, indexWorkers(0), true)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	ix.radius = eff
+	return ix, nil
+}
+
+// windowedStoreGeometry parses a windowed store's length and radius
+// metadata.
+func windowedStoreGeometry(st *store.Store) (length, radius int, err error) {
+	length, err = strconv.Atoi(st.Meta()[storeMetaLength])
+	if err != nil || length <= 0 {
+		return 0, 0, fmt.Errorf("sdtw: store has windowed length %q: %w", st.Meta()[storeMetaLength], ErrCorruptManifest)
+	}
+	radius, err = strconv.Atoi(st.Meta()[storeMetaRadius])
+	if err != nil {
+		return 0, 0, fmt.Errorf("sdtw: store has windowed radius %q: %w", st.Meta()[storeMetaRadius], ErrCorruptManifest)
+	}
+	return length, radius, nil
+}
+
+// indexFromStore builds the store-backed Index: cold series from the
+// store's live records, write-through bookkeeping from their sequences.
+func indexFromStore(st *store.Store, backend retrieve.Backend, workers int, abandon bool) (*Index, error) {
+	cold, seqs := coldRecords(st.Live())
+	core, err := retrieve.RestoreCold(backend, cold, st.SketchWidth(), workers, abandon)
+	if err != nil {
+		return nil, fmt.Errorf("sdtw: %w", err)
+	}
+	return &Index{core: core, store: st, seqs: seqs, nextSeq: storeNextSeq(st)}, nil
+}
+
+// coldRecords lowers live store records onto the cascade's cold-series
+// form, pairing each ID with its insertion sequence.
+func coldRecords(live []*store.Record) ([]retrieve.ColdSeries, map[string]uint64) {
+	cold := make([]retrieve.ColdSeries, len(live))
+	seqs := make(map[string]uint64, len(live))
+	for i, rec := range live {
+		cold[i] = retrieve.ColdSeries{
+			ID:       rec.ID,
+			Label:    rec.Label,
+			N:        rec.N,
+			First:    rec.First,
+			Last:     rec.Last,
+			Envelope: rec.Envelope,
+			Sketch:   rec.Sketch,
+			Load:     rec.LoadValues,
+		}
+		seqs[rec.ID] = rec.Seq
+	}
+	return cold, seqs
+}
+
+// storeNextSeq resolves the next insertion sequence for a reopened
+// store: the larger of the manifest's recorded counter and one past the
+// highest stored sequence (appends after the manifest was written).
+func storeNextSeq(st *store.Store) uint64 {
+	next := st.NextSeq()
+	if v, err := strconv.ParseUint(st.Meta()[storeMetaNextSeq], 10, 64); err == nil && v > next {
+		next = v
+	}
+	return next
+}
+
+// addStore is the write-through Add of a store-backed Index.
+func (ix *Index) addStore(s Series) error {
+	if s.ID == "" {
+		return fmt.Errorf("sdtw: Add: a store-backed index needs non-empty series IDs: %w", ErrNoID)
+	}
+	ix.storeMu.Lock()
+	defer ix.storeMu.Unlock()
+	if err := ix.core.Add(s); err != nil {
+		return fmt.Errorf("sdtw: Add: %w", err)
+	}
+	env := ix.core.Envelope(ix.core.Len() - 1)
+	err := func() error {
+		sk, err := sketch.FromEnvelope(env, ix.store.SketchWidth())
+		if err != nil {
+			return err
+		}
+		return ix.store.Append(store.Record{
+			ID:       s.ID,
+			Label:    s.Label,
+			Seq:      ix.nextSeq,
+			N:        len(s.Values),
+			First:    s.Values[0],
+			Last:     s.Values[len(s.Values)-1],
+			Sketch:   sk,
+			Envelope: env,
+			Values:   s.Values,
+		})
+	}()
+	if err != nil {
+		// Keep RAM and disk agreeing: undo the admission (the series was
+		// just added on top of a non-empty collection, so this cannot hit
+		// the last-series refusal).
+		ix.core.Remove(s.ID)
+		return fmt.Errorf("sdtw: Add: %w", err)
+	}
+	ix.seqs[s.ID] = ix.nextSeq
+	ix.nextSeq++
+	return nil
+}
+
+// removeStore is the write-through Remove of a store-backed Index.
+func (ix *Index) removeStore(id string) error {
+	ix.storeMu.Lock()
+	defer ix.storeMu.Unlock()
+	if err := ix.core.Remove(id); err != nil {
+		return fmt.Errorf("sdtw: Remove: %w", err)
+	}
+	seq := ix.seqs[id]
+	if err := ix.store.Tombstone(id, seq); err != nil {
+		return fmt.Errorf("sdtw: Remove: %w", err)
+	}
+	delete(ix.seqs, id)
+	return nil
+}
+
+// StoreBacked reports whether the index serves from a segment store.
+func (ix *Index) StoreBacked() bool { return ix.store != nil }
+
+// Compact rewrites the store's live records into fresh segments,
+// dropping tombstoned space. Searches keep serving throughout.
+func (ix *Index) Compact() error {
+	if ix.store == nil {
+		return fmt.Errorf("sdtw: Compact: %w", ErrNotStoreBacked)
+	}
+	ix.storeMu.Lock()
+	defer ix.storeMu.Unlock()
+	if err := ix.store.Compact(); err != nil {
+		return fmt.Errorf("sdtw: Compact: %w", err)
+	}
+	return nil
+}
+
+// StoreStats returns the segment store's counters.
+func (ix *Index) StoreStats() (StoreStats, error) {
+	if ix.store == nil {
+		return StoreStats{}, fmt.Errorf("sdtw: StoreStats: %w", ErrNotStoreBacked)
+	}
+	s := ix.store.Stats()
+	return StoreStats{Segments: s.Segments, LiveRecords: s.LiveRecords, Tombstones: s.Tombstones, SketchWidth: s.SketchWidth}, nil
+}
+
+// CloseStore releases the store's file handles. Searches may keep
+// running against already-materialised values, but candidates whose
+// values were never loaded will fail; close after draining.
+func (ix *Index) CloseStore() error {
+	if ix.store == nil {
+		return fmt.Errorf("sdtw: CloseStore: %w", ErrNotStoreBacked)
+	}
+	ix.storeMu.Lock()
+	defer ix.storeMu.Unlock()
+	if err := ix.store.Close(); err != nil {
+		return fmt.Errorf("sdtw: CloseStore: %w", err)
+	}
+	return nil
+}
+
+// openShardStores opens every per-shard store under dir, atomically:
+// any missing, corrupt or inconsistent shard closes the ones already
+// opened and fails the whole open — a cluster must never come up over a
+// subset of its shards.
+func openShardStores(dir string) ([]*store.Store, string, uint64, error) {
+	st0, err := store.Open(filepath.Join(dir, shardDirName(0)))
+	if err != nil {
+		return nil, "", 0, fmt.Errorf("sdtw: shard 0: %w", err)
+	}
+	stores := []*store.Store{st0}
+	fail := func(err error) ([]*store.Store, string, uint64, error) {
+		for _, st := range stores {
+			st.Close()
+		}
+		return nil, "", 0, err
+	}
+	shards, err := strconv.Atoi(st0.Meta()[storeMetaShards])
+	if err != nil || shards < 1 {
+		return fail(fmt.Errorf("sdtw: shard 0 has shard count %q: %w", st0.Meta()[storeMetaShards], ErrCorruptManifest))
+	}
+	for i := 1; i < shards; i++ {
+		st, err := store.Open(filepath.Join(dir, shardDirName(i)))
+		if err != nil {
+			return fail(fmt.Errorf("sdtw: shard %d: %w", i, err))
+		}
+		stores = append(stores, st)
+	}
+	kind := st0.Meta()[storeMetaKind]
+	nextSeq := uint64(0)
+	for i, st := range stores {
+		// Every shard store must agree on the cluster configuration: a
+		// mixed-config directory (shards written by different indexes, or
+		// a shard swapped in from elsewhere) must refuse to open rather
+		// than serve merged results two configurations disagree on.
+		if st.Fingerprint() != st0.Fingerprint() {
+			return fail(fmt.Errorf("sdtw: shard %d written under %q, shard 0 under %q: %w",
+				i, st.Fingerprint(), st0.Fingerprint(), ErrConfigMismatch))
+		}
+		if got := st.Meta()[storeMetaKind]; got != kind {
+			return fail(fmt.Errorf("sdtw: shard %d holds a %q index, shard 0 a %q: %w", i, got, kind, ErrConfigMismatch))
+		}
+		if got := st.Meta()[storeMetaShards]; got != st0.Meta()[storeMetaShards] {
+			return fail(fmt.Errorf("sdtw: shard %d expects %q shards, shard 0 %q: %w",
+				i, got, st0.Meta()[storeMetaShards], ErrConfigMismatch))
+		}
+		if got := st.Meta()[storeMetaShard]; got != strconv.Itoa(i) {
+			return fail(fmt.Errorf("sdtw: directory %s holds shard %q: %w", shardDirName(i), got, ErrConfigMismatch))
+		}
+		if st.SketchWidth() != st0.SketchWidth() {
+			return fail(fmt.Errorf("sdtw: shard %d has sketch width %d, shard 0 %d: %w",
+				i, st.SketchWidth(), st0.SketchWidth(), ErrConfigMismatch))
+		}
+		if next := storeNextSeq(st); next > nextSeq {
+			nextSeq = next
+		}
+	}
+	return stores, kind, nextSeq, nil
+}
+
+// OpenShardedIndex opens a sharded store root written by
+// ShardedIndex.SaveStore for an engine-backed cluster and serves from
+// it. opts must describe the same engine configuration the stores were
+// written under. The open is atomic across shards: one bad shard store
+// fails the whole open.
+func OpenShardedIndex(dir string, opts Options) (*ShardedIndex, error) {
+	stores, kind, nextSeq, err := openShardStores(dir)
+	if err != nil {
+		return nil, err
+	}
+	closeAll := func() {
+		for _, st := range stores {
+			st.Close()
+		}
+	}
+	if kind != snapshotKindEngine {
+		closeAll()
+		return nil, fmt.Errorf("sdtw: store holds a %q sharded index, want %s (use OpenShardedWindowedIndex): %w",
+			kind, snapshotKindEngine, ErrConfigMismatch)
+	}
+	fp := engineFingerprint(opts)
+	if fp != stores[0].Fingerprint() {
+		closeAll()
+		return nil, fmt.Errorf("sdtw: store written under %q, opening under %q: %w",
+			stores[0].Fingerprint(), fp, ErrConfigMismatch)
+	}
+	engines := make([]*Engine, len(stores))
+	cfg := shard.Config{
+		Shards: len(stores),
+		NewBackend: func(i int) (retrieve.Backend, error) {
+			engines[i] = NewEngine(opts)
+			return retrieve.NewEngineBackend(engines[i].inner, fp, opts.PointDistance != nil), nil
+		},
+		Workers:     indexWorkers(opts.Workers),
+		Abandon:     !opts.DisableAbandon,
+		SketchWidth: stores[0].SketchWidth(),
+	}
+	si, err := shardedFromStores(cfg, stores, nextSeq)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	si.engines = engines
+	si.radius = -1
+	return si, nil
+}
+
+// OpenShardedWindowedIndex opens a sharded store root written by
+// ShardedIndex.SaveStore for a windowed cluster; length and radius
+// travel inside the manifests.
+func OpenShardedWindowedIndex(dir string) (*ShardedIndex, error) {
+	stores, kind, nextSeq, err := openShardStores(dir)
+	if err != nil {
+		return nil, err
+	}
+	closeAll := func() {
+		for _, st := range stores {
+			st.Close()
+		}
+	}
+	if kind != snapshotKindWindowed {
+		closeAll()
+		return nil, fmt.Errorf("sdtw: store holds a %q sharded index, want %s (use OpenShardedIndex): %w",
+			kind, snapshotKindWindowed, ErrConfigMismatch)
+	}
+	length, radius, err := windowedStoreGeometry(stores[0])
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	eff := -1
+	var fpErr error
+	cfg := shard.Config{
+		Shards: len(stores),
+		NewBackend: func(i int) (retrieve.Backend, error) {
+			b, e, err := retrieve.NewWindowedBackend(length, radius)
+			if err != nil {
+				return nil, err
+			}
+			eff = e
+			if fp := b.Fingerprint(); fp != stores[0].Fingerprint() && fpErr == nil {
+				fpErr = fmt.Errorf("sdtw: store written under %q, rebuilt backend is %q: %w",
+					stores[0].Fingerprint(), fp, ErrConfigMismatch)
+			}
+			return b, nil
+		},
+		Workers:     indexWorkers(0),
+		Abandon:     true,
+		SketchWidth: stores[0].SketchWidth(),
+	}
+	si, err := shardedFromStores(cfg, stores, nextSeq)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	if fpErr != nil {
+		si.CloseStore()
+		return nil, fpErr
+	}
+	si.radius = eff
+	return si, nil
+}
+
+// shardedFromStores rebuilds the cluster from the per-shard stores'
+// live records.
+func shardedFromStores(cfg shard.Config, stores []*store.Store, nextSeq uint64) (*ShardedIndex, error) {
+	parts := make([][]retrieve.ColdSeries, len(stores))
+	seqs := make([][]uint64, len(stores))
+	for i, st := range stores {
+		live := st.Live()
+		cold, _ := coldRecords(live)
+		parts[i] = cold
+		seqs[i] = make([]uint64, len(live))
+		for j, rec := range live {
+			seqs[i][j] = rec.Seq
+		}
+	}
+	cluster, err := shard.RestoreCold(cfg, parts, seqs, nextSeq)
+	if err != nil {
+		return nil, fmt.Errorf("sdtw: %w", err)
+	}
+	return &ShardedIndex{cluster: cluster, shards: len(stores), stores: stores}, nil
+}
+
+// addStore is the write-through Add of a store-backed ShardedIndex.
+func (si *ShardedIndex) addStore(s Series) error {
+	if s.ID == "" {
+		return fmt.Errorf("sdtw: Add: %w", ErrNoID)
+	}
+	sh := shard.Route(s.ID, si.shards)
+	st := si.stores[sh]
+	// Recompute the envelope exactly as the shard core will: same
+	// values, same backend radius, same deterministic construction. The
+	// O(n) envelope and sketch work runs before the store lock.
+	if len(s.Values) == 0 {
+		return fmt.Errorf("sdtw: Add: series %q: %w", s.ID, ErrEmptySeries)
+	}
+	env := lower.NewEnvelope(s.Values, si.cluster.Backend(sh).EnvelopeRadius(len(s.Values)))
+	sk, err := sketch.FromEnvelope(env, st.SketchWidth())
+	if err != nil {
+		return fmt.Errorf("sdtw: Add: %w", err)
+	}
+	si.storeMu.Lock()
+	defer si.storeMu.Unlock()
+	seq, err := si.cluster.Add(s)
+	if err != nil {
+		return fmt.Errorf("sdtw: Add: %w", err)
+	}
+	if err := st.Append(store.Record{
+		ID:       s.ID,
+		Label:    s.Label,
+		Seq:      seq,
+		N:        len(s.Values),
+		First:    s.Values[0],
+		Last:     s.Values[len(s.Values)-1],
+		Sketch:   sk,
+		Envelope: env,
+		Values:   s.Values,
+	}); err != nil {
+		si.cluster.Remove(s.ID) // keep RAM and disk agreeing
+		return fmt.Errorf("sdtw: Add: %w", err)
+	}
+	return nil
+}
+
+// removeStore is the write-through Remove of a store-backed
+// ShardedIndex.
+func (si *ShardedIndex) removeStore(id string) error {
+	si.storeMu.Lock()
+	defer si.storeMu.Unlock()
+	seq, err := si.cluster.Remove(id)
+	if err != nil {
+		return fmt.Errorf("sdtw: Remove: %w", err)
+	}
+	if err := si.stores[shard.Route(id, si.shards)].Tombstone(id, seq); err != nil {
+		return fmt.Errorf("sdtw: Remove: %w", err)
+	}
+	return nil
+}
+
+// StoreBacked reports whether the index serves from segment stores.
+func (si *ShardedIndex) StoreBacked() bool { return si.stores != nil }
+
+// Compact rewrites every shard store's live records into fresh
+// segments, dropping tombstoned space. Searches keep serving
+// throughout.
+func (si *ShardedIndex) Compact() error {
+	if si.stores == nil {
+		return fmt.Errorf("sdtw: Compact: %w", ErrNotStoreBacked)
+	}
+	si.storeMu.Lock()
+	defer si.storeMu.Unlock()
+	for i, st := range si.stores {
+		if err := st.Compact(); err != nil {
+			return fmt.Errorf("sdtw: Compact: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// StoreStats aggregates the per-shard stores' counters.
+func (si *ShardedIndex) StoreStats() (StoreStats, error) {
+	if si.stores == nil {
+		return StoreStats{}, fmt.Errorf("sdtw: StoreStats: %w", ErrNotStoreBacked)
+	}
+	var out StoreStats
+	for _, st := range si.stores {
+		s := st.Stats()
+		out.Segments += s.Segments
+		out.LiveRecords += s.LiveRecords
+		out.Tombstones += s.Tombstones
+		out.SketchWidth = s.SketchWidth
+	}
+	return out, nil
+}
+
+// CloseStore releases every shard store's file handles; close after
+// draining searches.
+func (si *ShardedIndex) CloseStore() error {
+	if si.stores == nil {
+		return fmt.Errorf("sdtw: CloseStore: %w", ErrNotStoreBacked)
+	}
+	si.storeMu.Lock()
+	defer si.storeMu.Unlock()
+	var first error
+	for i, st := range si.stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = fmt.Errorf("sdtw: CloseStore: shard %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// MigrateStore converts a gob snapshot written by Index.Save into a
+// segment store at dir. The snapshot's fingerprint is copied verbatim
+// and its envelopes are trusted, so no Options are needed — the store
+// opens under exactly the options the snapshot was written under.
+// sketchWidth <= 0 selects DefaultSketchWidth. Cached salient features
+// are dropped: the store keeps only what the cascade needs hot, and the
+// engine's feature cache refills read-through on first evaluation.
+func MigrateStore(r io.Reader, dir string, sketchWidth int) error {
+	snap, err := decodeSnapshot(r)
+	if err != nil {
+		return err
+	}
+	if len(snap.Envelopes) != len(snap.Series) {
+		return fmt.Errorf("sdtw: migrate: snapshot has %d envelopes for %d series (a custom PointDistance cannot be store-backed): %w",
+			len(snap.Envelopes), len(snap.Series), ErrConfigMismatch)
+	}
+	w := sketchWidth
+	if w <= 0 {
+		w = DefaultSketchWidth
+	}
+	meta := map[string]string{
+		storeMetaKind:    snap.Kind,
+		storeMetaNextSeq: strconv.Itoa(len(snap.Series)),
+	}
+	if snap.Kind == snapshotKindWindowed {
+		meta[storeMetaLength] = strconv.Itoa(snap.Length)
+		meta[storeMetaRadius] = strconv.Itoa(snap.Radius)
+	}
+	created := dirMissing(dir)
+	st, err := store.Create(dir, store.Config{
+		Fingerprint: snap.Fingerprint,
+		SketchWidth: w,
+		Meta:        meta,
+	})
+	if err != nil {
+		return fmt.Errorf("sdtw: migrate: %w", err)
+	}
+	if err := writeStoreRecords(st, snap.Series, snap.Envelopes, nil, w); err != nil {
+		st.Close()
+		cleanupStoreDir(dir, created)
+		return fmt.Errorf("sdtw: migrate: %w", err)
+	}
+	if err := st.Close(); err != nil {
+		cleanupStoreDir(dir, created)
+		return fmt.Errorf("sdtw: migrate: %w", err)
+	}
+	return nil
+}
+
+// MigrateShardedStore converts a gob snapshot written by
+// ShardedIndex.Save into a sharded store root at dir (one per-shard
+// store, preserving insertion sequences). sketchWidth <= 0 selects
+// DefaultSketchWidth.
+func MigrateShardedStore(r io.Reader, dir string, sketchWidth int) error {
+	snap, err := decodeShardedSnapshot(r)
+	if err != nil {
+		return err
+	}
+	w := sketchWidth
+	if w <= 0 {
+		w = DefaultSketchWidth
+	}
+	created := dirMissing(dir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("sdtw: migrate: %w", err)
+	}
+	var stores []*store.Store
+	fail := func(err error) error {
+		for _, st := range stores {
+			st.Close()
+		}
+		cleanupStoreDir(dir, created)
+		return fmt.Errorf("sdtw: migrate: %w", err)
+	}
+	for i := 0; i < snap.Shards; i++ {
+		if len(snap.ShardEnvelopes[i]) != len(snap.ShardSeries[i]) {
+			return fail(fmt.Errorf("shard %d has %d envelopes for %d series (a custom PointDistance cannot be store-backed): %w",
+				i, len(snap.ShardEnvelopes[i]), len(snap.ShardSeries[i]), ErrConfigMismatch))
+		}
+		meta := map[string]string{
+			storeMetaKind:    snap.Kind,
+			storeMetaShards:  strconv.Itoa(snap.Shards),
+			storeMetaShard:   strconv.Itoa(i),
+			storeMetaNextSeq: strconv.FormatUint(snap.NextSeq, 10),
+		}
+		if snap.Kind == snapshotKindWindowed {
+			meta[storeMetaLength] = strconv.Itoa(snap.Length)
+			meta[storeMetaRadius] = strconv.Itoa(snap.Radius)
+		}
+		st, err := store.Create(filepath.Join(dir, shardDirName(i)), store.Config{
+			Fingerprint: snap.Fingerprint,
+			SketchWidth: w,
+			Meta:        meta,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		stores = append(stores, st)
+		if err := writeStoreRecords(st, snap.ShardSeries[i], snap.ShardEnvelopes[i], snap.ShardSeqs[i], w); err != nil {
+			return fail(err)
+		}
+	}
+	for _, st := range stores {
+		if err := st.Close(); err != nil {
+			cleanupStoreDir(dir, created)
+			return fmt.Errorf("sdtw: migrate: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,579 @@
+package sdtw
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// storeAndFlat exports data into a segment store under t.TempDir, opens
+// it, and returns the store-backed index beside the in-RAM index it
+// must answer identically to.
+func storeAndFlat(t *testing.T, backend string, data []Series, opts Options) (*Index, *Index, string) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "store")
+	var flat, cold *Index
+	var err error
+	switch backend {
+	case "engine":
+		flat, err = NewIndex(data, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := flat.SaveStore(dir); err != nil {
+			t.Fatal(err)
+		}
+		cold, err = OpenIndex(dir, opts)
+	case "windowed":
+		flat, err = NewWindowedIndex(data, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := flat.SaveStore(dir); err != nil {
+			t.Fatal(err)
+		}
+		cold, err = OpenWindowedIndex(dir)
+	default:
+		t.Fatalf("unknown backend %q", backend)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cold.CloseStore() })
+	return flat, cold, dir
+}
+
+func requireSameNeighbors(t *testing.T, label string, want, got []Neighbor) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d neighbours, want %d\n got: %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if want[i].Pos != got[i].Pos {
+			t.Fatalf("%s: rank %d at position %d, want %d", label, i, got[i].Pos, want[i].Pos)
+		}
+		if math.Float64bits(want[i].Distance) != math.Float64bits(got[i].Distance) {
+			t.Fatalf("%s: rank %d distance %v (bits %x), want %v (bits %x)", label, i,
+				got[i].Distance, math.Float64bits(got[i].Distance),
+				want[i].Distance, math.Float64bits(want[i].Distance))
+		}
+	}
+}
+
+// TestStoreBackedSearchExactness is the storage layer's headline
+// property: a store-backed index — hot sketches and envelopes, cold raw
+// values — answers bit-identically to the in-RAM index it was exported
+// from, on both backends, across band strategies, k and threshold
+// modes, and with the stage-0 sketch filter both on and off.
+func TestStoreBackedSearchExactness(t *testing.T) {
+	d := GunDataset(DatasetConfig{Seed: 71, SeriesPerClass: 8})
+	engineOpts := []Options{
+		{Strategy: AdaptiveCoreAdaptiveWidth},
+		{Strategy: FixedCoreFixedWidth, WidthFrac: 0.10},
+		{Strategy: ItakuraBand},
+	}
+	ctx := context.Background()
+	queries := []Series{d.Series[0], d.Series[7], d.Series[11]}
+	modes := []struct {
+		label string
+		opts  []SearchOption
+	}{
+		{"k1", nil},
+		{"k5", []SearchOption{WithK(5)}},
+		{"threshold", []SearchOption{WithThreshold(4.0)}},
+		{"k3+threshold", []SearchOption{WithK(3), WithThreshold(6.0)}},
+		{"k5+nosketch", []SearchOption{WithK(5), WithoutSketch()}},
+	}
+	run := func(t *testing.T, flat, cold *Index) {
+		for qi, q := range queries {
+			for _, mode := range modes {
+				want, _, err := flat.Search(ctx, q, mode.opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, stats, err := cold.Search(ctx, q, mode.opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameNeighbors(t, fmt.Sprintf("query %d %s", qi, mode.label), want, got)
+				if strings.Contains(mode.label, "nosketch") && stats.PrunedSketch != 0 {
+					t.Fatalf("query %d %s: sketch stage ran despite WithoutSketch: %+v", qi, mode.label, stats)
+				}
+			}
+		}
+	}
+	for i, opts := range engineOpts {
+		t.Run(fmt.Sprintf("engine-%d", i), func(t *testing.T) {
+			flat, cold, _ := storeAndFlat(t, "engine", d.Series, opts)
+			run(t, flat, cold)
+		})
+	}
+	t.Run("windowed", func(t *testing.T) {
+		flat, cold, _ := storeAndFlat(t, "windowed", d.Series, Options{})
+		run(t, flat, cold)
+	})
+}
+
+// TestStoreBackedSketchPrunes: the stage-0 filter actually fires on a
+// store-backed index (equal-length collection, default width).
+func TestStoreBackedSketchPrunes(t *testing.T) {
+	d := GunDataset(DatasetConfig{Seed: 73, SeriesPerClass: 10})
+	_, cold, _ := storeAndFlat(t, "engine", d.Series, Options{Strategy: FixedCoreFixedWidth, WidthFrac: 0.10})
+	total := 0
+	for q := 0; q < 6; q++ {
+		_, stats, err := cold.Search(context.Background(), d.Series[q], WithK(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += stats.PrunedSketch
+	}
+	if total == 0 {
+		t.Fatal("stage-0 sketch filter never pruned a candidate on Gun")
+	}
+}
+
+// TestStoreBackedMutationExactness: Add, Remove and Compact on a
+// store-backed index keep it bit-identical to an in-RAM index over the
+// same mutated collection — including after closing and reopening the
+// store, which replays the mutations from segments and tombstones.
+func TestStoreBackedMutationExactness(t *testing.T) {
+	d := GunDataset(DatasetConfig{Seed: 79, SeriesPerClass: 8})
+	for _, backend := range []string{"engine", "windowed"} {
+		t.Run(backend, func(t *testing.T) {
+			opts := Options{Strategy: FixedCoreFixedWidth, WidthFrac: 0.10}
+			seed := d.Series[:12]
+			_, cold, dir := storeAndFlat(t, backend, seed, opts)
+
+			// Mutate: drop two, add four of the held-out series.
+			mutated := append([]Series(nil), seed...)
+			for _, id := range []string{seed[3].ID, seed[9].ID} {
+				if err := cold.Remove(id); err != nil {
+					t.Fatal(err)
+				}
+				for i, s := range mutated {
+					if s.ID == id {
+						mutated = append(mutated[:i], mutated[i+1:]...)
+						break
+					}
+				}
+			}
+			for _, s := range d.Series[12:16] {
+				if err := cold.Add(s); err != nil {
+					t.Fatal(err)
+				}
+				mutated = append(mutated, s)
+			}
+
+			var flat *Index
+			var err error
+			if backend == "engine" {
+				flat, err = NewIndex(mutated, opts)
+			} else {
+				flat, err = NewWindowedIndex(mutated, 12)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ctx := context.Background()
+			check := func(label string, ix *Index) {
+				t.Helper()
+				for q := 0; q < 4; q++ {
+					want, _, err := flat.Search(ctx, d.Series[q], WithK(5))
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, _, err := ix.Search(ctx, d.Series[q], WithK(5))
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireSameNeighbors(t, fmt.Sprintf("%s query %d", label, q), want, got)
+				}
+			}
+			check("mutated", cold)
+
+			// Compaction drops the tombstoned records but changes no
+			// answer.
+			if err := cold.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			st, err := cold.StoreStats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Tombstones != 0 {
+				t.Fatalf("tombstones survived compaction: %+v", st)
+			}
+			if st.LiveRecords != len(mutated) {
+				t.Fatalf("store has %d live records, want %d", st.LiveRecords, len(mutated))
+			}
+			check("compacted", cold)
+
+			// Reopen from disk: the replayed store answers identically.
+			if err := cold.CloseStore(); err != nil {
+				t.Fatal(err)
+			}
+			var back *Index
+			if backend == "engine" {
+				back, err = OpenIndex(dir, opts)
+			} else {
+				back, err = OpenWindowedIndex(dir)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer back.CloseStore()
+			if back.Len() != len(mutated) {
+				t.Fatalf("reopened %d series, want %d", back.Len(), len(mutated))
+			}
+			check("reopened", back)
+		})
+	}
+}
+
+// TestShardedStoreBackedExactness: a sharded store root serves
+// bit-identically to a flat in-RAM index over the same collection,
+// through mutations, compaction and reopen.
+func TestShardedStoreBackedExactness(t *testing.T) {
+	d := TraceDataset(DatasetConfig{Seed: 83, SeriesPerClass: 5})
+	opts := Options{Strategy: FixedCoreFixedWidth, WidthFrac: 0.10}
+	for _, backend := range []string{"engine", "windowed"} {
+		t.Run(backend, func(t *testing.T) {
+			seed := d.Series[:16]
+			var si *ShardedIndex
+			var err error
+			if backend == "engine" {
+				si, err = NewShardedIndex(seed, 3, opts)
+			} else {
+				si, err = NewShardedWindowedIndex(seed, 3, 12)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := filepath.Join(t.TempDir(), "sharded")
+			if err := si.SaveStore(dir); err != nil {
+				t.Fatal(err)
+			}
+			var cold *ShardedIndex
+			if backend == "engine" {
+				cold, err = OpenShardedIndex(dir, opts)
+			} else {
+				cold, err = OpenShardedWindowedIndex(dir)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cold.CloseStore()
+			if !cold.StoreBacked() {
+				t.Fatal("opened sharded index does not report store backing")
+			}
+
+			mutated := append([]Series(nil), seed...)
+			for _, id := range []string{seed[2].ID, seed[8].ID, seed[13].ID} {
+				if err := cold.Remove(id); err != nil {
+					t.Fatal(err)
+				}
+				for i, s := range mutated {
+					if s.ID == id {
+						mutated = append(mutated[:i], mutated[i+1:]...)
+						break
+					}
+				}
+			}
+			for _, s := range d.Series[16:19] {
+				if err := cold.Add(s); err != nil {
+					t.Fatal(err)
+				}
+				mutated = append(mutated, s)
+			}
+
+			var flat *Index
+			if backend == "engine" {
+				flat, err = NewIndex(mutated, opts)
+			} else {
+				flat, err = NewWindowedIndex(mutated, 12)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			check := func(label string, si *ShardedIndex) {
+				t.Helper()
+				for q := 0; q < 4; q++ {
+					nbrs, _, err := flat.Search(ctx, d.Series[q], WithK(6))
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, _, err := si.Search(ctx, d.Series[q], WithK(6))
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireSameHits(t, fmt.Sprintf("%s query %d", label, q), flatHits(flat, nbrs), got)
+				}
+			}
+			check("mutated", cold)
+			if err := cold.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			check("compacted", cold)
+			st, err := cold.StoreStats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Tombstones != 0 || st.LiveRecords != len(mutated) {
+				t.Fatalf("unexpected post-compaction store stats: %+v", st)
+			}
+
+			if err := cold.CloseStore(); err != nil {
+				t.Fatal(err)
+			}
+			var back *ShardedIndex
+			if backend == "engine" {
+				back, err = OpenShardedIndex(dir, opts)
+			} else {
+				back, err = OpenShardedWindowedIndex(dir)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer back.CloseStore()
+			check("reopened", back)
+		})
+	}
+}
+
+// TestOpenIndexValidation: wrong options, wrong kind, and gob Save on a
+// store-backed index all refuse with the right sentinels.
+func TestOpenIndexValidation(t *testing.T) {
+	d := GunDataset(DatasetConfig{Seed: 89, SeriesPerClass: 4})
+	opts := Options{Strategy: FixedCoreFixedWidth, WidthFrac: 0.10}
+	_, cold, dir := storeAndFlat(t, "engine", d.Series, opts)
+
+	if _, err := OpenIndex(dir, Options{Strategy: ItakuraBand}); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("mismatched options: %v, want ErrConfigMismatch", err)
+	}
+	if _, err := OpenWindowedIndex(dir); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("kind mismatch: %v, want ErrConfigMismatch", err)
+	}
+	if err := cold.Save(&bytes.Buffer{}); !errors.Is(err, ErrStoreBacked) {
+		t.Fatalf("gob Save of a store-backed index: %v, want ErrStoreBacked", err)
+	}
+	if err := cold.SaveStore(filepath.Join(dir, "again")); !errors.Is(err, ErrStoreBacked) {
+		t.Fatalf("SaveStore of a store-backed index: %v, want ErrStoreBacked", err)
+	}
+	if err := cold.Add(Series{Label: 1, Values: []float64{1, 2, 3}}); !errors.Is(err, ErrNoID) {
+		t.Fatalf("store-backed Add without ID: %v, want ErrNoID", err)
+	}
+
+	flat, err := NewIndex(d.Series, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flat.Compact(); !errors.Is(err, ErrNotStoreBacked) {
+		t.Fatalf("Compact on in-RAM index: %v, want ErrNotStoreBacked", err)
+	}
+	if _, err := flat.StoreStats(); !errors.Is(err, ErrNotStoreBacked) {
+		t.Fatalf("StoreStats on in-RAM index: %v, want ErrNotStoreBacked", err)
+	}
+	if err := flat.SaveStore(dir); !errors.Is(err, ErrStoreExists) {
+		t.Fatalf("SaveStore into an existing store: %v, want ErrStoreExists", err)
+	}
+	custom, err := NewIndex(d.Series, Options{PointDistance: func(a, b float64) float64 { return math.Abs(a - b) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := custom.SaveStore(filepath.Join(t.TempDir(), "custom")); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("SaveStore under a custom PointDistance: %v, want ErrConfigMismatch", err)
+	}
+}
+
+// TestOpenShardedAtomicFailure: opening a sharded store root where one
+// shard is missing or corrupt must fail as a whole — never serve a
+// cluster over a subset of its shards.
+func TestOpenShardedAtomicFailure(t *testing.T) {
+	d := GunDataset(DatasetConfig{Seed: 97, SeriesPerClass: 6})
+	opts := Options{Strategy: FixedCoreFixedWidth, WidthFrac: 0.10}
+	si, err := NewShardedIndex(d.Series, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("missing-shard", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "s")
+		if err := si.SaveStore(dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.RemoveAll(filepath.Join(dir, shardDirName(2))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenShardedIndex(dir, opts); !errors.Is(err, ErrCorruptManifest) {
+			t.Fatalf("open with a missing shard: %v, want ErrCorruptManifest", err)
+		}
+	})
+	t.Run("corrupt-shard", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "s")
+		if err := si.SaveStore(dir); err != nil {
+			t.Fatal(err)
+		}
+		// Flip one byte in shard 1's active hot segment.
+		matches, err := filepath.Glob(filepath.Join(dir, shardDirName(1), "seg-*.hot"))
+		if err != nil || len(matches) == 0 {
+			t.Fatalf("no hot segments found: %v", err)
+		}
+		data, err := os.ReadFile(matches[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-5] ^= 0xff
+		if err := os.WriteFile(matches[0], data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenShardedIndex(dir, opts); !errors.Is(err, ErrCorruptSegment) {
+			t.Fatalf("open with a corrupt shard: %v, want ErrCorruptSegment", err)
+		}
+	})
+}
+
+// TestOpenShardedMixedConfig: a shard directory spliced in from a store
+// written under different options must refuse with ErrConfigMismatch —
+// per-shard fingerprints are checked against each other, not just
+// shard 0's against the caller.
+func TestOpenShardedMixedConfig(t *testing.T) {
+	d := GunDataset(DatasetConfig{Seed: 101, SeriesPerClass: 6})
+	optsA := Options{Strategy: FixedCoreFixedWidth, WidthFrac: 0.10}
+	optsB := Options{Strategy: ItakuraBand}
+	siA, err := NewShardedIndex(d.Series, 3, optsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	siB, err := NewShardedIndex(d.Series, 3, optsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirA := filepath.Join(t.TempDir(), "a")
+	dirB := filepath.Join(t.TempDir(), "b")
+	if err := siA.SaveStore(dirA); err != nil {
+		t.Fatal(err)
+	}
+	if err := siB.SaveStore(dirB); err != nil {
+		t.Fatal(err)
+	}
+	// Splice shard 1 of B into A: shard 0 still matches the caller's
+	// options, so only the cross-shard check can catch it.
+	if err := os.RemoveAll(filepath.Join(dirA, shardDirName(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(dirB, shardDirName(1)), filepath.Join(dirA, shardDirName(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenShardedIndex(dirA, optsA); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("open over mixed-config shards: %v, want ErrConfigMismatch", err)
+	}
+}
+
+// TestLoadShardedIndexRejectsGarbage: the legacy gob loader fails
+// cleanly (no partial cluster) on corrupt input.
+func TestLoadShardedIndexRejectsGarbage(t *testing.T) {
+	d := GunDataset(DatasetConfig{Seed: 103, SeriesPerClass: 4})
+	opts := Options{Strategy: FixedCoreFixedWidth, WidthFrac: 0.10}
+	si, err := NewShardedIndex(d.Series, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := si.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated snapshot.
+	if _, err := LoadShardedIndex(bytes.NewReader(buf.Bytes()[:buf.Len()/2]), opts); err == nil {
+		t.Fatal("truncated sharded snapshot loaded")
+	}
+	// Not a gob stream at all.
+	if _, err := LoadShardedIndex(strings.NewReader("not a gob snapshot"), opts); err == nil {
+		t.Fatal("garbage input loaded as a sharded snapshot")
+	}
+	// A flat snapshot fed to the sharded loader (kind mismatch).
+	flat, err := NewIndex(d.Series, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fbuf bytes.Buffer
+	if err := flat.Save(&fbuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShardedIndex(&fbuf, opts); err == nil {
+		t.Fatal("flat snapshot loaded as a sharded snapshot")
+	}
+}
+
+// TestMigrateStoreRoundTrip: gob snapshots (the legacy format, readable
+// for one more release) convert into segment stores that answer
+// bit-identically.
+func TestMigrateStoreRoundTrip(t *testing.T) {
+	d := GunDataset(DatasetConfig{Seed: 107, SeriesPerClass: 6})
+	opts := Options{Strategy: FixedCoreFixedWidth, WidthFrac: 0.10}
+	ctx := context.Background()
+
+	t.Run("flat", func(t *testing.T) {
+		flat, err := NewIndex(d.Series, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := flat.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join(t.TempDir(), "migrated")
+		if err := MigrateStore(&buf, dir, 0); err != nil {
+			t.Fatal(err)
+		}
+		cold, err := OpenIndex(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cold.CloseStore()
+		want, _, err := flat.Search(ctx, d.Series[0], WithK(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := cold.Search(ctx, d.Series[0], WithK(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameNeighbors(t, "migrated", want, got)
+	})
+	t.Run("sharded", func(t *testing.T) {
+		si, err := NewShardedIndex(d.Series, 3, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := si.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join(t.TempDir(), "migrated")
+		if err := MigrateShardedStore(&buf, dir, 0); err != nil {
+			t.Fatal(err)
+		}
+		cold, err := OpenShardedIndex(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cold.CloseStore()
+		want, _, err := si.Search(ctx, d.Series[0], WithK(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := cold.Search(ctx, d.Series[0], WithK(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameHits(t, "migrated", want, got)
+	})
+}
