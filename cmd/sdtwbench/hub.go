@@ -1,0 +1,430 @@
+package main
+
+// Fleet-streaming experiment: the multi-stream Hub against the naive
+// baseline of one Monitor per stream, swept over a streams x queries
+// grid. Both sides consume the same synthetic fleet workload (near-zero
+// in-band noise, provably matchless far excursions, planted warped
+// query occurrences) with the same worker parallelism, so the measured
+// gap is the Hub's pooled state plus the time-domain prefilter, not a
+// scheduling artifact.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdtw"
+	"sdtw/internal/experiments"
+)
+
+// Fleet workload shape. The query values stay inside [0, ~2] while the
+// excursions sit at +40, so a single dead point admissibly rules out
+// every standing query at once — the regime the prefilter is built for.
+const (
+	hubQueryLen    = 16
+	hubThreshold   = 0.25
+	hubBatchPoints = 512
+	hubDeadLevel   = 40.0
+)
+
+// hubGridPoint is one sweep point of the fleet experiment.
+type hubGridPoint struct {
+	streams, queries int
+}
+
+// hubGrid returns the streams x queries sweep and the per-stream length
+// for one workload scale. The full scale ends at the headline
+// 1000 streams x 100 standing queries configuration.
+func hubGrid(sc experiments.Scale) ([]hubGridPoint, int) {
+	switch sc {
+	case experiments.Small:
+		return []hubGridPoint{{16, 4}, {64, 8}}, 500
+	case experiments.Medium:
+		return []hubGridPoint{{100, 10}, {250, 25}}, 1000
+	default:
+		return []hubGridPoint{{100, 10}, {1000, 100}}, 2000
+	}
+}
+
+// hubWorkload is one generated fleet: the standing queries and the full
+// point sequence of every stream.
+type hubWorkload struct {
+	queries []sdtw.Series
+	streams [][]float64
+}
+
+// makeHubWorkload synthesizes the fleet deterministically from the seed.
+// Streams are built chunk-wise: mostly dead far excursions (prefilter
+// food), some in-band noise, and occasional slightly-warped plants of a
+// random standing query so matches (and their latency) are measurable.
+func makeHubWorkload(streams, points, queries int, seed int64) hubWorkload {
+	w := hubWorkload{
+		queries: make([]sdtw.Series, queries),
+		streams: make([][]float64, streams),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for q := range w.queries {
+		amp := 0.5 + 3.0*rng.Float64()
+		phase := rng.Float64() * math.Pi
+		vals := make([]float64, hubQueryLen)
+		for j := range vals {
+			vals[j] = amp * math.Abs(math.Sin(phase+math.Pi*float64(j)/float64(hubQueryLen-1)))
+		}
+		w.queries[q] = sdtw.NewSeries(fmt.Sprintf("q%03d", q), 0, vals)
+	}
+	for s := range w.streams {
+		srng := rand.New(rand.NewSource(seed + 1 + int64(s)))
+		data := make([]float64, 0, points)
+		for len(data) < points {
+			switch srng.Intn(16) {
+			case 0: // plant a warped occurrence of one standing query
+				for _, v := range w.queries[srng.Intn(queries)].Values {
+					data = append(data, v+0.01*srng.NormFloat64())
+					if srng.Intn(8) == 0 {
+						data = append(data, v) // warp: repeat a point
+					}
+				}
+			case 1, 2: // in-band noise: no match, but no skip either
+				for i := srng.Intn(48); i >= 0; i-- {
+					data = append(data, 0.05*srng.NormFloat64())
+				}
+			default: // far excursion: provably matchless for every query
+				for i := srng.Intn(48); i >= 0; i-- {
+					data = append(data, hubDeadLevel+srng.Float64())
+				}
+			}
+		}
+		w.streams[s] = data[:points]
+	}
+	return w
+}
+
+// hubLatencies summarizes batch-granular match latencies (stream points
+// between a match's end and the ingest position when it was observed).
+type hubLatencies struct {
+	sum      float64
+	p50, p99 float64
+	n        int
+}
+
+func summarizeLatencies(samples []float64) hubLatencies {
+	if len(samples) == 0 {
+		return hubLatencies{p50: -1, p99: -1}
+	}
+	sort.Float64s(samples)
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(samples)-1))
+		return samples[i]
+	}
+	return hubLatencies{sum: sum, p50: pick(0.50), p99: pick(0.99), n: len(samples)}
+}
+
+// runHubMode pushes the whole fleet through one sdtw.Hub and returns
+// wall time, match count, latency samples and the final stats. Match
+// latency is measured at the consumer against a per-stream counter of
+// points already accepted, so it is batch-granular and includes the
+// hub's queueing delay — the figure a fleet operator actually sees.
+func runHubMode(w hubWorkload, prefilter bool) (time.Duration, int64, hubLatencies, sdtw.HubStats, error) {
+	var hopts []sdtw.HubOption
+	if !prefilter {
+		hopts = append(hopts, sdtw.WithoutPrefilter())
+	}
+	hub := sdtw.NewHub(sdtw.Options{}, hopts...)
+	for _, q := range w.queries {
+		if err := hub.AddQuery(q.ID, q,
+			sdtw.WithMatchThreshold(hubThreshold), sdtw.WithMinGap(hubQueryLen)); err != nil {
+			return 0, 0, hubLatencies{}, sdtw.HubStats{}, err
+		}
+	}
+	ids := make([]string, len(w.streams))
+	index := make(map[string]int, len(w.streams))
+	pushed := make([]atomic.Int64, len(w.streams))
+	for s := range w.streams {
+		ids[s] = fmt.Sprintf("s%04d", s)
+		index[ids[s]] = s
+		if err := hub.AddStream(ids[s]); err != nil {
+			return 0, 0, hubLatencies{}, sdtw.HubStats{}, err
+		}
+	}
+
+	runErr := make(chan error, 1)
+	go func() { runErr <- hub.Run(context.Background()) }()
+
+	var samples []float64
+	var matches int64
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		for m := range hub.Matches() {
+			matches++
+			samples = append(samples, float64(pushed[index[m.Stream]].Load()-int64(m.End)))
+		}
+	}()
+
+	workers := runtime.GOMAXPROCS(0)
+	start := time.Now()
+	var wg sync.WaitGroup
+	var pushErr atomic.Pointer[error]
+	for p := 0; p < workers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for s := p; s < len(w.streams); s += workers {
+				data := w.streams[s]
+				for off := 0; off < len(data); off += hubBatchPoints {
+					end := off + hubBatchPoints
+					if end > len(data) {
+						end = len(data)
+					}
+					for {
+						err := hub.PushBatch(ids[s], data[off:end])
+						if err == nil {
+							break
+						}
+						if !errors.Is(err, sdtw.ErrHubBackpressure) {
+							pushErr.CompareAndSwap(nil, &err)
+							return
+						}
+						time.Sleep(50 * time.Microsecond)
+					}
+					pushed[s].Store(int64(end))
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if errp := pushErr.Load(); errp != nil {
+		return 0, 0, hubLatencies{}, sdtw.HubStats{}, *errp
+	}
+	if err := hub.Flush(context.Background()); err != nil {
+		return 0, 0, hubLatencies{}, sdtw.HubStats{}, err
+	}
+	<-consumed
+	if err := <-runErr; err != nil {
+		return 0, 0, hubLatencies{}, sdtw.HubStats{}, err
+	}
+	wall := time.Since(start)
+	return wall, matches, summarizeLatencies(samples), hub.Stats(), nil
+}
+
+// runMonitorsMode is the naive fleet: one Monitor per stream holding all
+// standing queries, streams spread over the same number of workers the
+// hub uses. Latencies are batch-granular here too (a match confirmed
+// inside a batch is observed when PushBatch returns).
+func runMonitorsMode(w hubWorkload) (time.Duration, int64, hubLatencies, int64, error) {
+	mons := make([]*sdtw.Monitor, len(w.streams))
+	for s := range mons {
+		m, err := sdtw.NewMonitor(w.queries, sdtw.Options{},
+			sdtw.WithMatchThreshold(hubThreshold), sdtw.WithMinGap(hubQueryLen))
+		if err != nil {
+			return 0, 0, hubLatencies{}, 0, err
+		}
+		mons[s] = m
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	type shard struct {
+		matches int64
+		cells   int64
+		samples []float64
+		err     error
+	}
+	shards := make([]shard, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sh := &shards[p]
+			ctx := context.Background()
+			for s := p; s < len(w.streams); s += workers {
+				data := w.streams[s]
+				for off := 0; off < len(data); off += hubBatchPoints {
+					end := off + hubBatchPoints
+					if end > len(data) {
+						end = len(data)
+					}
+					out, err := mons[s].PushBatch(ctx, data[off:end])
+					if err != nil {
+						sh.err = err
+						return
+					}
+					for _, m := range out {
+						sh.matches++
+						sh.samples = append(sh.samples, float64(end-m.End))
+					}
+				}
+				out, err := mons[s].Flush()
+				if err != nil {
+					sh.err = err
+					return
+				}
+				sh.matches += int64(len(out))
+				sh.cells += mons[s].Stats().Cells
+			}
+		}(p)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	var matches, cells int64
+	var samples []float64
+	for i := range shards {
+		if shards[i].err != nil {
+			return 0, 0, hubLatencies{}, 0, shards[i].err
+		}
+		matches += shards[i].matches
+		cells += shards[i].cells
+		samples = append(samples, shards[i].samples...)
+	}
+	return wall, matches, summarizeLatencies(samples), cells, nil
+}
+
+// runHubStream runs the full fleet sweep for one scale and renders the
+// human table plus the machine-readable entries (dataset "fleet", modes
+// "hub" and "monitors") that extend BENCH_stream.json.
+func runHubStream(sc experiments.Scale, seed int64) (string, []streamEntry, error) {
+	grid, points := hubGrid(sc)
+	var sb strings.Builder
+	var entries []streamEntry
+	fmt.Fprintf(&sb, "fleet: %d points per stream, query length %d, threshold %.2f, %d workers\n",
+		points, hubQueryLen, hubThreshold, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&sb, "%-10s %8s %8s %8s %13s %7s %9s %9s %12s\n",
+		"mode", "streams", "queries", "matches", "points/sec", "skip%", "p50 lat", "p99 lat", "wall")
+
+	record := func(mode string, g hubGridPoint, matches int64, wall time.Duration,
+		lat hubLatencies, skipRate, cellsPerPoint float64) streamEntry {
+		total := g.streams * points
+		avg := -1.0
+		if lat.n > 0 {
+			avg = lat.sum / float64(lat.n)
+		}
+		e := streamEntry{
+			Dataset:          "fleet",
+			Mode:             mode,
+			Streams:          g.streams,
+			Queries:          g.queries,
+			QueryLen:         hubQueryLen,
+			Points:           points,
+			Matches:          matches,
+			WallMS:           float64(wall.Microseconds()) / 1000,
+			PointsPerSec:     float64(total) / wall.Seconds(),
+			CellsPerPoint:    cellsPerPoint,
+			AvgLatencyPoints: avg,
+			SkipRate:         skipRate,
+			P50LatencyPoints: lat.p50,
+			P99LatencyPoints: lat.p99,
+		}
+		entries = append(entries, e)
+		fmt.Fprintf(&sb, "%-10s %8d %8d %8d %13.0f %7.1f %9.0f %9.0f %12v\n",
+			mode, g.streams, g.queries, matches, e.PointsPerSec, 100*skipRate,
+			lat.p50, lat.p99, wall.Round(time.Millisecond))
+		return e
+	}
+
+	for _, g := range grid {
+		w := makeHubWorkload(g.streams, points, g.queries, seed)
+		total := int64(g.streams) * int64(points)
+
+		wall, matches, lat, st, err := runHubMode(w, true)
+		if err != nil {
+			return "", nil, fmt.Errorf("hub %dx%d: %w", g.streams, g.queries, err)
+		}
+		advances := st.Appends + st.Skipped
+		skipRate := 0.0
+		if advances > 0 {
+			skipRate = float64(st.Skipped) / float64(advances)
+		}
+		hubEntry := record("hub", g, matches, wall, lat, skipRate,
+			float64(st.Appends)*hubQueryLen/float64(total))
+		if st.Processed != total || st.Rejected != 0 {
+			return "", nil, fmt.Errorf("hub %dx%d: processed %d of %d points (%d rejected)",
+				g.streams, g.queries, st.Processed, total, st.Rejected)
+		}
+
+		wall, matches, lat, cells, err := runMonitorsMode(w)
+		if err != nil {
+			return "", nil, fmt.Errorf("monitors %dx%d: %w", g.streams, g.queries, err)
+		}
+		monEntry := record("monitors", g, matches, wall, lat, 0,
+			float64(cells)/float64(total))
+		fmt.Fprintf(&sb, "%-10s %8s %8s hub speedup %.2fx, matches %+d\n", "", "", "",
+			hubEntry.PointsPerSec/monEntry.PointsPerSec, hubEntry.Matches-monEntry.Matches)
+	}
+	return sb.String(), entries, nil
+}
+
+// hubLatencyGracePoints absorbs batch-granularity jitter when gating
+// p99 match latency: latency is observed per pushed batch, so two
+// batches of slack is measurement noise, not a regression.
+const hubLatencyGracePoints = 2 * hubBatchPoints
+
+// checkStreamBaseline gates this run against a committed
+// BENCH_stream.json: entries are matched by (dataset, mode, streams,
+// queries, points) and the check fails when aggregate throughput drops
+// below baseline/maxFactor, a hub prefilter skip rate falls more than
+// ten points, or a p99 match latency exceeds baseline*maxFactor plus
+// two batches of grace. Unmatched entries are skipped so the workload
+// can evolve; maxFactor 0 disables the gate.
+func checkStreamBaseline(entries []streamEntry, baselinePath string, maxFactor float64) error {
+	if baselinePath == "" || maxFactor <= 0 {
+		return nil
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading stream baseline: %w", err)
+	}
+	var baseline []streamEntry
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("decoding stream baseline %s: %w", baselinePath, err)
+	}
+	type key struct {
+		dataset, mode            string
+		streams, queries, points int
+	}
+	base := make(map[key]streamEntry, len(baseline))
+	for _, b := range baseline {
+		base[key{b.Dataset, b.Mode, b.Streams, b.Queries, b.Points}] = b
+	}
+	matched := 0
+	for _, e := range entries {
+		b, ok := base[key{e.Dataset, e.Mode, e.Streams, e.Queries, e.Points}]
+		if !ok {
+			continue
+		}
+		matched++
+		if floor := b.PointsPerSec / maxFactor; e.PointsPerSec < floor {
+			return fmt.Errorf("stream throughput regression: %s/%s %dx%d: %.0f points/sec < %.0f (baseline %.0f / %.2f)",
+				e.Dataset, e.Mode, e.Streams, e.Queries, e.PointsPerSec, floor, b.PointsPerSec, maxFactor)
+		}
+		if b.SkipRate > 0 && e.SkipRate < b.SkipRate-0.10 {
+			return fmt.Errorf("prefilter skip-rate regression: %s/%s %dx%d: %.1f%% < baseline %.1f%% - 10pt",
+				e.Dataset, e.Mode, e.Streams, e.Queries, 100*e.SkipRate, 100*b.SkipRate)
+		}
+		if b.P99LatencyPoints >= 0 && e.P99LatencyPoints >= 0 {
+			if allowed := b.P99LatencyPoints*maxFactor + hubLatencyGracePoints; e.P99LatencyPoints > allowed {
+				return fmt.Errorf("match-latency regression: %s/%s %dx%d: p99 %.0f points > %.0f (baseline %.0f x %.2f + %d grace)",
+					e.Dataset, e.Mode, e.Streams, e.Queries, e.P99LatencyPoints, allowed, b.P99LatencyPoints, maxFactor, hubLatencyGracePoints)
+			}
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("stream baseline %s matched no entries of this run", baselinePath)
+	}
+	fmt.Printf("stream throughput/skip-rate/latency within budget of baseline on %d matched points\n\n", matched)
+	return nil
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sdtw/internal/experiments"
+)
+
+func TestRunHubStream(t *testing.T) {
+	out, entries, err := runHubStream(experiments.Small, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hub", "monitors", "speedup", "skip%", "p99 lat"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fleet report missing %q:\n%s", want, out)
+		}
+	}
+	grid, points := hubGrid(experiments.Small)
+	if len(entries) != 2*len(grid) {
+		t.Fatalf("got %d entries, want hub+monitors per grid point (%d)", len(entries), 2*len(grid))
+	}
+	byKey := map[[3]int]map[string]streamEntry{}
+	for _, e := range entries {
+		if e.Dataset != "fleet" || e.Points != points || e.QueryLen != hubQueryLen {
+			t.Fatalf("malformed fleet entry: %+v", e)
+		}
+		if e.PointsPerSec <= 0 || e.WallMS <= 0 {
+			t.Fatalf("implausible throughput: %+v", e)
+		}
+		k := [3]int{e.Streams, e.Queries, e.Points}
+		if byKey[k] == nil {
+			byKey[k] = map[string]streamEntry{}
+		}
+		byKey[k][e.Mode] = e
+	}
+	for _, g := range grid {
+		pair := byKey[[3]int{g.streams, g.queries, points}]
+		hub, mon := pair["hub"], pair["monitors"]
+		if hub.Mode == "" || mon.Mode == "" {
+			t.Fatalf("grid point %dx%d missing a mode: %+v", g.streams, g.queries, pair)
+		}
+		// The hub and the per-stream monitors watch the same fleet for the
+		// same queries: the match counts must agree exactly (the prefilter
+		// is exactness-preserving, pooling only changes where state lives).
+		if hub.Matches != mon.Matches {
+			t.Fatalf("%dx%d: hub found %d matches, monitors %d", g.streams, g.queries, hub.Matches, mon.Matches)
+		}
+		if hub.Matches == 0 {
+			t.Fatalf("%dx%d: workload planted no measurable matches", g.streams, g.queries)
+		}
+		// The workload is dominated by far excursions, so the prefilter
+		// must actually bite; monitors have no prefilter at all.
+		if hub.SkipRate < 0.3 {
+			t.Fatalf("%dx%d: hub skip rate %.2f implausibly low", g.streams, g.queries, hub.SkipRate)
+		}
+		if mon.SkipRate != 0 {
+			t.Fatalf("%dx%d: monitors report a skip rate: %+v", g.streams, g.queries, mon)
+		}
+		if hub.P99LatencyPoints < hub.P50LatencyPoints || hub.P50LatencyPoints < 0 {
+			t.Fatalf("%dx%d: malformed latency percentiles: %+v", g.streams, g.queries, hub)
+		}
+	}
+}
+
+func TestCheckStreamBaseline(t *testing.T) {
+	entry := streamEntry{Dataset: "fleet", Mode: "hub", Streams: 16, Queries: 4, QueryLen: hubQueryLen,
+		Points: 500, PointsPerSec: 1e6, SkipRate: 0.60, P50LatencyPoints: 200, P99LatencyPoints: 480}
+	entries := []streamEntry{entry}
+	dir := t.TempDir()
+	write := func(name string, baseline []streamEntry) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(baseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := entry
+	base.PointsPerSec = 1.2e6
+	base.SkipRate = 0.65
+	base.P99LatencyPoints = 400
+	ok := write("ok.json", []streamEntry{base})
+	if err := checkStreamBaseline(entries, ok, 1.5); err != nil {
+		t.Fatalf("passing baseline failed: %v", err)
+	}
+	fast := base
+	fast.PointsPerSec = 1e7
+	if err := checkStreamBaseline(entries, write("fast.json", []streamEntry{fast}), 1.5); err == nil {
+		t.Fatal("throughput regression not caught")
+	}
+	skippy := base
+	skippy.SkipRate = 0.90
+	if err := checkStreamBaseline(entries, write("skippy.json", []streamEntry{skippy}), 1.5); err == nil {
+		t.Fatal("skip-rate regression not caught")
+	}
+	// Latency gating absorbs two batches of grace, so the regression must
+	// be bigger than hubLatencyGracePoints to trip.
+	slow := entry
+	slow.P99LatencyPoints = base.P99LatencyPoints*1.5 + hubLatencyGracePoints + 1
+	if err := checkStreamBaseline([]streamEntry{slow}, ok, 1.5); err == nil {
+		t.Fatal("latency regression not caught")
+	}
+	// Unmatched baseline entries are skipped; a baseline matching nothing
+	// is an error (it means the workload and baseline diverged entirely).
+	other := base
+	other.Streams = 64
+	if err := checkStreamBaseline(entries, write("other.json", []streamEntry{other}), 1.5); err == nil {
+		t.Fatal("baseline with no matching entries accepted")
+	}
+	if err := checkStreamBaseline(entries, ok, 0); err != nil {
+		t.Fatalf("disabled gate errored: %v", err)
+	}
+	if err := checkStreamBaseline(entries, filepath.Join(dir, "missing.json"), 1.5); err == nil {
+		t.Fatal("missing baseline file accepted")
+	}
+}

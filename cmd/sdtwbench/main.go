@@ -32,15 +32,17 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run: table1, table2, fig13, fig14, fig15, fig16, fig17, fig18, noise, invariance, baseline, extras, retrieval, stream, kernel, serve, scale, bands, all")
-		scale     = flag.String("scale", "full", "workload scale: full, medium, small")
-		short     = flag.Bool("short", false, "CI smoke mode: force the small scale and trim measurement budgets")
-		dataset   = flag.String("dataset", "", "restrict per-dataset figures to one data set (Gun, Trace, 50Words)")
-		seed      = flag.Int64("seed", 42, "workload generator seed")
-		jsonOut   = flag.String("json", "BENCH_retrieval.json", "path for the machine-readable retrieval results (empty disables)")
-		streamOut = flag.String("streamjson", "BENCH_stream.json", "path for the machine-readable streaming-monitor results (empty disables)")
-		kernelOut = flag.String("kerneljson", "BENCH_kernel.json", "path for the machine-readable kernel A/B results (empty disables)")
-		kernelMin = flag.Float64("kernelmin", 0, "fail if any specialized/generic kernel throughput ratio drops below this floor (0 disables)")
+		exp            = flag.String("exp", "all", "experiment to run: table1, table2, fig13, fig14, fig15, fig16, fig17, fig18, noise, invariance, baseline, extras, retrieval, stream, kernel, serve, scale, bands, all")
+		scale          = flag.String("scale", "full", "workload scale: full, medium, small")
+		short          = flag.Bool("short", false, "CI smoke mode: force the small scale and trim measurement budgets")
+		dataset        = flag.String("dataset", "", "restrict per-dataset figures to one data set (Gun, Trace, 50Words)")
+		seed           = flag.Int64("seed", 42, "workload generator seed")
+		jsonOut        = flag.String("json", "BENCH_retrieval.json", "path for the machine-readable retrieval results (empty disables)")
+		streamOut      = flag.String("streamjson", "BENCH_stream.json", "path for the machine-readable streaming-monitor results (empty disables)")
+		streamBaseline = flag.String("streambaseline", "", "committed BENCH_stream.json to gate fleet throughput, prefilter skip rate and match-latency p99 against (empty disables)")
+		streamRegress  = flag.Float64("streammaxregress", 0, "fail if fleet throughput drops below baseline divided by this factor (or p99 latency exceeds baseline times it), e.g. 1.5 (0 disables)")
+		kernelOut      = flag.String("kerneljson", "BENCH_kernel.json", "path for the machine-readable kernel A/B results (empty disables)")
+		kernelMin      = flag.Float64("kernelmin", 0, "fail if any specialized/generic kernel throughput ratio drops below this floor (0 disables)")
 
 		serveOut      = flag.String("servejson", "BENCH_serve.json", "path for the machine-readable serving results (empty disables)")
 		serveShards   = flag.Int("serveshards", 4, "shard count for the serving benchmark")
@@ -249,11 +251,23 @@ func main() {
 				return nil
 			})
 		}
+		run("Fleet streaming: Hub vs one-Monitor-per-stream grid", func() error {
+			out, rows, err := runHubStream(sc, *seed)
+			if err != nil {
+				return err
+			}
+			entries = append(entries, rows...)
+			fmt.Print(out)
+			return nil
+		})
 		if *streamOut != "" {
 			if err := writeStreamJSON(*streamOut, entries); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("machine-readable results written to %s\n\n", *streamOut)
+		}
+		if err := checkStreamBaseline(entries, *streamBaseline, *streamRegress); err != nil {
+			fatal(err)
 		}
 	}
 	if want("kernel") {
@@ -473,6 +487,16 @@ type streamEntry struct {
 	// match's end and the point whose arrival confirmed it (SPRING's
 	// report delay); -1 when the mode emits only at Flush.
 	AvgLatencyPoints float64 `json:"avg_match_latency_points"`
+
+	// The remaining fields are set only by the fleet experiment (dataset
+	// "fleet", modes "hub" and "monitors"): the stream count of the grid
+	// point, the fraction of SPRING column advances the hub's time-domain
+	// prefilter elided, and the batch-granular match-latency percentiles
+	// in stream points (-1 when the run emitted no matches).
+	Streams          int     `json:"streams,omitempty"`
+	SkipRate         float64 `json:"prefilter_skip_rate,omitempty"`
+	P50LatencyPoints float64 `json:"p50_match_latency_points,omitempty"`
+	P99LatencyPoints float64 `json:"p99_match_latency_points,omitempty"`
 }
 
 // writeStreamJSON persists the streaming entries for machines (CI trend

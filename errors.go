@@ -3,6 +3,7 @@ package sdtw
 import (
 	"errors"
 
+	"sdtw/internal/hub"
 	"sdtw/internal/retrieve"
 	"sdtw/internal/store"
 )
@@ -36,6 +37,16 @@ var (
 	// that was already flushed — or whose state was abandoned after a
 	// mid-batch cancellation.
 	ErrMonitorClosed = errors.New("monitor closed")
+	// ErrHubClosed reports an operation on a Hub already shut down by
+	// Flush (or abandoned after a cancelled Run).
+	ErrHubClosed = hub.ErrHubClosed
+	// ErrUnknownStream reports a Hub push to (or close of) a stream ID
+	// that was never added or was already closed.
+	ErrUnknownStream = hub.ErrUnknownStream
+	// ErrHubBackpressure reports a Hub push that would overflow the
+	// stream's bounded pending buffer; the push consumes nothing and the
+	// producer decides whether to retry, shed, or block.
+	ErrHubBackpressure = hub.ErrHubBackpressure
 	// ErrCorruptManifest reports a segment store whose manifest (or
 	// tombstone log) cannot be parsed.
 	ErrCorruptManifest = store.ErrCorruptManifest

@@ -9,3 +9,7 @@ func TestErrlint(t *testing.T) {
 func TestErrlintStoreSentinels(t *testing.T) {
 	runGolden(t, Errlint, "storeuser")
 }
+
+func TestErrlintHubSentinels(t *testing.T) {
+	runGolden(t, Errlint, "hubuser")
+}

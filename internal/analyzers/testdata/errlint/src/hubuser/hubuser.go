@@ -1,0 +1,45 @@
+// Package hubuser exercises the errlint discipline against the fleet
+// hub sentinels: ingest and shutdown paths must wrap ErrHubClosed,
+// ErrUnknownStream and ErrHubBackpressure with %w (so errors.Is keeps
+// seeing them through the public sdtw re-exports) and match them with
+// errors.Is, never by value.
+package hubuser
+
+import (
+	"errors"
+	"fmt"
+
+	"sdtw/internal/hub"
+)
+
+// RejectPush wraps the backpressure sentinel with %w: sanctioned.
+func RejectPush(stream string, pending int) error {
+	return fmt.Errorf("push to %q with %d pending: %w", stream, pending, hub.ErrHubBackpressure)
+}
+
+// BadRejectPush severs the chain with %v, so a producer's
+// errors.Is(err, sdtw.ErrHubBackpressure) retry loop stops matching.
+func BadRejectPush(stream string) error {
+	return fmt.Errorf("push to %q: %v", stream, hub.ErrHubBackpressure) // want `%w`
+}
+
+// BadClose formats the closed sentinel with %s: same severed chain.
+func BadClose(op string) error {
+	return fmt.Errorf("%s on flushed hub: %s", op, hub.ErrHubClosed) // want `%w`
+}
+
+// BadUnknown matches a sentinel by value — a recompiled hub package
+// would still match, but a wrapped error never does.
+func BadUnknown(err error) bool {
+	return err == hub.ErrUnknownStream // want `errors.Is`
+}
+
+// ShouldShed matches through the chain: sanctioned.
+func ShouldShed(err error) bool {
+	return errors.Is(err, hub.ErrHubBackpressure)
+}
+
+// IsClosed matches the shutdown sentinel through the chain: sanctioned.
+func IsClosed(err error) bool {
+	return errors.Is(err, hub.ErrHubClosed)
+}

@@ -1,0 +1,15 @@
+// Package hub mirrors the fleet-streaming sentinels of
+// sdtw/internal/hub so the errlint golden tests can pin the %w wrapping
+// discipline on the real import path.
+package hub
+
+import "errors"
+
+// ErrHubClosed reports an operation on a hub already shut down.
+var ErrHubClosed = errors.New("hub: closed")
+
+// ErrUnknownStream reports a push to a stream that was never added.
+var ErrUnknownStream = errors.New("hub: unknown stream")
+
+// ErrHubBackpressure reports a push overflowing a stream's buffer.
+var ErrHubBackpressure = errors.New("hub: stream buffer full")

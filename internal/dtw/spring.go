@@ -39,6 +39,17 @@ type Spring struct {
 	// monomorphized per-point update (see kernel.go); captured once at
 	// construction so the per-point hot path pays no dispatch check.
 	squared bool
+	// filter arms the time-domain prefilter for AppendFiltered: only set
+	// for the squared cost with a finite threshold and a NaN-free query
+	// (see SpringConfig.Prefilter). qmin/qmax are the query's value range
+	// — its radius-∞ envelope — so the cheapest possible alignment cost
+	// of an out-of-range stream point v is (v-qmax)² or (qmin-v)².
+	filter     bool
+	qmin, qmax float64
+	// dormant marks the DP column as logically +Inf after a dead point:
+	// every cell is provably above the threshold, so the stored values
+	// are stale and must be re-initialised before the next real advance.
+	dormant bool
 
 	// d[i] is the cost of the cheapest warp path consuming q[0..i] and
 	// ending at the newest stream point; s[i] is the stream position where
@@ -57,7 +68,8 @@ type Spring struct {
 	// an emitted match (non-overlap plus the MinGap separation).
 	nextStart int
 
-	cells int64
+	cells   int64
+	skipped int64
 }
 
 // SpringConfig parameterises a Spring.
@@ -72,10 +84,35 @@ type SpringConfig struct {
 	// MinGap is the minimum number of stream points between an emitted
 	// match's end and the next match's start.
 	MinGap int
+	// Prefilter arms the time-domain prefilter consumed through
+	// AppendFiltered: stream points whose cheapest possible alignment
+	// cost against any query element already exceeds Threshold skip the
+	// O(|q|) column advance entirely. The skip is admissible — emitted
+	// matches are bit-identical to plain Append — and only engages for
+	// the default squared cost with a finite Threshold and a NaN-free
+	// query; otherwise AppendFiltered degrades to Append. Best is not
+	// maintained across skipped points (only supra-threshold optima are
+	// affected), so arm it only when thresholded emission is the output.
+	Prefilter bool
 }
 
-// NewSpring builds the streaming state for one query.
-func NewSpring(q []float64, cfg SpringConfig) (*Spring, error) {
+// SpringTemplate is the stream-independent part of a Spring: the query,
+// its validated configuration, and the prefilter constants. One template
+// per standing query initialises (and re-initialises, via Init over
+// recycled backing) any number of per-stream Spring states — the pooling
+// seam fleet hubs slab-allocate O(|q|) state through.
+type SpringTemplate struct {
+	q          []float64
+	dist       series.PointDistance
+	squared    bool
+	threshold  float64
+	minGap     int
+	filter     bool
+	qmin, qmax float64
+}
+
+// NewSpringTemplate validates one query's streaming configuration.
+func NewSpringTemplate(q []float64, cfg SpringConfig) (*SpringTemplate, error) {
 	if len(q) == 0 {
 		return nil, fmt.Errorf("dtw: empty query: %w", series.ErrEmptySeries)
 	}
@@ -91,21 +128,94 @@ func NewSpring(q []float64, cfg SpringConfig) (*Spring, error) {
 	if math.IsNaN(threshold) {
 		threshold = math.Inf(1)
 	}
-	sp := &Spring{
+	t := &SpringTemplate{
 		q:         q,
 		dist:      dist,
 		squared:   squared,
 		threshold: threshold,
 		minGap:    cfg.MinGap,
-		d:         make([]float64, len(q)),
-		s:         make([]int, len(q)),
-		best:      SubsequenceMatch{Distance: math.Inf(1)},
-		dmin:      math.Inf(1),
+	}
+	if cfg.Prefilter && squared && !math.IsInf(threshold, 1) {
+		qmin, qmax := q[0], q[0]
+		hasNaN := false
+		for _, x := range q {
+			if math.IsNaN(x) {
+				hasNaN = true
+				break
+			}
+			if x < qmin {
+				qmin = x
+			}
+			if x > qmax {
+				qmax = x
+			}
+		}
+		// A NaN query element voids the range bound (its alignment cost
+		// is NaN, below no threshold); leave the filter disarmed.
+		if !hasNaN {
+			t.filter, t.qmin, t.qmax = true, qmin, qmax
+		}
+	}
+	return t, nil
+}
+
+// StateLen is the per-stream state size in elements: Init needs backing
+// slices of at least this length (one float64 and one int per element).
+func (t *SpringTemplate) StateLen() int { return len(t.q) }
+
+// Init initialises sp in place over caller-owned backing — d and s must
+// each hold at least StateLen elements and must not be shared between
+// live springs. Re-initialising a recycled Spring through Init (or
+// Reset) restores the exact state of a freshly constructed one.
+func (t *SpringTemplate) Init(sp *Spring, d []float64, s []int) {
+	n := len(t.q)
+	inf := math.Inf(1)
+	*sp = Spring{
+		q:         t.q,
+		dist:      t.dist,
+		squared:   t.squared,
+		threshold: t.threshold,
+		minGap:    t.minGap,
+		filter:    t.filter,
+		qmin:      t.qmin,
+		qmax:      t.qmax,
+		d:         d[:n:n],
+		s:         s[:n:n],
+		best:      SubsequenceMatch{Distance: inf},
+		dmin:      inf,
 	}
 	for i := range sp.d {
-		sp.d[i] = math.Inf(1)
+		sp.d[i] = inf
 	}
+}
+
+// NewSpring builds the streaming state for one query with its own
+// backing. Fleets sharing one query across many streams should build one
+// SpringTemplate and Init states over slab-allocated backing instead.
+func NewSpring(q []float64, cfg SpringConfig) (*Spring, error) {
+	t, err := NewSpringTemplate(q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sp := new(Spring)
+	t.Init(sp, make([]float64, len(q)), make([]int, len(q)))
 	return sp, nil
+}
+
+// Reset returns a Spring to its just-initialised state, reusing its
+// backing: the recycling path of pooled per-stream state. The query,
+// cost, threshold and prefilter configuration are retained.
+func (sp *Spring) Reset() {
+	inf := math.Inf(1)
+	sp.t = 0
+	sp.cells, sp.skipped = 0, 0
+	sp.best, sp.hasBest = SubsequenceMatch{Distance: inf}, false
+	sp.dmin, sp.ts, sp.te = inf, 0, 0
+	sp.nextStart = 0
+	sp.dormant = false
+	for i := range sp.d {
+		sp.d[i] = inf
+	}
 }
 
 // Append consumes the next stream point, advancing every DP cell once
@@ -115,16 +225,85 @@ func NewSpring(q []float64, cfg SpringConfig) (*Spring, error) {
 //
 //sdtw:hotpath
 func (sp *Spring) Append(v float64) (SubsequenceMatch, bool) {
-	n := len(sp.q)
-	d, s := sp.d, sp.s
 	t := sp.t
 	if sp.squared {
 		sp.advanceSquared(v)
 	} else {
 		sp.advanceGeneric(v)
 	}
-	sp.cells += int64(n)
+	sp.cells += int64(len(sp.q))
 	sp.t = t + 1
+	return sp.confirm(t)
+}
+
+// AppendFiltered is Append behind the time-domain prefilter. A stream
+// point outside the query's value range by more than √threshold is dead:
+// every warp path must align it with some query element at cost at least
+// (v−qmax)² (or (qmin−v)²), so after consuming it every DP cell would
+// exceed the threshold — no region containing the point can ever be
+// emitted, and cells above the threshold can never re-enter emission
+// (costs only accumulate). Dead points therefore skip the O(|q|) column
+// advance entirely: the column is marked dormant (logically all +Inf),
+// the pending match — which the supra-threshold column would confirm —
+// is reported, and the state resumes from scratch at the next live
+// point. Emitted matches are bit-identical to plain Append's; only Best
+// diverges (it stops tracking supra-threshold optima across skips).
+//
+// With the filter disarmed (generic cost, infinite threshold, NaN query
+// — see SpringConfig.Prefilter) this is exactly Append.
+//
+//sdtw:hotpath
+func (sp *Spring) AppendFiltered(v float64) (SubsequenceMatch, bool) {
+	if sp.filter {
+		if v > sp.qmax {
+			if dd := v - sp.qmax; dd*dd > sp.threshold {
+				return sp.skip()
+			}
+		} else if v < sp.qmin {
+			if dd := sp.qmin - v; dd*dd > sp.threshold {
+				return sp.skip()
+			}
+		}
+		if sp.dormant {
+			// First live point after a dead stretch: the stored column is
+			// stale. Re-initialise it to the dormant truth (+Inf) so the
+			// ordinary advance restarts from fresh paths only.
+			inf := math.Inf(1)
+			for i := range sp.d {
+				sp.d[i] = inf
+			}
+			sp.dormant = false
+		}
+	}
+	return sp.Append(v)
+}
+
+// skip consumes a dead stream point in O(1): no column advance, no cell
+// fills. The pending thresholded match, if any, is confirmed here — at
+// this point the advanced column would hold no cell below its distance —
+// exactly when plain Append would have reported it.
+//
+//sdtw:hotpath
+func (sp *Spring) skip() (SubsequenceMatch, bool) {
+	sp.t++
+	sp.skipped++
+	sp.dormant = true
+	if !math.IsInf(sp.dmin, 1) {
+		out := SubsequenceMatch{Start: sp.ts, End: sp.te, Distance: sp.dmin}
+		sp.emitReset()
+		return out, true
+	}
+	return SubsequenceMatch{}, false
+}
+
+// confirm runs the post-advance reporting logic for the column computed
+// at stream position t: global-best tracking, the SPRING report
+// condition, and pending-match capture.
+//
+//sdtw:hotpath
+func (sp *Spring) confirm(t int) (SubsequenceMatch, bool) {
+	n := len(sp.q)
+	d, s := sp.d, sp.s
 
 	// Global best, the offline-equivalent answer: strict < keeps the
 	// earliest end on ties, exactly like Subsequence's final argmin scan.
@@ -290,3 +469,7 @@ func (sp *Spring) Points() int { return sp.t }
 
 // Cells returns the total DP cells filled (|q| per Append).
 func (sp *Spring) Cells() int64 { return sp.cells }
+
+// Skipped returns the stream points AppendFiltered consumed without
+// advancing the column — the time-domain prefilter's O(|q|)→O(1) wins.
+func (sp *Spring) Skipped() int64 { return sp.skipped }

@@ -135,7 +135,10 @@ type monitorQuery struct {
 // consumed leaves the monitor untouched; one cancelled mid-batch stops
 // the work promptly with ctx.Err() and closes the monitor, because its
 // queries may no longer agree on the stream position. Every call on a
-// closed monitor reports ErrMonitorClosed.
+// closed monitor reports ErrMonitorClosed — Flush is terminal, exactly
+// once, by every path into the closed state (the contract the fleet Hub
+// relies on when recycling stream state; see Hub for monitoring many
+// streams against shared standing queries in one process).
 type Monitor struct {
 	mu       sync.Mutex
 	queries  []monitorQuery

@@ -600,3 +600,76 @@ func TestMonitorNilContext(t *testing.T) {
 		t.Fatalf("nil-ctx ShardedIndex.Search: %v", err)
 	}
 }
+
+// TestMonitorTerminalState regression-pins the monitor's terminal-state
+// contract, which the Hub relies on when recycling stream state: Flush
+// closes the monitor exactly once, and every subsequent Push, PushBatch
+// or Flush — by any path into the closed state, including a mid-batch
+// cancellation — reports ErrMonitorClosed while Stats stays readable.
+func TestMonitorTerminalState(t *testing.T) {
+	query, stream := streamWorkload(t, "Gun", 2, 300)
+
+	t.Run("flushed", func(t *testing.T) {
+		m, err := NewMonitor([]Series{NewSeries("q", 0, query)}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.PushBatch(context.Background(), stream); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Flush(); err != nil {
+			t.Fatalf("first Flush: %v", err)
+		}
+		if _, err := m.Flush(); !IsErr(err, ErrMonitorClosed) {
+			t.Fatalf("double Flush: %v, want ErrMonitorClosed", err)
+		}
+		if _, err := m.Push(context.Background(), 1); !IsErr(err, ErrMonitorClosed) {
+			t.Fatalf("Push after Flush: %v, want ErrMonitorClosed", err)
+		}
+		if _, err := m.PushBatch(context.Background(), stream[:4]); !IsErr(err, ErrMonitorClosed) {
+			t.Fatalf("PushBatch after Flush: %v, want ErrMonitorClosed", err)
+		}
+		// Stats survives the close and still reflects the consumed stream.
+		if st := m.Stats(); st.Points != int64(len(stream)) {
+			t.Fatalf("post-Flush Stats.Points = %d, want %d", st.Points, len(stream))
+		}
+	})
+
+	t.Run("cancelled mid-batch", func(t *testing.T) {
+		queries := []Series{NewSeries("a", 0, query), NewSeries("b", 0, query)}
+		m, err := NewMonitor(queries, Options{}, WithMonitorWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A context that survives push's entry check and cancels at the
+		// first in-batch poll: deterministic mid-batch cancellation (a
+		// cancellation before any work leaves the monitor reusable, by
+		// contract).
+		ctx := &cancelAfterCtx{Context: context.Background(), after: 1}
+		big := make([]float64, 4096)
+		if _, err := m.PushBatch(ctx, big); !IsErr(err, context.Canceled) {
+			t.Fatalf("cancelled PushBatch: %v, want context.Canceled", err)
+		}
+		if _, err := m.Flush(); !IsErr(err, ErrMonitorClosed) {
+			t.Fatalf("Flush after mid-batch cancel: %v, want ErrMonitorClosed", err)
+		}
+		if _, err := m.Push(context.Background(), 1); !IsErr(err, ErrMonitorClosed) {
+			t.Fatalf("Push after mid-batch cancel: %v, want ErrMonitorClosed", err)
+		}
+	})
+}
+
+// cancelAfterCtx reports Canceled from its (after+1)-th Err() call on —
+// a deterministic stand-in for a context cancelled mid-batch.
+type cancelAfterCtx struct {
+	context.Context
+	calls, after int
+}
+
+func (c *cancelAfterCtx) Err() error {
+	c.calls++
+	if c.calls > c.after {
+		return context.Canceled
+	}
+	return nil
+}
