@@ -1,0 +1,137 @@
+// The fsck subcommand: offline integrity checking and repair for
+// segment stores (and sharded store roots), built on store.Verify and
+// store.Repair.
+//
+//	sdtw fsck idx.store            # verify, list every problem found
+//	sdtw fsck -repair idx.store    # apply open-time recovery and report it
+//
+// Verify is read-only and exhaustive: it checks the manifest, every
+// sealed segment's checksum and record count, every value block (the
+// lazy-loading bargain means serving only reads them on demand — fsck
+// reads them all), the active segment's crash state, the tombstone log,
+// and unreferenced files. Repair applies exactly what a degraded open
+// would — truncate torn tails, sweep orphans, quarantine corrupt sealed
+// segments — and never touches acknowledged-durable data.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sdtw/internal/store"
+)
+
+func runFsck(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fsck", flag.ContinueOnError)
+	repair := fs.Bool("repair", false,
+		"repair the store: truncate torn tails, sweep orphans, quarantine corrupt sealed segments")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("fsck: want exactly one store directory, got %d arguments", fs.NArg())
+	}
+	root := fs.Arg(0)
+
+	dirs, err := fsckTargets(root)
+	if err != nil {
+		return err
+	}
+	bad := 0
+	for _, dir := range dirs {
+		if *repair {
+			if err := fsckRepair(dir, stdout); err != nil {
+				return err
+			}
+		}
+		remaining, err := fsckVerify(dir, stdout)
+		if err != nil {
+			return err
+		}
+		bad += remaining
+	}
+	if bad > 0 {
+		if *repair {
+			return fmt.Errorf("fsck: %d issues remain after repair (restore the named segments from a replica, or remove their records)", bad)
+		}
+		return fmt.Errorf("fsck: %d issues found (rerun with -repair to apply recovery)", bad)
+	}
+	return nil
+}
+
+// fsckTargets resolves a store directory, or every per-shard store of a
+// sharded root (detected by its shard-0000 child).
+func fsckTargets(root string) ([]string, error) {
+	if _, err := os.Stat(filepath.Join(root, "shard-0000")); err == nil {
+		var dirs []string
+		for i := 0; ; i++ {
+			dir := filepath.Join(root, fmt.Sprintf("shard-%04d", i))
+			if _, err := os.Stat(dir); err != nil {
+				break
+			}
+			dirs = append(dirs, dir)
+		}
+		return dirs, nil
+	}
+	if _, err := os.Stat(root); err != nil {
+		return nil, fmt.Errorf("fsck: %w", err)
+	}
+	return []string{root}, nil
+}
+
+// fsckVerify reports a store's problems and returns how many remain
+// that fsck cannot fix (quarantined segments are counted as resolved:
+// the damage is contained and reported, not fixable).
+func fsckVerify(dir string, stdout io.Writer) (int, error) {
+	rep, err := store.Verify(dir, nil)
+	if err != nil {
+		return 0, fmt.Errorf("fsck: %s: %w", dir, err)
+	}
+	if rep.Clean() {
+		fmt.Fprintf(stdout, "%s: clean (%d records in %d segments)\n", dir, rep.Records, rep.Segments)
+		return 0, nil
+	}
+	fmt.Fprintf(stdout, "%s: %d records in %d segments, %d issues:\n", dir, rep.Records, rep.Segments, len(rep.Issues))
+	bad := 0
+	for _, is := range rep.Issues {
+		switch {
+		case errors.Is(is.Err, store.ErrQuarantined):
+			fmt.Fprintf(stdout, "  %s: %v\n", is.Path, is.Err)
+		case is.Repairable:
+			bad++
+			fmt.Fprintf(stdout, "  %s: %v  [repairable]\n", is.Path, is.Err)
+		default:
+			bad++
+			fmt.Fprintf(stdout, "  %s: %v  [NOT repairable]\n", is.Path, is.Err)
+		}
+	}
+	return bad, nil
+}
+
+// fsckRepair applies open-time recovery to a store and reports what
+// changed.
+func fsckRepair(dir string, stdout io.Writer) error {
+	h, err := store.Repair(dir, nil)
+	if err != nil {
+		return fmt.Errorf("fsck: repairing %s: %w", dir, err)
+	}
+	if h == (store.Health{}) {
+		return nil
+	}
+	fmt.Fprintf(stdout, "%s: repaired:", dir)
+	if h.Quarantined > 0 {
+		fmt.Fprintf(stdout, " quarantined %d segments (%d records)", h.Quarantined, h.QuarantinedRecords)
+	}
+	if h.TruncatedBytes > 0 {
+		fmt.Fprintf(stdout, " truncated %d torn bytes (%d records salvaged)", h.TruncatedBytes, h.RecoveredRecords)
+	}
+	if h.OrphansSwept > 0 {
+		fmt.Fprintf(stdout, " swept %d orphaned files", h.OrphansSwept)
+	}
+	fmt.Fprintln(stdout)
+	return nil
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sdtw"
+)
+
+// TestRunFsckEndToEnd walks the full operator workflow: a clean store
+// passes, a damaged one fails verify with the problems named, -repair
+// quarantines the corrupt segment and sweeps the orphan, and the store
+// then serves its survivors.
+func TestRunFsckEndToEnd(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "idx.store")
+	d := sdtw.GunDataset(sdtw.DatasetConfig{Seed: 9, SeriesPerClass: 3})
+	opts := sdtw.Options{Strategy: sdtw.FixedCoreFixedWidth, WidthFrac: 0.10, StoreSegmentRecords: 2}
+	ix, err := sdtw.NewIndex(d.Series, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SaveStore(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := runFsck([]string{dir}, &out); err != nil {
+		t.Fatalf("fsck of a clean store: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "clean") {
+		t.Fatalf("clean store not reported clean:\n%s", out.String())
+	}
+
+	// Damage: flip a byte in the first sealed hot segment and leave an
+	// unreferenced segment file behind.
+	matches, err := filepath.Glob(filepath.Join(dir, "seg-*.hot"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("globbing segments: %v (%d matches)", err, len(matches))
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0xff
+	if err := os.WriteFile(matches[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, "seg-00000099.val")
+	if err := os.WriteFile(orphan, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if err := runFsck([]string{dir}, &out); err == nil {
+		t.Fatalf("damaged store passed fsck:\n%s", out.String())
+	}
+	for _, want := range []string{"[repairable]", "seg-00000099.val", "unreferenced"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("verify output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if err := runFsck([]string{"-repair", dir}, &out); err != nil {
+		t.Fatalf("fsck -repair: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"quarantined 1 segments", "swept"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("repair output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// A later plain fsck still reports the quarantine for the operator
+	// but exits clean: the damage is contained.
+	out.Reset()
+	if err := runFsck([]string{dir}, &out); err != nil {
+		t.Fatalf("fsck after repair: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "quarantined") {
+		t.Fatalf("post-repair output hides the quarantine:\n%s", out.String())
+	}
+
+	// The repaired store serves its survivors.
+	deg, err := sdtw.OpenIndex(dir, opts, sdtw.AllowQuarantine())
+	if err != nil {
+		t.Fatalf("opening repaired store: %v", err)
+	}
+	defer deg.CloseStore()
+	stats, err := deg.StoreStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Health.Quarantined != 1 || !stats.Health.Degraded() {
+		t.Fatalf("repaired store health = %+v, want 1 quarantined segment", stats.Health)
+	}
+	if deg.Len()+int(stats.Health.QuarantinedRecords) != len(d.Series) {
+		t.Fatalf("live %d + quarantined %d records, want %d total",
+			deg.Len(), stats.Health.QuarantinedRecords, len(d.Series))
+	}
+}
+
+// TestRunFsckSharded: a sharded store root is detected and every shard
+// checked.
+func TestRunFsckSharded(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cluster.store")
+	d := sdtw.GunDataset(sdtw.DatasetConfig{Seed: 11, SeriesPerClass: 2})
+	opts := sdtw.Options{Strategy: sdtw.FixedCoreFixedWidth, WidthFrac: 0.10, StoreSegmentRecords: 2}
+	si, err := sdtw.NewShardedIndex(d.Series, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := si.SaveStore(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := runFsck([]string{dir}, &out); err != nil {
+		t.Fatalf("fsck of a clean sharded store: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"shard-0000", "shard-0001"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("sharded fsck skipped %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFsckValidation(t *testing.T) {
+	if err := runFsck(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("fsck with no directory accepted")
+	}
+	if err := runFsck([]string{"a", "b"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("fsck with two directories accepted")
+	}
+	if err := runFsck([]string{filepath.Join(t.TempDir(), "missing")}, &bytes.Buffer{}); err == nil {
+		t.Fatal("fsck of a missing directory accepted")
+	}
+}

@@ -26,6 +26,12 @@
 //
 //	sdtw migrate -in idx.gob -out idx.store
 //	sdtw migrate -in cluster.gob -out cluster.store -sharded
+//
+// The fsck subcommand verifies (and with -repair, repairs) a segment
+// store or sharded store root after a crash or suspected corruption:
+//
+//	sdtw fsck idx.store
+//	sdtw fsck -repair cluster.store
 package main
 
 import (
@@ -51,6 +57,12 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "migrate" {
 		if err := runMigrate(os.Args[2:], os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fsck" {
+		if err := runFsck(os.Args[2:], os.Stdout); err != nil {
 			fatal(err)
 		}
 		return

@@ -6,14 +6,15 @@
 //	sdtwd -load idx.gob                         # serve a saved sharded index
 //	sdtwd -load widx.gob -backend windowed      # saved windowed sharded index
 //	sdtwd -store idx.store                      # serve a segment store (sdtw migrate)
+//	sdtwd -store idx.store -allow-quarantine    # serve around quarantined segments
 //
 // Endpoints:
 //
 //	POST /v1/search   body {"values":[...], "k":5}           → top-k hits + cascade stats
 //	POST /v1/add      body {"id":"s-1","label":0,"values":[...]}
 //	POST /v1/remove   body {"id":"s-1"}
-//	GET  /v1/stats    collection, shard balance, admission counters
-//	GET  /healthz     200, or 503 once draining
+//	GET  /v1/stats    collection, shard balance, admission counters, store health
+//	GET  /healthz     200 (degraded:true when serving around quarantine), 503 once draining
 //
 // On SIGTERM or SIGINT the listener closes, /healthz flips to 503, and
 // in-flight searches run to completion; after -drain-timeout any still
@@ -46,14 +47,20 @@ func main() {
 		maxQueue     = flag.Int("max-queue", 0, "max searches queued for a slot before 429 (0 = 4x max-inflight)")
 		defaultK     = flag.Int("default-k", 1, "k when a search request sets neither k nor threshold")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight searches")
+		quarantine   = flag.Bool("allow-quarantine", false,
+			"serve degraded around corrupt sealed segments (quarantined, reported via /v1/stats and /healthz) instead of refusing to start")
 	)
 	flag.Parse()
 
-	ix, err := buildIndex(*backend, *load, *storeDir, *shards, *workers)
+	ix, err := buildIndex(*backend, *load, *storeDir, *shards, *workers, *quarantine)
 	if err != nil {
 		log.Fatalf("sdtwd: %v", err)
 	}
 	if ix.StoreBacked() {
+		if stats, err := ix.StoreStats(); err == nil && stats.Health.Degraded() {
+			log.Printf("sdtwd: DEGRADED: %d quarantined segments hold %d records back from serving (run `sdtw fsck` to inspect)",
+				stats.Health.Quarantined, stats.Health.QuarantinedRecords)
+		}
 		defer func() {
 			if err := ix.CloseStore(); err != nil {
 				log.Printf("sdtwd: closing store: %v", err)
@@ -84,18 +91,22 @@ func main() {
 	log.Printf("sdtwd: drained cleanly")
 }
 
-func buildIndex(backend, load, storeDir string, shards, workers int) (*sdtw.ShardedIndex, error) {
+func buildIndex(backend, load, storeDir string, shards, workers int, quarantine bool) (*sdtw.ShardedIndex, error) {
 	opts := sdtw.DefaultOptions()
 	opts.Workers = workers
 	if load != "" && storeDir != "" {
 		return nil, fmt.Errorf("-load and -store are mutually exclusive")
 	}
 	if storeDir != "" {
+		var open []sdtw.OpenOption
+		if quarantine {
+			open = append(open, sdtw.AllowQuarantine())
+		}
 		switch backend {
 		case "engine":
-			return sdtw.OpenShardedIndex(storeDir, opts)
+			return sdtw.OpenShardedIndex(storeDir, opts, open...)
 		case "windowed":
-			return sdtw.OpenShardedWindowedIndex(storeDir)
+			return sdtw.OpenShardedWindowedIndex(storeDir, open...)
 		default:
 			return nil, fmt.Errorf("unknown -backend %q (want engine or windowed)", backend)
 		}

@@ -53,6 +53,16 @@ var (
 	// ErrCorruptSegment reports a segment file failing its checksum,
 	// header, or framing checks.
 	ErrCorruptSegment = store.ErrCorruptSegment
+	// ErrTornTail reports a partially written (torn) tail on an
+	// append-only store file — the residue of a crash mid-write. Opens
+	// repair it by truncating back to the last intact record; Verify
+	// reports it without touching anything.
+	ErrTornTail = store.ErrTornTail
+	// ErrQuarantined reports a store carrying quarantined segments:
+	// opening one requires AllowQuarantine (the caller must opt into
+	// degraded serving), and Compact refuses until the quarantine is
+	// resolved.
+	ErrQuarantined = store.ErrQuarantined
 	// ErrStoreExists reports a SaveStore (or migration) into a directory
 	// that already holds a segment store.
 	ErrStoreExists = store.ErrStoreExists

@@ -49,6 +49,10 @@ type Index struct {
 	storeMu sync.Mutex
 	seqs    map[string]uint64 // insertion sequence by series ID
 	nextSeq uint64
+
+	// segRecords is Options.StoreSegmentRecords, kept for SaveStore
+	// (zero means the store default).
+	segRecords int
 }
 
 // Neighbor is one retrieval result.
@@ -77,7 +81,7 @@ func NewIndex(data []Series, opts Options) (*Index, error) {
 			return nil, fmt.Errorf("sdtw: %w", err)
 		}
 	}
-	return &Index{core: core, engine: engine, radius: -1}, nil
+	return &Index{core: core, engine: engine, radius: -1, segRecords: opts.StoreSegmentRecords}, nil
 }
 
 // NewWindowedIndex builds an index answering exact top-k DTW queries over

@@ -13,3 +13,10 @@ var ErrCorruptSegment = errors.New("store: corrupt segment")
 
 // ErrStoreExists reports Create on a directory already holding a store.
 var ErrStoreExists = errors.New("store: store already exists")
+
+// ErrTornTail reports a torn write at the tail of the active segment.
+var ErrTornTail = errors.New("store: torn tail")
+
+// ErrQuarantined reports a store with quarantined segments opened
+// without AllowQuarantine.
+var ErrQuarantined = errors.New("store: segments quarantined")

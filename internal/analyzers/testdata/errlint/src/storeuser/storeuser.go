@@ -36,3 +36,25 @@ func BadExists(err error) bool {
 func GoodExists(err error) bool {
 	return errors.Is(err, store.ErrStoreExists)
 }
+
+// BadRecover formats the crash-recovery sentinel with %v, so fsck
+// callers branching on sdtw.ErrTornTail stop matching.
+func BadRecover(seg int) error {
+	return fmt.Errorf("segment %d: %v", seg, store.ErrTornTail) // want `%w`
+}
+
+// GoodRecover wraps the crash-recovery sentinel with %w: sanctioned.
+func GoodRecover(seg int) error {
+	return fmt.Errorf("segment %d: %w", seg, store.ErrTornTail)
+}
+
+// BadQuarantine matches the quarantine sentinel by value, missing the
+// wrapped errors every Open path returns.
+func BadQuarantine(err error) bool {
+	return err == store.ErrQuarantined // want `errors.Is`
+}
+
+// GoodQuarantine matches through the chain: sanctioned.
+func GoodQuarantine(err error) bool {
+	return errors.Is(err, store.ErrQuarantined)
+}

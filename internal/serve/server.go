@@ -196,6 +196,34 @@ type StatsResponse struct {
 	Segments    int  `json:"segments,omitempty"`
 	Tombstones  int  `json:"tombstones,omitempty"`
 	SketchWidth int  `json:"sketch_width,omitempty"`
+
+	// Degraded reports quarantined segments holding records back from
+	// serving; Health and ShardHealth carry the damage detail (only for
+	// store-backed indexes).
+	Degraded    bool              `json:"degraded"`
+	Health      *StoreHealthJSON  `json:"health,omitempty"`
+	ShardHealth []StoreHealthJSON `json:"shard_health,omitempty"`
+}
+
+// StoreHealthJSON mirrors sdtw.StoreHealth on the stats and health
+// replies.
+type StoreHealthJSON struct {
+	Quarantined        int   `json:"quarantined"`
+	QuarantinedRecords int   `json:"quarantined_records"`
+	RecoveredRecords   int   `json:"recovered_records"`
+	TruncatedBytes     int64 `json:"truncated_bytes"`
+	OrphansSwept       int   `json:"orphans_swept"`
+}
+
+// healthJSON lowers a store health onto its wire form.
+func healthJSON(h sdtw.StoreHealth) StoreHealthJSON {
+	return StoreHealthJSON{
+		Quarantined:        h.Quarantined,
+		QuarantinedRecords: h.QuarantinedRecords,
+		RecoveredRecords:   h.RecoveredRecords,
+		TruncatedBytes:     h.TruncatedBytes,
+		OrphansSwept:       h.OrphansSwept,
+	}
 }
 
 // CompactResponse is the /v1/compact reply.
@@ -393,7 +421,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			storeStats = st
 		}
 	}
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Series:     s.ix.Len(),
 		Shards:     s.ix.Shards(),
 		ShardSizes: s.ix.ShardSizes(),
@@ -411,7 +439,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Segments:    storeStats.Segments,
 		Tombstones:  storeStats.Tombstones,
 		SketchWidth: storeStats.SketchWidth,
-	})
+		Degraded:    storeStats.Health.Degraded(),
+	}
+	if s.ix.StoreBacked() {
+		h := healthJSON(storeStats.Health)
+		resp.Health = &h
+		resp.ShardHealth = make([]StoreHealthJSON, len(storeStats.ShardHealth))
+		for i, sh := range storeStats.ShardHealth {
+			resp.ShardHealth[i] = healthJSON(sh)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// HealthResponse is the /healthz reply. A degraded server is still
+// healthy (load balancers keep routing to it — the survivors serve);
+// degraded flags that quarantined records are unavailable so operators
+// alert and repair. Only draining answers 503.
+type HealthResponse struct {
+	OK                  bool `json:"ok"`
+	Degraded            bool `json:"degraded,omitempty"`
+	QuarantinedSegments int  `json:"quarantined_segments,omitempty"`
+	QuarantinedRecords  int  `json:"quarantined_records,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -419,7 +468,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	resp := HealthResponse{OK: true}
+	if s.ix.StoreBacked() {
+		if st, err := s.ix.StoreStats(); err == nil && st.Health.Degraded() {
+			resp.Degraded = true
+			resp.QuarantinedSegments = st.Health.Quarantined
+			resp.QuarantinedRecords = st.Health.QuarantinedRecords
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // Run serves the handler on addr until ctx is cancelled, then drains:

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -514,5 +516,82 @@ func TestStoreEndpoints(t *testing.T) {
 	resp, body = postJSON(t, ts2.Client(), ts2.URL+"/v1/compact", struct{}{})
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("compact on in-RAM index: status %d, want 409: %s", resp.StatusCode, body)
+	}
+}
+
+// TestDegradedServing: a store with a quarantined segment serves —
+// /healthz stays 200 so load balancers keep routing, but flags
+// degraded, and /v1/stats pins the damage to the shard carrying it.
+func TestDegradedServing(t *testing.T) {
+	d := sdtw.GunDataset(sdtw.DatasetConfig{Seed: 17, SeriesPerClass: 6})
+	opts := sdtw.Options{Strategy: sdtw.FixedCoreFixedWidth, WidthFrac: 0.10, StoreSegmentRecords: 2}
+	ram, err := sdtw.NewShardedIndex(d.Series, 3, opts)
+	if err != nil {
+		t.Fatalf("NewShardedIndex: %v", err)
+	}
+	dir := t.TempDir() + "/store"
+	if err := ram.SaveStore(dir); err != nil {
+		t.Fatalf("SaveStore: %v", err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "shard-0001", "seg-*.hot"))
+	if err != nil || len(matches) < 2 {
+		t.Fatalf("want sealed segments in shard 1, got %v (%v)", matches, err)
+	}
+	raw, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-5] ^= 0xff
+	if err := os.WriteFile(matches[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := sdtw.OpenShardedIndex(dir, opts, sdtw.AllowQuarantine())
+	if err != nil {
+		t.Fatalf("degraded open: %v", err)
+	}
+	defer ix.CloseStore()
+
+	srv := New(ix, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	r, err := c.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	defer r.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatalf("stats response: %v", err)
+	}
+	if !st.Degraded || st.Health == nil || st.Health.Quarantined != 1 || st.Health.QuarantinedRecords == 0 {
+		t.Fatalf("stats do not report the quarantine: %+v (health %+v)", st, st.Health)
+	}
+	if len(st.ShardHealth) != 3 || st.ShardHealth[1].Quarantined != 1 ||
+		st.ShardHealth[0].Quarantined != 0 || st.ShardHealth[2].Quarantined != 0 {
+		t.Fatalf("shard health does not pin the damage to shard 1: %+v", st.ShardHealth)
+	}
+
+	r2, err := c.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("degraded healthz: status %d, want 200 (degraded serves)", r2.StatusCode)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(r2.Body).Decode(&h); err != nil {
+		t.Fatalf("healthz response: %v", err)
+	}
+	if !h.OK || !h.Degraded || h.QuarantinedSegments != 1 {
+		t.Fatalf("healthz = %+v, want ok and degraded with one quarantined segment", h)
+	}
+
+	// The survivors still answer searches.
+	resp, body := postJSON(t, c, ts.URL+"/v1/search", SearchRequest{Values: d.Series[1].Values, K: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded search: status %d: %s", resp.StatusCode, body)
 	}
 }

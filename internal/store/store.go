@@ -21,6 +21,27 @@
 // records into fresh segments and truncates the log. Records loaded
 // before a compaction keep reading values through their original (now
 // unlinked) file handles, so copy-on-write readers are never invalidated.
+//
+// # Durability
+//
+// All filesystem access goes through the vfs seam, so every crash path
+// is drivable from a test (vfs.FaultFS). The durability contract:
+//
+//   - Manifest commits (create, seal, compact, quarantine) fsync the
+//     temp file before the rename and the directory after it.
+//   - Tombstone appends fsync the log before returning: a returned
+//     Tombstone survives any crash.
+//   - Appends are acknowledged by Sync (or a seal/compact, which sync
+//     internally): records appended since the last sync may be lost to
+//     a power cut, never corrupted past recovery.
+//   - Open truncates a torn tail on the active segment (per-record and
+//     per-block CRCs make this safe), truncates a torn trailing
+//     tombstone entry, and sweeps segment files no manifest references
+//     (a compact that crashed between its commit and its cleanup).
+//   - A corrupt sealed segment fails the open with ErrCorruptSegment —
+//     or, under AllowQuarantine, is renamed aside and recorded in the
+//     manifest so the survivors keep serving; Health reports the
+//     damage.
 package store
 
 import (
@@ -29,15 +50,16 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"io"
+	iofs "io/fs"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"sdtw/internal/lower"
 	"sdtw/internal/sketch"
+	"sdtw/internal/vfs"
 )
 
 // Sentinel errors of the segment store. Every corruption found at Open
@@ -56,6 +78,14 @@ var (
 	ErrStoreExists = errors.New("store already exists")
 	// ErrClosed reports an operation on a closed store.
 	ErrClosed = errors.New("store closed")
+	// ErrTornTail reports an unsynced suffix torn off by a crash: a
+	// Verify finding on the active segment or the tombstone log (Open
+	// and Repair truncate it instead).
+	ErrTornTail = errors.New("torn segment tail")
+	// ErrQuarantined reports quarantined segments: Open without
+	// AllowQuarantine refuses a store that holds any, and Compact
+	// refuses to rewrite around them.
+	ErrQuarantined = errors.New("store has quarantined segments")
 )
 
 const (
@@ -64,6 +94,10 @@ const (
 	hotMagic       = "SDTWHOT1"
 	valMagic       = "SDTWVAL1"
 	formatVersion  = 1
+
+	// quarantineExt is appended to a corrupt sealed segment's file names
+	// when it is sidelined, preserving the bytes for forensics.
+	quarantineExt = ".quarantine"
 
 	// DefaultSegmentRecords is the seal threshold when Config leaves it
 	// zero: segments stay small enough that compaction rewrites in
@@ -87,7 +121,45 @@ type Config struct {
 	// Meta carries small caller-owned configuration (index kind, series
 	// length, shard membership) verbatim through the manifest.
 	Meta map[string]string
+	// FS is the filesystem the store lives on; nil means the real one.
+	// Tests inject vfs.FaultFS here.
+	FS vfs.FS
 }
+
+// OpenOptions parameterises OpenWith.
+type OpenOptions struct {
+	// FS is the filesystem the store lives on; nil means the real one.
+	FS vfs.FS
+	// AllowQuarantine lets Open sideline a corrupt sealed segment
+	// (rename to seg-*.quarantine, record it in the manifest) and serve
+	// the survivors, instead of failing with ErrCorruptSegment. Once a
+	// store holds quarantined segments, reopening it requires this
+	// option until Repair or manual intervention clears them.
+	AllowQuarantine bool
+}
+
+// Health reports the damage a store is carrying: what Open recovered,
+// swept, or sidelined. A zero Health is a fully intact store.
+type Health struct {
+	// Quarantined counts sealed segments sidelined as corrupt;
+	// QuarantinedRecords counts the records unavailable with them.
+	Quarantined        int
+	QuarantinedRecords int
+	// RecoveredRecords counts the complete records salvaged from the
+	// active segment after a torn tail was truncated (0 when no
+	// recovery was needed).
+	RecoveredRecords int
+	// TruncatedBytes counts bytes cut from the active segment and the
+	// tombstone log during torn-tail recovery.
+	TruncatedBytes int64
+	// OrphansSwept counts segment files no manifest referenced that
+	// Open removed (the residue of a crashed compact).
+	OrphansSwept int
+}
+
+// Degraded reports whether the store is serving without quarantined
+// records.
+func (h Health) Degraded() bool { return h.Quarantined > 0 }
 
 // Record is one persisted series: the hot metadata loaded eagerly at
 // Open, plus lazy access to the raw values.
@@ -156,15 +228,16 @@ func (r *Record) LoadValues() ([]float64, error) {
 // compaction: the handle stays open (and readable) after the file is
 // unlinked, so records captured by copy-on-write readers keep loading.
 type valSource struct {
+	fs   vfs.FS
 	path string
 	once sync.Once
-	f    *os.File
+	f    vfs.File
 	err  error
 }
 
-func (v *valSource) file() (*os.File, error) {
+func (v *valSource) file() (vfs.File, error) {
 	v.once.Do(func() {
-		f, err := os.Open(v.path)
+		f, err := v.fs.Open(v.path)
 		if err != nil {
 			v.err = err
 			return
@@ -175,14 +248,15 @@ func (v *valSource) file() (*os.File, error) {
 }
 
 func (v *valSource) close() {
-	v.once.Do(func() { v.err = os.ErrClosed })
+	v.once.Do(func() { v.err = iofs.ErrClosed })
 	if v.f != nil {
 		v.f.Close()
 	}
 }
 
 // manifest is the store's committed state; it is rewritten atomically
-// (temp file + rename) on create, seal and compact.
+// (synced temp file + rename + directory sync) on create, seal,
+// compact and quarantine.
 type manifest struct {
 	Version        int               `json:"version"`
 	Fingerprint    string            `json:"fingerprint"`
@@ -195,12 +269,24 @@ type manifest struct {
 	Sealed      []sealedSegment `json:"sealed"`
 	// Active is the appendable segment's number (always present).
 	Active int `json:"active"`
+	// Quarantined lists sealed segments sidelined as corrupt, in the
+	// order they were quarantined.
+	Quarantined []quarantinedSegment `json:"quarantined,omitempty"`
 }
 
 type sealedSegment struct {
 	Seg     int    `json:"seg"`
 	Records int    `json:"records"`
 	HotCRC  uint32 `json:"hot_crc"`
+}
+
+// quarantinedSegment records a sealed segment sidelined as corrupt: its
+// files live on under seg-*.quarantine names for forensics, its records
+// are unavailable, and Reason preserves what the open found.
+type quarantinedSegment struct {
+	Seg     int    `json:"seg"`
+	Records int    `json:"records"`
+	Reason  string `json:"reason,omitempty"`
 }
 
 // tombstone is one line of tombstones.log.
@@ -214,6 +300,7 @@ type tombstone struct {
 // run concurrently with all of them.
 type Store struct {
 	dir string
+	fs  vfs.FS
 
 	mu      sync.Mutex
 	man     manifest
@@ -222,20 +309,30 @@ type Store struct {
 	active  *segWriter
 	sources map[int]*valSource
 	retired []*valSource
-	tomb    *os.File
-	closed  bool
+	tomb    vfs.File
+	health  Health
+	// deferManifest suppresses the manifest commit a mid-compact seal
+	// would otherwise write: with the orphan sweep, an intermediate
+	// manifest that already dropped the old segments would turn a crash
+	// mid-compact into data loss.
+	deferManifest bool
+	closed        bool
 }
 
 // segWriter is the active segment's append state.
 type segWriter struct {
 	seg      int
-	hot, val *os.File
+	hot, val vfs.File
 	hotCRC   uint32 // running CRC over the whole hot file
 	records  int
 	valOff   int64
 }
 
 func segName(seg int, ext string) string { return fmt.Sprintf("seg-%08d.%s", seg, ext) }
+
+func (st *Store) segPath(seg int, ext string) string {
+	return filepath.Join(st.dir, segName(seg, ext))
+}
 
 // Create initialises a new store in dir (created if absent; must not
 // already hold a store) and returns it open for appends.
@@ -246,14 +343,19 @@ func Create(dir string, cfg Config) (*Store, error) {
 	if cfg.SegmentRecords <= 0 {
 		cfg.SegmentRecords = DefaultSegmentRecords
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = vfs.OS()
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
-	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+	if fsys.Exists(filepath.Join(dir, manifestName)) {
 		return nil, fmt.Errorf("store: %s: %w", dir, ErrStoreExists)
 	}
 	st := &Store{
 		dir: dir,
+		fs:  fsys,
 		man: manifest{
 			Version:        formatVersion,
 			Fingerprint:    cfg.Fingerprint,
@@ -266,7 +368,7 @@ func Create(dir string, cfg Config) (*Store, error) {
 		dead:    make(map[uint64]bool),
 		sources: make(map[int]*valSource),
 	}
-	tomb, err := os.OpenFile(filepath.Join(dir, tombstonesName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	tomb, _, err := fsys.OpenAppend(filepath.Join(dir, tombstonesName))
 	if err != nil {
 		return nil, fmt.Errorf("store: creating tombstone log: %w", err)
 	}
@@ -275,6 +377,8 @@ func Create(dir string, cfg Config) (*Store, error) {
 		tomb.Close()
 		return nil, err
 	}
+	// The manifest commit's directory sync also makes the segment and
+	// tombstone file names durable.
 	if err := st.writeManifest(); err != nil {
 		st.Close()
 		return nil, err
@@ -282,15 +386,16 @@ func Create(dir string, cfg Config) (*Store, error) {
 	return st, nil
 }
 
-// newSegment opens a fresh active segment and writes its headers.
+// newSegment opens a fresh active segment and writes (and syncs) its
+// headers.
 func (st *Store) newSegment(seg int) (*segWriter, error) {
-	hotPath := filepath.Join(st.dir, segName(seg, "hot"))
-	valPath := filepath.Join(st.dir, segName(seg, "val"))
-	hot, err := os.OpenFile(hotPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	hotPath := st.segPath(seg, "hot")
+	valPath := st.segPath(seg, "val")
+	hot, err := st.fs.Create(hotPath)
 	if err != nil {
 		return nil, fmt.Errorf("store: creating segment %d: %w", seg, err)
 	}
-	val, err := os.OpenFile(valPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	val, err := st.fs.Create(valPath)
 	if err != nil {
 		hot.Close()
 		return nil, fmt.Errorf("store: creating segment %d: %w", seg, err)
@@ -307,7 +412,15 @@ func (st *Store) newSegment(seg int) (*segWriter, error) {
 		return nil, fmt.Errorf("store: writing segment %d header: %w", seg, err)
 	}
 	w.valOff = int64(len(valMagic))
-	st.sources[seg] = &valSource{path: valPath}
+	if err := hot.Sync(); err != nil {
+		w.closeFiles()
+		return nil, fmt.Errorf("store: syncing segment %d header: %w", seg, err)
+	}
+	if err := val.Sync(); err != nil {
+		w.closeFiles()
+		return nil, fmt.Errorf("store: syncing segment %d header: %w", seg, err)
+	}
+	st.sources[seg] = &valSource{fs: st.fs, path: valPath}
 	return w, nil
 }
 
@@ -334,29 +447,63 @@ func (st *Store) hotHeader() []byte {
 	return buf
 }
 
-// writeManifest commits the manifest atomically (temp file + rename).
+// writeManifest commits the manifest durably: synced temp file, rename
+// over the old manifest, directory sync. A power cut leaves either the
+// old manifest or the new one, never a torn mix, and the rename cannot
+// be silently undone.
 func (st *Store) writeManifest() error {
 	data, err := json.MarshalIndent(st.man, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: encoding manifest: %w", err)
 	}
 	tmp := filepath.Join(st.dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if st.fs.Exists(tmp) {
+		if err := st.fs.Remove(tmp); err != nil {
+			return fmt.Errorf("store: clearing stale manifest temp: %w", err)
+		}
+	}
+	f, err := st.fs.Create(tmp)
+	if err != nil {
 		return fmt.Errorf("store: writing manifest: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(st.dir, manifestName)); err != nil {
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	if err := st.fs.Rename(tmp, filepath.Join(st.dir, manifestName)); err != nil {
+		return fmt.Errorf("store: committing manifest: %w", err)
+	}
+	if err := st.fs.SyncDir(st.dir); err != nil {
 		return fmt.Errorf("store: committing manifest: %w", err)
 	}
 	return nil
 }
 
-// Open opens an existing store, eagerly loading every segment's hot
-// records (IDs, endpoints, sketches, envelopes) and the tombstone log.
-// Raw values stay on disk until Record.LoadValues. Corruption anywhere —
-// manifest, sealed segment checksum, torn record — fails the whole open
-// with a wrapped sentinel.
-func Open(dir string) (*Store, error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+// Open opens an existing store on the real filesystem with default
+// options; see OpenWith.
+func Open(dir string) (*Store, error) { return OpenWith(dir, OpenOptions{}) }
+
+// OpenWith opens an existing store, eagerly loading every segment's hot
+// records (IDs, endpoints, sketches, envelopes) and the tombstone log;
+// raw values stay on disk until Record.LoadValues. Crash residue is
+// repaired on the way in: orphaned segment files are swept, a torn tail
+// on the active segment or the tombstone log is truncated (counted in
+// Health). Corruption in a sealed segment fails the open with
+// ErrCorruptSegment — or quarantines the segment under
+// OpenOptions.AllowQuarantine.
+func OpenWith(dir string, opts OpenOptions) (*Store, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS()
+	}
+	data, err := fsys.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, fmt.Errorf("store: %s: %v: %w", dir, err, ErrCorruptManifest)
 	}
@@ -370,8 +517,12 @@ func Open(dir string) (*Store, error) {
 	if man.SketchWidth < 1 || man.Active < 1 || man.SegmentRecords < 1 {
 		return nil, fmt.Errorf("store: %s: manifest fields out of range: %w", dir, ErrCorruptManifest)
 	}
+	if len(man.Quarantined) > 0 && !opts.AllowQuarantine {
+		return nil, fmt.Errorf("store: %s: %d quarantined segments (reopen with AllowQuarantine, or repair): %w", dir, len(man.Quarantined), ErrQuarantined)
+	}
 	st := &Store{
 		dir:     dir,
+		fs:      fsys,
 		man:     man,
 		dead:    make(map[uint64]bool),
 		sources: make(map[int]*valSource),
@@ -382,139 +533,473 @@ func Open(dir string) (*Store, error) {
 			st.Close()
 		}
 	}()
-	for _, sealed := range man.Sealed {
-		if err := st.loadSegment(sealed.Seg, &sealed); err != nil {
+	if err := st.sweepOrphans(); err != nil {
+		return nil, err
+	}
+	manifestDirty := false
+	for i := 0; i < len(st.man.Sealed); {
+		sealed := st.man.Sealed[i]
+		mark := len(st.records)
+		err := st.loadSealed(sealed)
+		if err == nil {
+			i++
+			continue
+		}
+		if !opts.AllowQuarantine || !errors.Is(err, ErrCorruptSegment) {
 			return nil, err
 		}
+		st.records = st.records[:mark]
+		st.quarantineSealed(i, err)
+		manifestDirty = true
 	}
-	// The active segment has no committed CRC or record count; its
-	// per-record checks still apply, and its parsed state seeds the
-	// append writer.
-	activeRecords, activeCRC, err := st.loadActive(man.Active)
-	if err != nil {
+	if st.active, err = st.openActive(st.man.Active); err != nil {
 		return nil, err
 	}
 	if err := st.loadTombstones(); err != nil {
 		return nil, err
 	}
-	tomb, err := os.OpenFile(filepath.Join(dir, tombstonesName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: opening tombstone log: %w", err)
+	if manifestDirty {
+		if err := st.writeManifest(); err != nil {
+			return nil, err
+		}
 	}
-	st.tomb = tomb
-	hot, err := os.OpenFile(filepath.Join(dir, segName(man.Active, "hot")), os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: reopening active segment: %w", err)
+	st.health.Quarantined = len(st.man.Quarantined)
+	st.health.QuarantinedRecords = 0
+	for _, q := range st.man.Quarantined {
+		st.health.QuarantinedRecords += q.Records
 	}
-	val, err := os.OpenFile(filepath.Join(dir, segName(man.Active, "val")), os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		hot.Close()
-		return nil, fmt.Errorf("store: reopening active segment: %w", err)
-	}
-	valEnd, err := val.Seek(0, io.SeekEnd)
-	if err != nil {
-		hot.Close()
-		val.Close()
-		return nil, fmt.Errorf("store: reopening active segment: %w", err)
-	}
-	st.active = &segWriter{seg: man.Active, hot: hot, val: val, hotCRC: activeCRC, records: activeRecords, valOff: valEnd}
 	ok = true
 	return st, nil
 }
 
-// loadSegment reads one segment's hot file, verifying the whole-file
-// CRC and record count for sealed segments (sealed == nil for the
-// active segment, which checks per-record CRCs only). It returns the
-// record count and the whole-file CRC.
-func (st *Store) loadSegment(seg int, sealed *sealedSegment) error {
-	_, _, err := st.parseHot(seg, sealed)
-	return err
-}
-
-func (st *Store) loadActive(seg int) (int, uint32, error) {
-	return st.parseHot(seg, nil)
-}
-
-func (st *Store) parseHot(seg int, sealed *sealedSegment) (int, uint32, error) {
-	path := filepath.Join(st.dir, segName(seg, "hot"))
-	data, err := os.ReadFile(path)
+// sweepOrphans removes segment files the manifest does not reference —
+// the residue of a compact that crashed between its manifest commit and
+// its cleanup — plus any stale manifest temp file. Quarantined files
+// are never swept.
+func (st *Store) sweepOrphans() error {
+	names, err := st.fs.ReadDir(st.dir)
 	if err != nil {
-		return 0, 0, fmt.Errorf("store: segment %d: %v: %w", seg, err, ErrCorruptSegment)
+		return fmt.Errorf("store: listing %s: %w", st.dir, err)
 	}
-	fileCRC := crc32.ChecksumIEEE(data)
-	if sealed != nil && fileCRC != sealed.HotCRC {
-		return 0, 0, fmt.Errorf("store: segment %d fails its checksum: %w", seg, ErrCorruptSegment)
+	keep := map[string]bool{manifestName: true, tombstonesName: true}
+	mark := func(seg int) {
+		keep[segName(seg, "hot")] = true
+		keep[segName(seg, "val")] = true
 	}
-	want := st.hotHeader()
-	if len(data) < len(want) || string(data[:len(want)]) != string(want) {
-		return 0, 0, fmt.Errorf("store: segment %d header does not match the manifest configuration: %w", seg, ErrCorruptSegment)
+	for _, s := range st.man.Sealed {
+		mark(s.Seg)
+	}
+	mark(st.man.Active)
+	dirty := false
+	for _, name := range names {
+		if keep[name] {
+			continue
+		}
+		segFile := strings.HasPrefix(name, "seg-") &&
+			(strings.HasSuffix(name, ".hot") || strings.HasSuffix(name, ".val"))
+		if !segFile && name != manifestName+".tmp" {
+			continue
+		}
+		if err := st.fs.Remove(filepath.Join(st.dir, name)); err != nil {
+			return fmt.Errorf("store: sweeping orphan %s: %w", name, err)
+		}
+		dirty = true
+		if segFile {
+			st.health.OrphansSwept++
+		}
+	}
+	if dirty {
+		if err := st.fs.SyncDir(st.dir); err != nil {
+			return fmt.Errorf("store: sweeping orphans: %w", err)
+		}
+	}
+	return nil
+}
+
+// quarantineSealed sidelines manifest entry i of Sealed: both segment
+// files are renamed aside (preserving the bytes for forensics) and the
+// entry moves to Quarantined with the corruption recorded. The caller
+// commits the manifest once loading finishes.
+func (st *Store) quarantineSealed(i int, cause error) {
+	s := st.man.Sealed[i]
+	delete(st.sources, s.Seg)
+	for _, ext := range []string{"hot", "val"} {
+		from := st.segPath(s.Seg, ext)
+		if st.fs.Exists(from) {
+			// Best effort: a failed rename leaves an orphan for the next
+			// sweep, not a failed open.
+			_ = st.fs.Rename(from, from+quarantineExt)
+		}
+	}
+	st.man.Sealed = append(st.man.Sealed[:i], st.man.Sealed[i+1:]...)
+	st.man.Quarantined = append(st.man.Quarantined, quarantinedSegment{
+		Seg:     s.Seg,
+		Records: s.Records,
+		Reason:  cause.Error(),
+	})
+}
+
+// loadSealed reads one sealed segment's hot file strictly: whole-file
+// CRC, header, every record, and the committed record count must all
+// check out.
+func (st *Store) loadSealed(sealed sealedSegment) error {
+	seg := sealed.Seg
+	data, err := st.fs.ReadFile(st.segPath(seg, "hot"))
+	if err != nil {
+		return fmt.Errorf("store: segment %d: %v: %w", seg, err, ErrCorruptSegment)
+	}
+	if crc32.ChecksumIEEE(data) != sealed.HotCRC {
+		return fmt.Errorf("store: segment %d fails its checksum: %w", seg, ErrCorruptSegment)
+	}
+	header := st.hotHeader()
+	if len(data) < len(header) || string(data[:len(header)]) != string(header) {
+		return fmt.Errorf("store: segment %d header does not match the manifest configuration: %w", seg, ErrCorruptSegment)
 	}
 	src, ok := st.sources[seg]
 	if !ok {
-		src = &valSource{path: filepath.Join(st.dir, segName(seg, "val"))}
+		src = &valSource{fs: st.fs, path: st.segPath(seg, "val")}
 		st.sources[seg] = src
 	}
-	rest := data[len(want):]
+	rest := data[len(header):]
 	count := 0
 	for len(rest) > 0 {
 		if len(rest) < 4 {
-			return 0, 0, fmt.Errorf("store: segment %d: torn record length: %w", seg, ErrCorruptSegment)
+			return fmt.Errorf("store: segment %d: torn record length: %w", seg, ErrCorruptSegment)
 		}
 		plen := int(binary.LittleEndian.Uint32(rest))
 		if plen < 0 || len(rest) < 4+plen+4 {
-			return 0, 0, fmt.Errorf("store: segment %d: torn record: %w", seg, ErrCorruptSegment)
+			return fmt.Errorf("store: segment %d: torn record: %w", seg, ErrCorruptSegment)
 		}
 		payload := rest[4 : 4+plen]
 		sum := binary.LittleEndian.Uint32(rest[4+plen:])
 		if crc32.ChecksumIEEE(payload) != sum {
-			return 0, 0, fmt.Errorf("store: segment %d record %d fails its checksum: %w", seg, count, ErrCorruptSegment)
+			return fmt.Errorf("store: segment %d record %d fails its checksum: %w", seg, count, ErrCorruptSegment)
 		}
 		rec, err := decodeRecord(payload, st.man.SketchWidth)
 		if err != nil {
-			return 0, 0, fmt.Errorf("store: segment %d record %d: %v: %w", seg, count, err, ErrCorruptSegment)
+			return fmt.Errorf("store: segment %d record %d: %v: %w", seg, count, err, ErrCorruptSegment)
 		}
 		rec.src = src
 		st.records = append(st.records, rec)
 		rest = rest[4+plen+4:]
 		count++
 	}
-	if sealed != nil && count != sealed.Records {
-		return 0, 0, fmt.Errorf("store: segment %d holds %d records, manifest says %d: %w", seg, count, sealed.Records, ErrCorruptSegment)
-	}
-	return count, fileCRC, nil
-}
-
-func (st *Store) loadTombstones() error {
-	data, err := os.ReadFile(filepath.Join(st.dir, tombstonesName))
-	if err != nil {
-		if errors.Is(err, os.ErrNotExist) {
-			return nil
-		}
-		return fmt.Errorf("store: reading tombstone log: %w", err)
-	}
-	dec := json.NewDecoder(bytesReader(data))
-	for dec.More() {
-		var tb tombstone
-		if err := dec.Decode(&tb); err != nil {
-			return fmt.Errorf("store: tombstone log: %v: %w", err, ErrCorruptManifest)
-		}
-		st.dead[tb.Seq] = true
+	if count != sealed.Records {
+		return fmt.Errorf("store: segment %d holds %d records, manifest says %d: %w", seg, count, sealed.Records, ErrCorruptSegment)
 	}
 	return nil
 }
 
-// bytesReader avoids importing bytes for one call site.
-func bytesReader(b []byte) io.Reader { return &byteReader{b: b} }
+// activeScan is the read-only analysis of an active segment: how much
+// of it survived the last crash and where the intact prefix ends in
+// each file. Verify reports it; openActive applies it.
+type activeScan struct {
+	// headerTorn marks a segment whose durable prefix never reached a
+	// full header (or whose hot file is missing): recreate it empty.
+	headerTorn bool
+	// tornBytes is the hot prefix length when headerTorn (counted as
+	// truncated once the segment is recreated).
+	tornBytes int64
+	recs      []*Record
+	keep      int // recs[:keep] have intact value blocks
+	hotSize   int64
+	hotEnd    int64 // hot-file offset just past recs[keep-1]
+	hotCRC    uint32
+	valSize   int64
+	valEnd    int64 // val-file offset just past recs[keep-1]'s block
+	magicOK   bool  // val file present with an intact magic
+}
 
-type byteReader struct{ b []byte }
+func (s *activeScan) intact() bool {
+	return !s.headerTorn && s.magicOK && s.keep == len(s.recs) &&
+		s.hotEnd == s.hotSize && s.valEnd == s.valSize
+}
 
-func (r *byteReader) Read(p []byte) (int, error) {
-	if len(r.b) == 0 {
-		return 0, io.EOF
+// scanActive analyses the active segment without touching it. The
+// active segment has no committed CRC or record count; its per-record
+// and per-value-block checksums decide how much of it survived the last
+// crash. Only real corruption — a full-length header that does not
+// match the manifest configuration — is an error; every crash shape is
+// a scan result.
+func (st *Store) scanActive(seg int) (*activeScan, error) {
+	hotPath := st.segPath(seg, "hot")
+	valPath := st.segPath(seg, "val")
+	header := st.hotHeader()
+	data, err := st.fs.ReadFile(hotPath)
+	if err != nil {
+		if !errors.Is(err, iofs.ErrNotExist) {
+			return nil, fmt.Errorf("store: segment %d: %v: %w", seg, err, ErrCorruptSegment)
+		}
+		data = nil
 	}
-	n := copy(p, r.b)
-	r.b = r.b[n:]
-	return n, nil
+	if len(data) < len(header) {
+		if string(data) != string(header[:len(data)]) {
+			return nil, fmt.Errorf("store: segment %d header does not match the manifest configuration: %w", seg, ErrCorruptSegment)
+		}
+		return &activeScan{headerTorn: true, tornBytes: int64(len(data))}, nil
+	}
+	if string(data[:len(header)]) != string(header) {
+		return nil, fmt.Errorf("store: segment %d header does not match the manifest configuration: %w", seg, ErrCorruptSegment)
+	}
+	scan := &activeScan{hotSize: int64(len(data))}
+
+	// Pass 1: parse hot records up to the first tear or checksum
+	// failure.
+	var ends []int
+	off := len(header)
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < 4 {
+			break
+		}
+		plen := int(binary.LittleEndian.Uint32(rest))
+		if plen < 0 || len(rest) < 4+plen+4 {
+			break
+		}
+		payload := rest[4 : 4+plen]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[4+plen:]) {
+			break
+		}
+		rec, err := decodeRecord(payload, st.man.SketchWidth)
+		if err != nil {
+			break
+		}
+		scan.recs = append(scan.recs, rec)
+		off += 4 + plen + 4
+		ends = append(ends, off)
+	}
+
+	// Pass 2: hot and val are synced independently, so a durable hot
+	// record may reference a dropped or torn value block — verify each
+	// block and keep only the prefix whose values are intact.
+	if vr, err := st.fs.Open(valPath); err == nil {
+		var magic [len(valMagic)]byte
+		if _, err := vr.ReadAt(magic[:], 0); err == nil && string(magic[:]) == valMagic {
+			scan.magicOK = true
+			scan.keep = len(scan.recs)
+			for i, rec := range scan.recs {
+				if !valBlockOK(vr, rec) {
+					scan.keep = i
+					break
+				}
+			}
+		}
+		vr.Close()
+		if scan.valSize, err = st.fs.Size(valPath); err != nil {
+			return nil, fmt.Errorf("store: segment %d values: %v: %w", seg, err, ErrCorruptSegment)
+		}
+	} else if !errors.Is(err, iofs.ErrNotExist) {
+		return nil, fmt.Errorf("store: segment %d values: %v: %w", seg, err, ErrCorruptSegment)
+	}
+
+	scan.hotEnd = int64(len(header))
+	scan.valEnd = int64(len(valMagic))
+	if scan.keep > 0 {
+		scan.hotEnd = int64(ends[scan.keep-1])
+		last := scan.recs[scan.keep-1]
+		scan.valEnd = last.off + 4 + 8*int64(last.N) + 4
+	}
+	scan.hotCRC = crc32.ChecksumIEEE(data[:scan.hotEnd])
+	return scan, nil
+}
+
+// openActive loads the active segment leniently and returns its append
+// writer: everything past the first damage the scan found — an
+// unsynced, therefore unacknowledged, suffix — is truncated away. A
+// missing or header-torn active segment is recreated empty.
+func (st *Store) openActive(seg int) (*segWriter, error) {
+	hotPath := st.segPath(seg, "hot")
+	valPath := st.segPath(seg, "val")
+	scan, err := st.scanActive(seg)
+	if err != nil {
+		return nil, err
+	}
+	if scan.headerTorn {
+		return st.recreateActive(seg, hotPath, valPath, scan.tornBytes)
+	}
+	src, ok := st.sources[seg]
+	if !ok {
+		src = &valSource{fs: st.fs, path: valPath}
+		st.sources[seg] = src
+	}
+	recs, keep := scan.recs, scan.keep
+	for _, rec := range recs[:keep] {
+		rec.src = src
+	}
+	hotEnd, valEnd := scan.hotEnd, scan.valEnd
+	truncated := false
+	if hotEnd < scan.hotSize {
+		if err := st.fs.Truncate(hotPath, hotEnd); err != nil {
+			return nil, fmt.Errorf("store: recovering segment %d: %w", seg, err)
+		}
+		st.health.TruncatedBytes += scan.hotSize - hotEnd
+		truncated = true
+	}
+	if !scan.magicOK {
+		// The value file is missing or lost even its magic; keep == 0,
+		// so no hot record references it — start it over.
+		if st.fs.Exists(valPath) {
+			if err := st.fs.Remove(valPath); err != nil {
+				return nil, fmt.Errorf("store: recovering segment %d: %w", seg, err)
+			}
+		}
+		vw, err := st.fs.Create(valPath)
+		if err != nil {
+			return nil, fmt.Errorf("store: recovering segment %d: %w", seg, err)
+		}
+		if _, err := vw.Write([]byte(valMagic)); err != nil {
+			vw.Close()
+			return nil, fmt.Errorf("store: recovering segment %d: %w", seg, err)
+		}
+		if err := vw.Sync(); err != nil {
+			vw.Close()
+			return nil, fmt.Errorf("store: recovering segment %d: %w", seg, err)
+		}
+		vw.Close()
+		truncated = true
+	}
+
+	hot, hotSize, err := st.fs.OpenAppend(hotPath)
+	if err != nil {
+		return nil, fmt.Errorf("store: reopening active segment: %w", err)
+	}
+	val, valSize, err := st.fs.OpenAppend(valPath)
+	if err != nil {
+		hot.Close()
+		return nil, fmt.Errorf("store: reopening active segment: %w", err)
+	}
+	w := &segWriter{seg: seg, hot: hot, val: val, hotCRC: scan.hotCRC, records: keep, valOff: valEnd}
+	if valSize > valEnd {
+		if err := st.fs.Truncate(valPath, valEnd); err != nil {
+			w.closeFiles()
+			return nil, fmt.Errorf("store: recovering segment %d: %w", seg, err)
+		}
+		st.health.TruncatedBytes += valSize - valEnd
+		truncated = true
+	} else if valSize < valEnd || hotSize != hotEnd {
+		w.closeFiles()
+		return nil, fmt.Errorf("store: segment %d changed underfoot during recovery: %w", seg, ErrCorruptSegment)
+	}
+	if truncated {
+		// Make the repaired shape durable so the cut tail cannot
+		// resurface after a later crash.
+		if err := w.hot.Sync(); err != nil {
+			w.closeFiles()
+			return nil, fmt.Errorf("store: recovering segment %d: %w", seg, err)
+		}
+		if err := w.val.Sync(); err != nil {
+			w.closeFiles()
+			return nil, fmt.Errorf("store: recovering segment %d: %w", seg, err)
+		}
+		st.health.RecoveredRecords = keep
+	}
+	st.records = append(st.records, recs[:keep]...)
+	return w, nil
+}
+
+// recreateActive replaces an active segment whose durable prefix never
+// reached a full header (or whose files are missing entirely) with a
+// fresh empty one.
+func (st *Store) recreateActive(seg int, hotPath, valPath string, tornBytes int64) (*segWriter, error) {
+	for _, p := range []string{hotPath, valPath} {
+		if st.fs.Exists(p) {
+			if err := st.fs.Remove(p); err != nil {
+				return nil, fmt.Errorf("store: recovering segment %d: %w", seg, err)
+			}
+		}
+	}
+	delete(st.sources, seg)
+	w, err := st.newSegment(seg)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.fs.SyncDir(st.dir); err != nil {
+		w.closeFiles()
+		return nil, fmt.Errorf("store: recovering segment %d: %w", seg, err)
+	}
+	if tornBytes > 0 {
+		st.health.TruncatedBytes += tornBytes
+	}
+	return w, nil
+}
+
+// valBlockOK verifies one value block (length prefix, count match and
+// CRC) through an open read handle.
+func valBlockOK(f vfs.File, rec *Record) bool {
+	var hdr [4]byte
+	if _, err := f.ReadAt(hdr[:], rec.off); err != nil {
+		return false
+	}
+	if int(binary.LittleEndian.Uint32(hdr[:])) != rec.N {
+		return false
+	}
+	buf := make([]byte, 8*rec.N+4)
+	if _, err := f.ReadAt(buf, rec.off+4); err != nil {
+		return false
+	}
+	return crc32.ChecksumIEEE(buf[:8*rec.N]) == binary.LittleEndian.Uint32(buf[8*rec.N:])
+}
+
+// loadTombstones reads the tombstone log, opens it for appending, and
+// truncates a torn final entry (the residue of a crash mid-Tombstone,
+// necessarily unacknowledged — complete entries all survive).
+func (st *Store) loadTombstones() error {
+	path := filepath.Join(st.dir, tombstonesName)
+	data, err := st.fs.ReadFile(path)
+	if err != nil && !errors.Is(err, iofs.ErrNotExist) {
+		return fmt.Errorf("store: reading tombstone log: %w", err)
+	}
+	tornAt := int64(-1)
+	off := 0
+	for off < len(data) {
+		nl := indexByte(data[off:], '\n')
+		if nl < 0 {
+			// No terminating newline: the final append was torn.
+			tornAt = int64(off)
+			break
+		}
+		var tb tombstone
+		if err := json.Unmarshal(data[off:off+nl], &tb); err != nil {
+			if off+nl+1 == len(data) {
+				// A complete-looking final line that does not parse is
+				// still crash residue (the newline survived, bytes
+				// before it did not); anything earlier is real
+				// corruption.
+				tornAt = int64(off)
+				break
+			}
+			return fmt.Errorf("store: tombstone log: %v: %w", err, ErrCorruptManifest)
+		}
+		st.dead[tb.Seq] = true
+		off += nl + 1
+	}
+	if tornAt >= 0 {
+		if err := st.fs.Truncate(path, tornAt); err != nil {
+			return fmt.Errorf("store: truncating torn tombstone log: %w", err)
+		}
+		st.health.TruncatedBytes += int64(len(data)) - tornAt
+	}
+	tomb, _, err := st.fs.OpenAppend(path)
+	if err != nil {
+		return fmt.Errorf("store: opening tombstone log: %w", err)
+	}
+	if tornAt >= 0 {
+		if err := tomb.Sync(); err != nil {
+			tomb.Close()
+			return fmt.Errorf("store: truncating torn tombstone log: %w", err)
+		}
+	}
+	st.tomb = tomb
+	return nil
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, v := range b {
+		if v == c {
+			return i
+		}
+	}
+	return -1
 }
 
 // encodeRecord serialises the hot payload of rec (values live in the
@@ -649,7 +1134,8 @@ func decodeRecord(p []byte, sketchW int) (*Record, error) {
 // Append persists rec (which must carry Values, a Sketch at the store's
 // width, and its Envelope) to the active segment: the value block first,
 // then the hot record pointing at it. The active segment seals once it
-// reaches the configured record count.
+// reaches the configured record count. An Append is durable only after
+// the next Sync (or seal/compact); see the package durability contract.
 func (st *Store) Append(rec Record) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -709,7 +1195,8 @@ func (st *Store) appendLocked(rec Record) error {
 }
 
 // sealLocked turns the active segment immutable and opens a fresh one,
-// committing both through the manifest.
+// committing both through the manifest (unless a running compact has
+// deferred the commit to its own single final one).
 func (st *Store) sealLocked() error {
 	w := st.active
 	if err := w.hot.Sync(); err != nil {
@@ -728,12 +1215,34 @@ func (st *Store) sealLocked() error {
 		return err
 	}
 	st.active = next
+	if st.deferManifest {
+		return nil
+	}
 	return st.writeManifest()
 }
 
+// Sync makes every append so far durable: the acknowledgement barrier
+// of the durability contract. Tombstones need no Sync (each append
+// syncs itself); the manifest is committed durably by seal and compact.
+func (st *Store) Sync() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if err := st.active.hot.Sync(); err != nil {
+		return fmt.Errorf("store: syncing active segment: %w", err)
+	}
+	if err := st.active.val.Sync(); err != nil {
+		return fmt.Errorf("store: syncing active segment: %w", err)
+	}
+	return nil
+}
+
 // Tombstone marks the record with the given insertion sequence dead (by
-// appending to the tombstone log). The ID is recorded for auditability;
-// liveness keys on Seq alone, so re-adding an ID later is safe.
+// appending to the tombstone log and syncing it — a returned Tombstone
+// is durable). The ID is recorded for auditability; liveness keys on
+// Seq alone, so re-adding an ID later is safe.
 func (st *Store) Tombstone(id string, seq uint64) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -746,6 +1255,9 @@ func (st *Store) Tombstone(id string, seq uint64) error {
 	}
 	if _, err := st.tomb.Write(append(line, '\n')); err != nil {
 		return fmt.Errorf("store: appending tombstone for %q: %w", id, err)
+	}
+	if err := st.tomb.Sync(); err != nil {
+		return fmt.Errorf("store: syncing tombstone for %q: %w", id, err)
 	}
 	st.dead[seq] = true
 	return nil
@@ -773,11 +1285,19 @@ func (st *Store) liveLocked() []*Record {
 // Compact rewrites the live records into fresh segments, truncates the
 // tombstone log, and unlinks the old segment files. Records loaded
 // before the compaction keep reading through their original handles.
+// The manifest is committed exactly once, after the rewritten data is
+// synced, so a crash at any point leaves either the old store or the
+// new one (plus orphans the next Open sweeps). A store holding
+// quarantined segments refuses to compact (ErrQuarantined): rewriting
+// would discard the sidelined records for good.
 func (st *Store) Compact() error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
 		return ErrClosed
+	}
+	if len(st.man.Quarantined) > 0 {
+		return fmt.Errorf("store: compact would discard %d quarantined segments: %w", len(st.man.Quarantined), ErrQuarantined)
 	}
 	live := st.liveLocked()
 	// Old sources must be open before their files are unlinked, or a
@@ -807,6 +1327,8 @@ func (st *Store) Compact() error {
 		return err
 	}
 	st.active = w
+	st.deferManifest = true
+	defer func() { st.deferManifest = false }()
 	for _, rec := range live {
 		vals, err := rec.LoadValues()
 		if err != nil {
@@ -819,16 +1341,32 @@ func (st *Store) Compact() error {
 			return err
 		}
 	}
+	// Every re-appended record must be durable before the manifest
+	// stops referencing the segments it came from.
+	if err := st.active.hot.Sync(); err != nil {
+		return fmt.Errorf("store: compact: syncing active segment: %w", err)
+	}
+	if err := st.active.val.Sync(); err != nil {
+		return fmt.Errorf("store: compact: syncing active segment: %w", err)
+	}
 	if err := st.writeManifest(); err != nil {
 		return err
 	}
-	if err := os.Truncate(filepath.Join(st.dir, tombstonesName), 0); err != nil {
+	// Stale tombstones name seqs the commit above excluded from the
+	// rewrite, so a crash before this truncate is harmless.
+	if err := st.fs.Truncate(filepath.Join(st.dir, tombstonesName), 0); err != nil {
+		return fmt.Errorf("store: truncating tombstone log: %w", err)
+	}
+	if err := st.tomb.Sync(); err != nil {
 		return fmt.Errorf("store: truncating tombstone log: %w", err)
 	}
 	for _, old := range oldSegs {
-		os.Remove(filepath.Join(st.dir, segName(old, "hot")))
-		os.Remove(filepath.Join(st.dir, segName(old, "val")))
+		// Best effort: a leftover file is an orphan the next Open
+		// sweeps.
+		_ = st.fs.Remove(st.segPath(old, "hot"))
+		_ = st.fs.Remove(st.segPath(old, "val"))
 	}
+	_ = st.fs.SyncDir(st.dir)
 	for _, src := range oldSources {
 		st.retired = append(st.retired, src)
 	}
@@ -859,6 +1397,14 @@ func (st *Store) SketchWidth() int { return st.man.SketchWidth }
 // Meta returns the caller-owned manifest metadata (shared map; treat as
 // read-only).
 func (st *Store) Meta() map[string]string { return st.man.Meta }
+
+// Health reports what the opening of this store recovered, swept or
+// quarantined.
+func (st *Store) Health() Health {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.health
+}
 
 // Stats summarises the store for observability surfaces.
 type Stats struct {

@@ -1,0 +1,246 @@
+// Verify and Repair: the offline integrity surface behind `sdtw fsck`.
+// Verify walks a store directory read-only and reports every problem it
+// can find; Repair applies the same recovery an Open performs (torn-tail
+// truncation, orphan sweep, quarantine) and reports what changed.
+
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	iofs "io/fs"
+	"path/filepath"
+	"strings"
+
+	"sdtw/internal/vfs"
+)
+
+// Issue is one problem Verify found. Err wraps the matching sentinel
+// (ErrCorruptManifest, ErrCorruptSegment, ErrTornTail, ErrQuarantined),
+// so callers branch with errors.Is.
+type Issue struct {
+	// Path is the offending file, relative to the store directory.
+	Path string
+	// Repairable reports whether Repair (or a plain Open) would fix
+	// this without losing acknowledged data.
+	Repairable bool
+	Err        error
+}
+
+// Report is the outcome of a Verify pass.
+type Report struct {
+	// Records counts intact hot records across loadable segments.
+	Records int
+	// Segments counts segments checked (sealed + active).
+	Segments int
+	Issues   []Issue
+}
+
+// Clean reports a store with nothing wrong.
+func (r *Report) Clean() bool { return len(r.Issues) == 0 }
+
+// Repairable reports whether every issue found is fixable by Repair
+// without losing acknowledged data (quarantine counts: the data is
+// already unreadable).
+func (r *Report) Repairable() bool {
+	for _, is := range r.Issues {
+		if !is.Repairable {
+			return false
+		}
+	}
+	return true
+}
+
+// Verify checks the store in dir without modifying anything: manifest
+// shape, sealed segment checksums and record counts, every value block
+// (sealed ones included — a full fsck reads what lazy loading would),
+// the active segment's crash state, the tombstone log, and leftover
+// orphan files. A nil fsys means the real filesystem.
+func Verify(dir string, fsys vfs.FS) (*Report, error) {
+	if fsys == nil {
+		fsys = vfs.OS()
+	}
+	rep := &Report{}
+	found := func(path string, repairable bool, err error) {
+		rep.Issues = append(rep.Issues, Issue{Path: path, Repairable: repairable, Err: err})
+	}
+	data, err := fsys.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		found(manifestName, false, fmt.Errorf("reading manifest: %v: %w", err, ErrCorruptManifest))
+		return rep, nil
+	}
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		found(manifestName, false, fmt.Errorf("parsing manifest: %v: %w", err, ErrCorruptManifest))
+		return rep, nil
+	}
+	if man.Version != formatVersion || man.SketchWidth < 1 || man.Active < 1 || man.SegmentRecords < 1 {
+		found(manifestName, false, fmt.Errorf("manifest fields out of range: %w", ErrCorruptManifest))
+		return rep, nil
+	}
+	// Scratch store: reuses the loading code without opening anything
+	// for writing.
+	st := &Store{dir: dir, fs: fsys, man: man, dead: make(map[uint64]bool), sources: make(map[int]*valSource)}
+	defer func() {
+		for _, src := range st.sources {
+			src.close()
+		}
+	}()
+
+	for _, q := range man.Quarantined {
+		found(segName(q.Seg, "hot")+quarantineExt, true,
+			fmt.Errorf("segment %d quarantined (%d records): %s: %w", q.Seg, q.Records, q.Reason, ErrQuarantined))
+	}
+
+	for _, sealed := range man.Sealed {
+		rep.Segments++
+		mark := len(st.records)
+		if err := st.loadSealed(sealed); err != nil {
+			st.records = st.records[:mark]
+			found(segName(sealed.Seg, "hot"), true, err)
+			continue
+		}
+		// Sealed value blocks are lazy at serve time; fsck reads them
+		// all.
+		// Not repairable: the open path never reads sealed value blocks,
+		// so Repair would not quarantine this — the operator chooses
+		// (restore the segment, or quarantine it by hand).
+		badBlocks := verifyValBlocks(fsys, st.segPath(sealed.Seg, "val"), st.records[mark:])
+		if badBlocks > 0 {
+			found(segName(sealed.Seg, "val"), false,
+				fmt.Errorf("segment %d: %d value blocks fail their checksums: %w", sealed.Seg, badBlocks, ErrCorruptSegment))
+		}
+		rep.Records += len(st.records) - mark
+	}
+
+	rep.Segments++
+	scan, err := st.scanActive(man.Active)
+	switch {
+	case err != nil:
+		found(segName(man.Active, "hot"), false, err)
+	case scan.headerTorn:
+		found(segName(man.Active, "hot"), true,
+			fmt.Errorf("segment %d: torn or missing header (%d bytes survive): %w", man.Active, scan.tornBytes, ErrTornTail))
+	case !scan.intact():
+		dropped := len(scan.recs) - scan.keep
+		found(segName(man.Active, "hot"), true,
+			fmt.Errorf("segment %d: torn tail (%d records intact, %d lost, %d hot + %d val bytes to truncate): %w",
+				man.Active, scan.keep, dropped, scan.hotSize-scan.hotEnd, scan.valSize-scan.valEnd, ErrTornTail))
+		rep.Records += scan.keep
+	default:
+		rep.Records += scan.keep
+	}
+
+	if err := verifyTombstones(fsys, dir, found); err != nil {
+		return nil, err
+	}
+	if err := verifyOrphans(fsys, dir, &man, found); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// verifyValBlocks counts records whose value blocks fail verification.
+func verifyValBlocks(fsys vfs.FS, valPath string, recs []*Record) int {
+	f, err := fsys.Open(valPath)
+	if err != nil {
+		return len(recs)
+	}
+	defer f.Close()
+	var magic [len(valMagic)]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil || string(magic[:]) != valMagic {
+		return len(recs)
+	}
+	bad := 0
+	for _, rec := range recs {
+		if !valBlockOK(f, rec) {
+			bad++
+		}
+	}
+	return bad
+}
+
+// verifyTombstones checks the tombstone log the way loadTombstones
+// would, reporting a torn final entry as repairable and anything
+// earlier as corruption.
+func verifyTombstones(fsys vfs.FS, dir string, found func(string, bool, error)) error {
+	data, err := fsys.ReadFile(filepath.Join(dir, tombstonesName))
+	if err != nil {
+		if errors.Is(err, iofs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("store: reading tombstone log: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		nl := indexByte(data[off:], '\n')
+		if nl < 0 {
+			found(tombstonesName, true,
+				fmt.Errorf("torn final tombstone entry (%d bytes): %w", len(data)-off, ErrTornTail))
+			return nil
+		}
+		var tb tombstone
+		if err := json.Unmarshal(data[off:off+nl], &tb); err != nil {
+			if off+nl+1 == len(data) {
+				found(tombstonesName, true,
+					fmt.Errorf("torn final tombstone entry (%d bytes): %w", len(data)-off, ErrTornTail))
+				return nil
+			}
+			found(tombstonesName, false, fmt.Errorf("tombstone log: %v: %w", err, ErrCorruptManifest))
+			return nil
+		}
+		off += nl + 1
+	}
+	return nil
+}
+
+// verifyOrphans reports segment files no manifest entry references.
+func verifyOrphans(fsys vfs.FS, dir string, man *manifest, found func(string, bool, error)) error {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("store: listing %s: %w", dir, err)
+	}
+	keep := map[string]bool{manifestName: true, tombstonesName: true}
+	mark := func(seg int) {
+		keep[segName(seg, "hot")] = true
+		keep[segName(seg, "val")] = true
+	}
+	for _, s := range man.Sealed {
+		mark(s.Seg)
+	}
+	mark(man.Active)
+	for _, q := range man.Quarantined {
+		keep[segName(q.Seg, "hot")+quarantineExt] = true
+		keep[segName(q.Seg, "val")+quarantineExt] = true
+	}
+	for _, name := range names {
+		if keep[name] {
+			continue
+		}
+		segFile := strings.HasPrefix(name, "seg-") &&
+			(strings.HasSuffix(name, ".hot") || strings.HasSuffix(name, ".val"))
+		if segFile || name == manifestName+".tmp" {
+			found(name, true, fmt.Errorf("unreferenced file (crashed compact or commit residue)"))
+		}
+	}
+	return nil
+}
+
+// Repair opens the store with quarantine allowed — performing the
+// orphan sweep, torn-tail truncation and sealed-segment quarantine an
+// Open performs — commits the result, and reports what changed. Data
+// that was acknowledged durable is never touched; what Repair discards
+// was either never acknowledged or already unreadable. A nil fsys means
+// the real filesystem.
+func Repair(dir string, fsys vfs.FS) (Health, error) {
+	st, err := OpenWith(dir, OpenOptions{FS: fsys, AllowQuarantine: true})
+	if err != nil {
+		return Health{}, err
+	}
+	h := st.Health()
+	if err := st.Close(); err != nil {
+		return h, err
+	}
+	return h, nil
+}

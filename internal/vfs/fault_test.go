@@ -1,0 +1,364 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func writeString(t *testing.T, f File, s string) {
+	t.Helper()
+	if _, err := f.Write([]byte(s)); err != nil {
+		t.Fatalf("write %q: %v", s, err)
+	}
+}
+
+func readAll(t *testing.T, fs FS, name string) string {
+	t.Helper()
+	data, err := fs.ReadFile(name)
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return string(data)
+}
+
+func TestFaultFSSyncedContentSurvivesCrash(t *testing.T) {
+	fs := NewFaultFS(1)
+	if err := fs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeString(t, f, "hello")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	writeString(t, f, " world")
+
+	fs.Crash()
+	if _, err := fs.ReadFile("d/a"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read while crashed: %v, want ErrCrashed", err)
+	}
+	fs.Recover()
+
+	got := readAll(t, fs, "d/a")
+	if len(got) < len("hello") || got[:5] != "hello" {
+		t.Fatalf("synced prefix lost: %q", got)
+	}
+	if len(got) > len("hello world") {
+		t.Fatalf("content grew: %q", got)
+	}
+}
+
+func TestFaultFSUnsyncedNameVanishes(t *testing.T) {
+	fs := NewFaultFS(2)
+	if err := fs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeString(t, f, "data")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// No SyncDir: the name binding is not durable.
+	fs.Crash()
+	fs.Recover()
+	if fs.Exists("d/a") {
+		t.Fatal("unsynced file name survived the crash")
+	}
+}
+
+func TestFaultFSRenameDurability(t *testing.T) {
+	fs := NewFaultFS(3)
+	if err := fs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	// Durable original target.
+	f, err := fs.Create("d/target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeString(t, f, "old")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	// Replace via temp + rename, but crash before SyncDir.
+	tmp, err := fs.Create("d/tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeString(t, tmp, "new")
+	if err := tmp.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("d/tmp", "d/target"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	fs.Recover()
+	if got := readAll(t, fs, "d/target"); got != "old" {
+		t.Fatalf("target before SyncDir = %q, want old content", got)
+	}
+
+	// Same again, with SyncDir: the rename sticks.
+	tmp, err = fs.Create("d/tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeString(t, tmp, "new")
+	if err := tmp.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("d/tmp", "d/target"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	fs.Recover()
+	if got := readAll(t, fs, "d/target"); got != "new" {
+		t.Fatalf("target after SyncDir = %q, want new content", got)
+	}
+	if fs.Exists("d/tmp") {
+		t.Fatal("renamed-away temp still exists")
+	}
+}
+
+func TestFaultFSRemoveDurability(t *testing.T) {
+	fs := NewFaultFS(4)
+	if err := fs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeString(t, f, "data")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("d/a"); err != nil {
+		t.Fatal(err)
+	}
+	// Crash before SyncDir: the unlink is not durable.
+	fs.Crash()
+	fs.Recover()
+	if !fs.Exists("d/a") {
+		t.Fatal("durable file vanished after unsynced remove")
+	}
+	if err := fs.Remove("d/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	fs.Recover()
+	if fs.Exists("d/a") {
+		t.Fatal("removed file survived synced unlink")
+	}
+}
+
+func TestFaultFSCrashAtTearsWrite(t *testing.T) {
+	// Sweep the crash point over a two-write sequence; the surviving
+	// contents must always be a prefix of what was written, and anything
+	// synced must survive intact.
+	for n := 1; n <= 6; n++ {
+		fs := NewFaultFS(int64(n))
+		if err := fs.MkdirAll("d"); err != nil {
+			t.Fatal(err)
+		}
+		fs.CrashAt(n)
+		crashed := func(err error) bool { return errors.Is(err, ErrCrashed) }
+		run := func() error {
+			f, err := fs.Create("d/a") // op 1
+			if err != nil {
+				return err
+			}
+			if _, err := f.Write([]byte("aaaa")); err != nil { // op 2
+				return err
+			}
+			if err := f.Sync(); err != nil { // op 3
+				return err
+			}
+			if err := fs.SyncDir("d"); err != nil { // op 4
+				return err
+			}
+			if _, err := f.Write([]byte("bbbb")); err != nil { // op 5
+				return err
+			}
+			return f.Sync() // op 6
+		}
+		err := run()
+		if n <= 6 && err == nil {
+			t.Fatalf("crashAt(%d): sequence completed", n)
+		}
+		if !crashed(err) {
+			t.Fatalf("crashAt(%d): err = %v, want ErrCrashed", n, err)
+		}
+		fs.Recover()
+		if n <= 4 && fs.Exists("d/a") == (n < 4) {
+			// Name is durable only once op 4 (SyncDir) completed, i.e. n > 4.
+			if n < 4 && fs.Exists("d/a") {
+				t.Fatalf("crashAt(%d): name durable too early", n)
+			}
+		}
+		if !fs.Exists("d/a") {
+			continue
+		}
+		got := readAll(t, fs, "d/a")
+		want := "aaaabbbb"
+		if len(got) > len(want) || want[:len(got)] != got {
+			t.Fatalf("crashAt(%d): content %q not a prefix of %q", n, got, want)
+		}
+		if n >= 5 && len(got) < 4 {
+			t.Fatalf("crashAt(%d): synced prefix truncated to %q", n, got)
+		}
+	}
+}
+
+func TestFaultFSFailAt(t *testing.T) {
+	fs := NewFaultFS(5)
+	if err := fs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	fs.FailAt(1, boom)
+	if _, err := fs.Create("d/a"); !errors.Is(err, boom) {
+		t.Fatalf("injected op: %v, want boom", err)
+	}
+	// One-shot: the next attempt succeeds.
+	if _, err := fs.Create("d/a"); err != nil {
+		t.Fatalf("after injection: %v", err)
+	}
+}
+
+func TestFaultFSHandleSurvivesRemove(t *testing.T) {
+	fs := NewFaultFS(6)
+	if err := fs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeString(t, f, "payload")
+	r, err := fs.Open("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("d/a"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 7)
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read after unlink: %v", err)
+	}
+	if string(buf) != "payload" {
+		t.Fatalf("read %q after unlink", buf)
+	}
+}
+
+func TestFaultFSTruncateRevertsWithoutSync(t *testing.T) {
+	fs := NewFaultFS(7)
+	if err := fs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeString(t, f, "0123456789")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Truncate("d/a", 4); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	fs.Recover()
+	// The truncate diverged from the synced snapshot without a sync, so
+	// the snapshot wins.
+	if got := readAll(t, fs, "d/a"); got != "0123456789" {
+		t.Fatalf("unsynced truncate persisted: %q", got)
+	}
+}
+
+func TestOsFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS()
+	if err := fs.MkdirAll(dir + "/sub"); err != nil {
+		t.Fatal(err)
+	}
+	name := dir + "/sub/file"
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeString(t, f, "content")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir + "/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, fs, name); got != "content" {
+		t.Fatalf("round trip: %q", got)
+	}
+	af, size, err := fs.OpenAppend(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != int64(len("content")) {
+		t.Fatalf("append offset %d", size)
+	}
+	writeString(t, af, "+more")
+	if err := af.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.ReadDir(dir + "/sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "file" {
+		t.Fatalf("readdir: %v", names)
+	}
+	if err := fs.Rename(name, dir+"/sub/file2"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists(name) || !fs.Exists(dir+"/sub/file2") {
+		t.Fatal("rename not visible")
+	}
+	if err := fs.Truncate(dir+"/sub/file2", 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, fs, dir+"/sub/file2"); got != "content" {
+		t.Fatalf("after truncate: %q", got)
+	}
+	if err := fs.Remove(dir + "/sub/file2"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists(dir + "/sub/file2") {
+		t.Fatal("remove not visible")
+	}
+}

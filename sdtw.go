@@ -156,6 +156,12 @@ type Options struct {
 	// — so it is deliberately excluded from the configuration
 	// fingerprint: snapshots and stores load under any width.
 	SketchWidth int
+	// StoreSegmentRecords caps how many records each segment of a store
+	// written by SaveStore holds before it is sealed. Zero means the
+	// store's default. Like SketchWidth it never changes search results
+	// and is excluded from the configuration fingerprint — it only
+	// shapes the on-disk segment layout.
+	StoreSegmentRecords int
 }
 
 // DefaultSketchWidth is the stage-0 sketch width used when

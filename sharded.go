@@ -37,6 +37,10 @@ type ShardedIndex struct {
 	// shard; mutations write through, serialised by storeMu.
 	stores  []*store.Store
 	storeMu sync.Mutex
+
+	// segRecords is Options.StoreSegmentRecords, kept for SaveStore
+	// (zero means the store default).
+	segRecords int
 }
 
 // Hit is one sharded retrieval result, identified by series ID.
@@ -67,7 +71,7 @@ func NewShardedIndex(data []Series, shards int, opts Options) (*ShardedIndex, er
 	if err != nil {
 		return nil, fmt.Errorf("sdtw: %w", err)
 	}
-	return &ShardedIndex{cluster: cluster, engines: engines, radius: -1, shards: shards}, nil
+	return &ShardedIndex{cluster: cluster, engines: engines, radius: -1, shards: shards, segRecords: opts.StoreSegmentRecords}, nil
 }
 
 // NewShardedWindowedIndex builds a sharded index answering exact

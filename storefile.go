@@ -12,6 +12,7 @@ import (
 	"sdtw/internal/shard"
 	"sdtw/internal/sketch"
 	"sdtw/internal/store"
+	"sdtw/internal/vfs"
 )
 
 // This file is the segment-store face of the index: SaveStore exports a
@@ -47,6 +48,51 @@ type StoreStats struct {
 	// SketchWidth is the stage-0 sketch coefficient count every record
 	// carries.
 	SketchWidth int
+	// Health reports what opening the store(s) recovered, swept or
+	// quarantined — aggregated across shards for a sharded index.
+	// Health.Degraded() means quarantined records are unavailable.
+	Health StoreHealth
+	// ShardHealth breaks Health down per shard for a sharded index
+	// (nil for an unsharded one).
+	ShardHealth []StoreHealth
+}
+
+// StoreHealth reports the damage a segment store is carrying: what its
+// open recovered, swept, or sidelined. The zero value is a fully intact
+// store; Degraded() reports whether quarantined segments are holding
+// records back from serving.
+type StoreHealth = store.Health
+
+// OpenOption adjusts how the Open* entry points open their segment
+// store(s).
+type OpenOption struct{ apply func(*store.OpenOptions) }
+
+// AllowQuarantine opts the open into degraded serving: a corrupt sealed
+// segment is sidelined (renamed to seg-*.quarantine and recorded in the
+// manifest) and the survivors are served, instead of the whole open
+// failing with ErrCorruptSegment. The quarantine is sticky — once a
+// store holds quarantined segments, reopening it requires this option
+// until the operator resolves them (see `sdtw fsck`). Quarantined and
+// recovered counts surface through StoreStats.Health. An unsharded
+// store whose every record is quarantined still fails the open
+// (ErrEmptyCollection); a sharded root serves the surviving shards.
+func AllowQuarantine() OpenOption {
+	return OpenOption{func(o *store.OpenOptions) { o.AllowQuarantine = true }}
+}
+
+// withStoreFS points the open at an alternate filesystem; crash tests
+// inject a vfs.FaultFS here.
+func withStoreFS(fsys vfs.FS) OpenOption {
+	return OpenOption{func(o *store.OpenOptions) { o.FS = fsys }}
+}
+
+// storeOpenOptions folds the public options onto the store layer's.
+func storeOpenOptions(open []OpenOption) store.OpenOptions {
+	var o store.OpenOptions
+	for _, op := range open {
+		op.apply(&o)
+	}
+	return o
 }
 
 // SaveStore exports the index into a segment store rooted at dir
@@ -79,9 +125,10 @@ func (ix *Index) SaveStore(dir string) error {
 	}
 	created := dirMissing(dir)
 	st, err := store.Create(dir, store.Config{
-		Fingerprint: ix.core.Fingerprint(),
-		SketchWidth: w,
-		Meta:        meta,
+		Fingerprint:    ix.core.Fingerprint(),
+		SketchWidth:    w,
+		SegmentRecords: ix.segRecords,
+		Meta:           meta,
 	})
 	if err != nil {
 		return fmt.Errorf("sdtw: SaveStore: %w", err)
@@ -153,9 +200,10 @@ func (si *ShardedIndex) SaveStore(dir string) error {
 			meta[storeMetaRadius] = strconv.Itoa(si.radius)
 		}
 		st, err := store.Create(filepath.Join(dir, shardDirName(i)), store.Config{
-			Fingerprint: si.cluster.Fingerprint(),
-			SketchWidth: w,
-			Meta:        meta,
+			Fingerprint:    si.cluster.Fingerprint(),
+			SketchWidth:    w,
+			SegmentRecords: si.segRecords,
+			Meta:           meta,
 		})
 		if err != nil {
 			return fail(err)
@@ -229,9 +277,12 @@ func cleanupStoreDir(dir string, created bool) {
 // endpoints load eagerly, raw values stay on disk until a candidate
 // survives the lower-bound cascade. opts must describe the same engine
 // configuration the store was written under (ErrConfigMismatch
-// otherwise). Add and Remove write through to the store.
-func OpenIndex(dir string, opts Options) (*Index, error) {
-	st, err := store.Open(dir)
+// otherwise). Add and Remove write through to the store. Crash residue
+// (a torn active-segment tail, orphaned segment files) is repaired on
+// the way in; AllowQuarantine additionally opts into serving around
+// corrupt sealed segments.
+func OpenIndex(dir string, opts Options, open ...OpenOption) (*Index, error) {
+	st, err := store.OpenWith(dir, storeOpenOptions(open))
 	if err != nil {
 		return nil, fmt.Errorf("sdtw: %w", err)
 	}
@@ -259,9 +310,9 @@ func OpenIndex(dir string, opts Options) (*Index, error) {
 
 // OpenWindowedIndex opens a segment store written by SaveStore for a
 // windowed index; its configuration (length and radius) travels inside
-// the store's manifest, so no options are needed.
-func OpenWindowedIndex(dir string) (*Index, error) {
-	st, err := store.Open(dir)
+// the store's manifest, so no Options are needed.
+func OpenWindowedIndex(dir string, open ...OpenOption) (*Index, error) {
+	st, err := store.OpenWith(dir, storeOpenOptions(open))
 	if err != nil {
 		return nil, fmt.Errorf("sdtw: %w", err)
 	}
@@ -423,13 +474,33 @@ func (ix *Index) Compact() error {
 	return nil
 }
 
-// StoreStats returns the segment store's counters.
+// StoreStats returns the segment store's counters, including the
+// health its open reported (recovered, swept, quarantined).
 func (ix *Index) StoreStats() (StoreStats, error) {
 	if ix.store == nil {
 		return StoreStats{}, fmt.Errorf("sdtw: StoreStats: %w", ErrNotStoreBacked)
 	}
 	s := ix.store.Stats()
-	return StoreStats{Segments: s.Segments, LiveRecords: s.LiveRecords, Tombstones: s.Tombstones, SketchWidth: s.SketchWidth}, nil
+	return StoreStats{
+		Segments: s.Segments, LiveRecords: s.LiveRecords, Tombstones: s.Tombstones,
+		SketchWidth: s.SketchWidth, Health: ix.store.Health(),
+	}, nil
+}
+
+// SyncStore flushes the store's active segment to stable storage: once
+// it returns, every Append acknowledged before the call survives a
+// power cut. Remove needs no barrier — tombstones are synced as they
+// are appended.
+func (ix *Index) SyncStore() error {
+	if ix.store == nil {
+		return fmt.Errorf("sdtw: SyncStore: %w", ErrNotStoreBacked)
+	}
+	ix.storeMu.Lock()
+	defer ix.storeMu.Unlock()
+	if err := ix.store.Sync(); err != nil {
+		return fmt.Errorf("sdtw: SyncStore: %w", err)
+	}
+	return nil
 }
 
 // CloseStore releases the store's file handles. Searches may keep
@@ -450,9 +521,14 @@ func (ix *Index) CloseStore() error {
 // openShardStores opens every per-shard store under dir, atomically:
 // any missing, corrupt or inconsistent shard closes the ones already
 // opened and fails the whole open — a cluster must never come up over a
-// subset of its shards.
-func openShardStores(dir string) ([]*store.Store, string, uint64, error) {
-	st0, err := store.Open(filepath.Join(dir, shardDirName(0)))
+// subset of its shards. Under so.AllowQuarantine a shard with corrupt
+// sealed segments opens degraded (its survivors serve, possibly none)
+// instead of failing the whole open; structural failures (a missing
+// shard, a corrupt manifest, mixed configurations) still fail
+// atomically — quarantine bounds the damage, it never papers over a
+// store that cannot describe itself.
+func openShardStores(dir string, so store.OpenOptions) ([]*store.Store, string, uint64, error) {
+	st0, err := store.OpenWith(filepath.Join(dir, shardDirName(0)), so)
 	if err != nil {
 		return nil, "", 0, fmt.Errorf("sdtw: shard 0: %w", err)
 	}
@@ -468,7 +544,7 @@ func openShardStores(dir string) ([]*store.Store, string, uint64, error) {
 		return fail(fmt.Errorf("sdtw: shard 0 has shard count %q: %w", st0.Meta()[storeMetaShards], ErrCorruptManifest))
 	}
 	for i := 1; i < shards; i++ {
-		st, err := store.Open(filepath.Join(dir, shardDirName(i)))
+		st, err := store.OpenWith(filepath.Join(dir, shardDirName(i)), so)
 		if err != nil {
 			return fail(fmt.Errorf("sdtw: shard %d: %w", i, err))
 		}
@@ -510,9 +586,11 @@ func openShardStores(dir string) ([]*store.Store, string, uint64, error) {
 // ShardedIndex.SaveStore for an engine-backed cluster and serves from
 // it. opts must describe the same engine configuration the stores were
 // written under. The open is atomic across shards: one bad shard store
-// fails the whole open.
-func OpenShardedIndex(dir string, opts Options) (*ShardedIndex, error) {
-	stores, kind, nextSeq, err := openShardStores(dir)
+// fails the whole open — except under AllowQuarantine, where a shard
+// with corrupt sealed segments serves its survivors (per-shard damage
+// surfaces in StoreStats.ShardHealth).
+func OpenShardedIndex(dir string, opts Options, open ...OpenOption) (*ShardedIndex, error) {
+	stores, kind, nextSeq, err := openShardStores(dir, storeOpenOptions(open))
 	if err != nil {
 		return nil, err
 	}
@@ -556,8 +634,8 @@ func OpenShardedIndex(dir string, opts Options) (*ShardedIndex, error) {
 // OpenShardedWindowedIndex opens a sharded store root written by
 // ShardedIndex.SaveStore for a windowed cluster; length and radius
 // travel inside the manifests.
-func OpenShardedWindowedIndex(dir string) (*ShardedIndex, error) {
-	stores, kind, nextSeq, err := openShardStores(dir)
+func OpenShardedWindowedIndex(dir string, open ...OpenOption) (*ShardedIndex, error) {
+	stores, kind, nextSeq, err := openShardStores(dir, storeOpenOptions(open))
 	if err != nil {
 		return nil, err
 	}
@@ -706,20 +784,45 @@ func (si *ShardedIndex) Compact() error {
 	return nil
 }
 
-// StoreStats aggregates the per-shard stores' counters.
+// StoreStats aggregates the per-shard stores' counters and health;
+// ShardHealth carries the per-shard breakdown.
 func (si *ShardedIndex) StoreStats() (StoreStats, error) {
 	if si.stores == nil {
 		return StoreStats{}, fmt.Errorf("sdtw: StoreStats: %w", ErrNotStoreBacked)
 	}
-	var out StoreStats
-	for _, st := range si.stores {
+	out := StoreStats{ShardHealth: make([]StoreHealth, len(si.stores))}
+	for i, st := range si.stores {
 		s := st.Stats()
 		out.Segments += s.Segments
 		out.LiveRecords += s.LiveRecords
 		out.Tombstones += s.Tombstones
 		out.SketchWidth = s.SketchWidth
+		h := st.Health()
+		out.ShardHealth[i] = h
+		out.Health.Quarantined += h.Quarantined
+		out.Health.QuarantinedRecords += h.QuarantinedRecords
+		out.Health.RecoveredRecords += h.RecoveredRecords
+		out.Health.TruncatedBytes += h.TruncatedBytes
+		out.Health.OrphansSwept += h.OrphansSwept
 	}
 	return out, nil
+}
+
+// SyncStore flushes every shard store's active segment to stable
+// storage: once it returns, every Append acknowledged before the call
+// survives a power cut.
+func (si *ShardedIndex) SyncStore() error {
+	if si.stores == nil {
+		return fmt.Errorf("sdtw: SyncStore: %w", ErrNotStoreBacked)
+	}
+	si.storeMu.Lock()
+	defer si.storeMu.Unlock()
+	for i, st := range si.stores {
+		if err := st.Sync(); err != nil {
+			return fmt.Errorf("sdtw: SyncStore: shard %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // CloseStore releases every shard store's file handles; close after

@@ -398,7 +398,10 @@ func TestOpenIndexValidation(t *testing.T) {
 // cluster over a subset of its shards.
 func TestOpenShardedAtomicFailure(t *testing.T) {
 	d := GunDataset(DatasetConfig{Seed: 97, SeriesPerClass: 6})
-	opts := Options{Strategy: FixedCoreFixedWidth, WidthFrac: 0.10}
+	// Small segments so every shard holds sealed segments: corruption in
+	// a sealed segment is never repaired silently (the active segment's
+	// tail is, by design — torn-tail recovery).
+	opts := Options{Strategy: FixedCoreFixedWidth, WidthFrac: 0.10, StoreSegmentRecords: 2}
 	si, err := NewShardedIndex(d.Series, 3, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -421,7 +424,7 @@ func TestOpenShardedAtomicFailure(t *testing.T) {
 		if err := si.SaveStore(dir); err != nil {
 			t.Fatal(err)
 		}
-		// Flip one byte in shard 1's active hot segment.
+		// Flip one byte in shard 1's first sealed hot segment.
 		matches, err := filepath.Glob(filepath.Join(dir, shardDirName(1), "seg-*.hot"))
 		if err != nil || len(matches) == 0 {
 			t.Fatalf("no hot segments found: %v", err)
@@ -438,6 +441,103 @@ func TestOpenShardedAtomicFailure(t *testing.T) {
 			t.Fatalf("open with a corrupt shard: %v, want ErrCorruptSegment", err)
 		}
 	})
+}
+
+// TestOpenShardedDegraded: under AllowQuarantine a corrupt sealed
+// segment in one shard degrades the open — the damaged shard serves its
+// surviving records, the other shards serve everything, and per-shard
+// health reports exactly where the damage is — while a plain open of
+// the now-quarantined root keeps refusing (the operator must keep
+// opting into degraded serving).
+func TestOpenShardedDegraded(t *testing.T) {
+	d := GunDataset(DatasetConfig{Seed: 107, SeriesPerClass: 6})
+	opts := Options{Strategy: FixedCoreFixedWidth, WidthFrac: 0.10, StoreSegmentRecords: 2}
+	si, err := NewShardedIndex(d.Series, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "s")
+	if err := si.SaveStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, shardDirName(1), "seg-*.hot"))
+	if err != nil || len(matches) < 2 {
+		t.Fatalf("want sealed segments in shard 1, got %v (%v)", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0xff
+	if err := os.WriteFile(matches[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	deg, err := OpenShardedIndex(dir, opts, AllowQuarantine())
+	if err != nil {
+		t.Fatalf("degraded open: %v", err)
+	}
+	defer deg.CloseStore()
+	stats, err := deg.StoreStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Health.Quarantined != 1 || stats.Health.QuarantinedRecords == 0 {
+		t.Fatalf("aggregate health = %+v, want one quarantined segment with records", stats.Health)
+	}
+	if !stats.Health.Degraded() {
+		t.Fatal("aggregate health not degraded")
+	}
+	if len(stats.ShardHealth) != 3 {
+		t.Fatalf("ShardHealth has %d entries, want 3", len(stats.ShardHealth))
+	}
+	for i, h := range stats.ShardHealth {
+		want := 0
+		if i == 1 {
+			want = 1
+		}
+		if h.Quarantined != want {
+			t.Fatalf("shard %d health = %+v, want Quarantined %d", i, h, want)
+		}
+	}
+	if got := stats.LiveRecords + stats.Health.QuarantinedRecords; got != len(d.Series) {
+		t.Fatalf("live %d + quarantined %d = %d records, want %d",
+			stats.LiveRecords, stats.Health.QuarantinedRecords, got, len(d.Series))
+	}
+	if q, err := filepath.Glob(filepath.Join(dir, shardDirName(1), "seg-*.quarantine")); err != nil || len(q) != 2 {
+		t.Fatalf("quarantine files = %v (%v), want the segment's hot and val pair", q, err)
+	}
+
+	// Every surviving series is still retrievable as its own nearest
+	// neighbour; the quarantined ones are gone from the result surface.
+	live := make(map[string]bool)
+	for _, st := range deg.stores {
+		for _, rec := range st.Live() {
+			live[rec.ID] = true
+		}
+	}
+	if len(live) != stats.LiveRecords {
+		t.Fatalf("stores serve %d series, stats say %d live", len(live), stats.LiveRecords)
+	}
+	ctx := context.Background()
+	for _, s := range d.Series {
+		if !live[s.ID] {
+			continue
+		}
+		hits, _, err := deg.Search(ctx, Series{Values: s.Values}, WithK(1))
+		if err != nil {
+			t.Fatalf("search %q: %v", s.ID, err)
+		}
+		if len(hits) != 1 || hits[0].ID != s.ID {
+			t.Fatalf("search %q: got %v, want itself", s.ID, hits)
+		}
+	}
+
+	// The quarantine is sticky: a plain reopen refuses until the
+	// operator resolves it.
+	if _, err := OpenShardedIndex(dir, opts); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("plain reopen of a quarantined root: %v, want ErrQuarantined", err)
+	}
 }
 
 // TestOpenShardedMixedConfig: a shard directory spliced in from a store
